@@ -1,0 +1,171 @@
+//! Criterion micro-benchmarks for the solver substrate and the paper's
+//! formulations, complementing the `figures` binary (which regenerates the
+//! paper's evaluation). One group per layer:
+//!
+//! * `lp`      — simplex solve time on generated LP relaxations;
+//! * `mip`     — full branch-and-bound on small instances;
+//! * `build`   — model *construction* cost per formulation (ablation for the
+//!   state-space reduction of Section IV-C);
+//! * `greedy`  — the cΣᴳ_A heuristic (Section V; "seconds" claim);
+//! * `depgraph`— dependency-graph + cuts precomputation;
+//! * `verify`  — the Definition-2.1 feasibility verifier.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tvnep_core::{
+    build_model, greedy_csigma, solve_tvnep, BuildOptions, Formulation, GreedyOptions,
+    Objective,
+};
+use tvnep_lp::Simplex;
+use tvnep_mip::MipOptions;
+use tvnep_model::{verify, DependencyGraph};
+use tvnep_workloads::{generate, WorkloadConfig};
+
+fn bench_lp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lp");
+    g.sample_size(10);
+    for flex in [0.0, 1.0] {
+        let inst = generate(&WorkloadConfig::tiny(), 1).with_flexibility_after(flex);
+        let built = build_model(
+            &inst,
+            Formulation::CSigma,
+            Objective::AccessControl,
+            BuildOptions::default_for(Formulation::CSigma),
+        );
+        let lp = built.mip.relaxation_min();
+        g.bench_with_input(BenchmarkId::new("csigma_root_relaxation", flex), &lp, |b, lp| {
+            b.iter(|| {
+                let mut s = Simplex::new(lp);
+                s.solve()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_mip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mip");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(20));
+    for f in [Formulation::CSigma, Formulation::Sigma] {
+        let inst = generate(&WorkloadConfig::tiny(), 1).with_flexibility_after(0.5);
+        g.bench_with_input(
+            BenchmarkId::new("access_control_tiny", format!("{f:?}")),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    solve_tvnep(
+                        inst,
+                        f,
+                        Objective::AccessControl,
+                        BuildOptions::default_for(f),
+                        &MipOptions::with_time_limit(Duration::from_secs(30)),
+                    )
+                    .mip
+                    .nodes
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("build");
+    let inst = generate(&WorkloadConfig::small(), 1).with_flexibility_after(2.0);
+    for f in [Formulation::Delta, Formulation::Sigma, Formulation::CSigma] {
+        g.bench_with_input(BenchmarkId::new("formulation", format!("{f:?}")), &inst, |b, inst| {
+            b.iter(|| {
+                build_model(inst, f, Objective::AccessControl, BuildOptions::default_for(f))
+                    .mip
+                    .num_rows()
+            })
+        });
+    }
+    // Ablation: cΣ with and without the Section IV-C machinery.
+    for (name, opts) in [
+        ("csigma_with_cuts", BuildOptions::default_for(Formulation::CSigma)),
+        (
+            "csigma_plain",
+            BuildOptions {
+                event: tvnep_core::EventOptions {
+                    dependency_ranges: false,
+                    pairwise_cuts: false,
+                    ordering_cuts: false,
+                },
+                flow_mode: Default::default(),
+            },
+        ),
+    ] {
+        g.bench_with_input(BenchmarkId::new("ablation", name), &inst, |b, inst| {
+            b.iter(|| {
+                build_model(inst, Formulation::CSigma, Objective::AccessControl, opts)
+                    .mip
+                    .num_rows()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("greedy");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(20));
+    for flex in [0.0, 2.0] {
+        let inst = generate(&WorkloadConfig::small(), 1).with_flexibility_after(flex);
+        g.bench_with_input(BenchmarkId::new("csigma_greedy", flex), &inst, |b, inst| {
+            b.iter(|| {
+                greedy_csigma(
+                    inst,
+                    &GreedyOptions {
+                        subproblem: MipOptions::with_time_limit(Duration::from_secs(10)),
+                    },
+                )
+                .solution
+                .accepted_count()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_depgraph(c: &mut Criterion) {
+    let mut g = c.benchmark_group("depgraph");
+    for n in [5usize, 20, 50] {
+        let mut cfg = WorkloadConfig::paper();
+        cfg.num_requests = n;
+        let inst = generate(&cfg, 1).with_flexibility_after(2.0);
+        g.bench_with_input(BenchmarkId::new("build", n), &inst, |b, inst| {
+            b.iter(|| DependencyGraph::new(&inst.requests).num_requests())
+        });
+    }
+    g.finish();
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("verify");
+    let inst = generate(&WorkloadConfig::tiny(), 1).with_flexibility_after(1.0);
+    let out = solve_tvnep(
+        &inst,
+        Formulation::CSigma,
+        Objective::AccessControl,
+        BuildOptions::default_for(Formulation::CSigma),
+        &MipOptions::with_time_limit(Duration::from_secs(30)),
+    );
+    let sol = out.solution.expect("solved");
+    g.bench_function("definition_2_1", |b| b.iter(|| verify(&inst, &sol).len()));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lp,
+    bench_mip,
+    bench_build,
+    bench_greedy,
+    bench_depgraph,
+    bench_verify
+);
+criterion_main!(benches);

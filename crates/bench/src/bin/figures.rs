@@ -1,0 +1,214 @@
+//! Regenerates the figures of the paper's Section VI as CSV series.
+//!
+//! ```text
+//! figures [fig3|fig4|fig5|fig6|fig7|fig8|fig9|all]
+//!         [--seeds N] [--time-limit SECS] [--flex-step H] [--paper-scale]
+//! ```
+//!
+//! Output goes to stdout (CSV) with progress on stderr. See EXPERIMENTS.md
+//! for the recorded runs and the comparison against the paper.
+
+use std::time::Duration;
+
+use tvnep_bench::{
+    print_csv, run_greedy_sweep, run_objective_sweep, run_sweep, CellResult, HarnessConfig,
+    CSV_HEADER,
+};
+use tvnep_bench::HarnessConfig as HC;
+use tvnep_core::{
+    build_discrete, build_model, discretization_gap, solve_tvnep, BuildOptions, EventOptions,
+    Formulation, Objective,
+};
+use tvnep_mip::MipOptions;
+use tvnep_workloads::generate;
+
+/// Extra experiments beyond the paper's figures, backing DESIGN.md's design
+/// choices: (a) the discretization gap of a time-slotted baseline vs the
+/// continuous cΣ-Model (Section III's motivation), and (b) the effect of the
+/// Section IV-C cuts on the cΣ solve.
+fn ablation(cfg: &HC) {
+    println!("# ablation_discrete: seed,slots,disc_rows,csigma_rows,gap");
+    let opts = MipOptions::with_time_limit(cfg.time_limit);
+    for &seed in cfg.seeds.iter().take(2) {
+        let inst = generate(&cfg.workload, seed).with_flexibility_after(2.0);
+        let csigma = build_model(
+            &inst,
+            Formulation::CSigma,
+            Objective::AccessControl,
+            BuildOptions::default_for(Formulation::CSigma),
+        );
+        for slots in [8usize, 16, 32] {
+            let disc = build_discrete(&inst, slots);
+            let gap = discretization_gap(&inst, slots, &opts);
+            println!(
+                "ablation_discrete,{seed},{slots},{},{},{}",
+                disc.mip.num_rows(),
+                csigma.mip.num_rows(),
+                gap.map_or("NA".into(), |g| format!("{g:.4}"))
+            );
+        }
+    }
+    println!("# ablation_cuts: seed,config,rows,ints,runtime_s,status");
+    for &seed in cfg.seeds.iter().take(2) {
+        let inst = generate(&cfg.workload, seed).with_flexibility_after(1.0);
+        for (name, ev) in [
+            ("full_cuts", EventOptions { dependency_ranges: true, pairwise_cuts: true, ordering_cuts: true }),
+            ("ranges_only", EventOptions { dependency_ranges: true, pairwise_cuts: false, ordering_cuts: false }),
+            ("plain", EventOptions { dependency_ranges: false, pairwise_cuts: false, ordering_cuts: false }),
+        ] {
+            let built = build_model(
+                &inst,
+                Formulation::CSigma,
+                Objective::AccessControl,
+                BuildOptions { event: ev, flow_mode: Default::default() },
+            );
+            let t0 = std::time::Instant::now();
+            let run = solve_tvnep(
+                &inst,
+                Formulation::CSigma,
+                Objective::AccessControl,
+                BuildOptions { event: ev, flow_mode: Default::default() },
+                &opts,
+            );
+            println!(
+                "ablation_cuts,{seed},{name},{},{},{:.3},{:?}",
+                built.mip.num_rows(),
+                built.mip.num_integers(),
+                t0.elapsed().as_secs_f64(),
+                run.mip.status
+            );
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "all".to_string();
+    let mut cfg = HarnessConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--paper-scale" => cfg = HarnessConfig::paper_scale(),
+            "--seeds" => {
+                i += 1;
+                let n: u64 = args[i].parse().expect("--seeds N");
+                cfg.seeds = (1..=n).collect();
+            }
+            "--time-limit" => {
+                i += 1;
+                let s: u64 = args[i].parse().expect("--time-limit SECS");
+                cfg.time_limit = Duration::from_secs(s);
+            }
+            "--flex-step" => {
+                i += 1;
+                let h: f64 = args[i].parse().expect("--flex-step H");
+                let max = cfg.workload.max_flexibility;
+                let mut f = 0.0;
+                cfg.flexibilities = std::iter::from_fn(|| {
+                    if f > max + 1e-9 {
+                        None
+                    } else {
+                        let v = f;
+                        f += h;
+                        Some(v)
+                    }
+                })
+                .collect();
+            }
+            other if !other.starts_with("--") => which = other.to_string(),
+            other => panic!("unknown flag {other}"),
+        }
+        i += 1;
+    }
+
+    eprintln!(
+        "[figures] target={which} seeds={:?} flex={:?} limit={:?}",
+        cfg.seeds, cfg.flexibilities, cfg.time_limit
+    );
+    println!("{CSV_HEADER}");
+
+    let want = |f: &str| which == "all" || which == f;
+
+    // Figures 3 & 4 share the formulation sweep; Figures 8 & 9 reuse the cΣ
+    // rows of the same sweep, so run each formulation at most once.
+    let mut csigma_rows: Option<Vec<CellResult>> = None;
+    if want("fig3") || want("fig4") || want("fig8") || want("fig9") || want("fig7") {
+        eprintln!("[figures] formulation sweep: cSigma");
+        let rows = run_sweep(&cfg, Formulation::CSigma);
+        print_csv("csigma_access", &rows);
+        csigma_rows = Some(rows);
+    }
+    if want("fig3") || want("fig4") {
+        for (label, f) in
+            [("sigma_access", Formulation::Sigma), ("delta_access", Formulation::Delta)]
+        {
+            eprintln!("[figures] formulation sweep: {label}");
+            let rows = run_sweep(&cfg, f);
+            print_csv(label, &rows);
+        }
+    }
+    if want("fig5") || want("fig6") {
+        for (label, o) in [
+            ("csigma_earliness", Objective::MaxEarliness),
+            ("csigma_nodeload", Objective::BalanceNodeLoad { fraction: 0.5 }),
+            ("csigma_disable", Objective::DisableLinks),
+            ("csigma_makespan", Objective::MinMakespan),
+        ] {
+            eprintln!("[figures] objective sweep: {label}");
+            let rows = run_objective_sweep(&cfg, o);
+            print_csv(label, &rows);
+        }
+    }
+    if want("fig7") {
+        eprintln!("[figures] greedy sweep");
+        let rows = run_greedy_sweep(&cfg);
+        print_csv("greedy_access", &rows);
+        // Relative performance summary (Fig 7): 1 − greedy/exact per cell.
+        if let Some(exact) = &csigma_rows {
+            println!("# fig7_relative: label,seed,flex_h,greedy_rev,exact_rev,shortfall");
+            for (g, e) in rows.iter().zip(exact) {
+                if let (Some(gr), Some(er)) = (g.objective, e.objective) {
+                    if er > 1e-9 {
+                        println!(
+                            "fig7,{},{},{:.4},{:.4},{:.4}",
+                            g.seed,
+                            g.flex,
+                            gr,
+                            er,
+                            1.0 - gr / er
+                        );
+                    }
+                }
+            }
+        }
+    }
+    if want("ablation") {
+        ablation(&cfg);
+    }
+    if let Some(rows) = &csigma_rows {
+        if want("fig9") {
+            // Relative improvement of the access-control objective compared
+            // with flexibility 0 (per seed).
+            println!("# fig9_relative: label,seed,flex_h,objective,improvement_vs_flex0");
+            for &seed in &cfg.seeds {
+                let base = rows
+                    .iter()
+                    .find(|r| r.seed == seed && r.flex == 0.0)
+                    .and_then(|r| r.objective);
+                let Some(base) = base else { continue };
+                for r in rows.iter().filter(|r| r.seed == seed) {
+                    if let Some(o) = r.objective {
+                        println!(
+                            "fig9,{},{},{:.4},{:.4}",
+                            seed,
+                            r.flex,
+                            o,
+                            if base > 1e-9 { o / base - 1.0 } else { f64::NAN }
+                        );
+                    }
+                }
+            }
+        }
+    }
+    eprintln!("[figures] done");
+}

@@ -1,0 +1,280 @@
+//! # tvnep-bench — evaluation harness
+//!
+//! Regenerates every figure of the paper's Section VI (see DESIGN.md §4 for
+//! the experiment index). The `figures` binary drives [`run_sweep`] /
+//! [`run_objective_sweep`] / [`run_greedy_sweep`] and prints one CSV row per
+//! (scenario, flexibility) cell, mirroring the quantities the paper plots:
+//!
+//! * Fig 3 — runtime per formulation (time-limit-capped);
+//! * Fig 4 — objective gap per formulation (∞ when no solution was found);
+//! * Fig 5/6 — runtime/gap of the cΣ-Model under the non-access-control
+//!   objectives;
+//! * Fig 7 — greedy cΣᴳ_A revenue relative to the cΣ-Model's;
+//! * Fig 8 — number of requests embedded by the cΣ-Model;
+//! * Fig 9 — access-control objective relative to zero flexibility.
+
+use std::time::{Duration, Instant};
+
+use tvnep_core::{
+    greedy_csigma, solve_tvnep, BuildOptions, Formulation, GreedyOptions, Objective,
+};
+use tvnep_mip::{MipOptions, MipStatus};
+use tvnep_model::{is_feasible, Instance};
+use tvnep_workloads::{generate, WorkloadConfig};
+
+/// One solver run's record.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Scenario seed.
+    pub seed: u64,
+    /// Added flexibility in hours.
+    pub flex: f64,
+    /// Wall-clock runtime (capped at the limit).
+    pub runtime: Duration,
+    /// Final MIP status.
+    pub status: MipStatus,
+    /// Incumbent objective (user sense), if any.
+    pub objective: Option<f64>,
+    /// Best bound.
+    pub best_bound: f64,
+    /// Relative gap; `None` ⇒ no solution found (plotted as ∞).
+    pub gap: Option<f64>,
+    /// Requests accepted by the incumbent (access control only).
+    pub accepted: Option<usize>,
+    /// Branch-and-bound nodes.
+    pub nodes: u64,
+    /// Whether the extracted solution passed the independent verifier.
+    pub verified: Option<bool>,
+}
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Workload generator parameters.
+    pub workload: WorkloadConfig,
+    /// Scenario seeds ("24 workloads" in the paper; fewer by default here).
+    pub seeds: Vec<u64>,
+    /// Flexibility sweep in hours (paper: 0..6 step 0.5).
+    pub flexibilities: Vec<f64>,
+    /// Per-instance time limit (paper: 1 h on Gurobi).
+    pub time_limit: Duration,
+    /// Seed the exact solver with the greedy objective as a cutoff (plays
+    /// the role of Gurobi's primal heuristics; keeps the formulation
+    /// comparison fair because every formulation gets the same cutoff).
+    pub greedy_cutoff: bool,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        Self {
+            workload: WorkloadConfig::small(),
+            seeds: vec![1, 2, 3],
+            flexibilities: (0..=6).map(|i| i as f64).collect(),
+            time_limit: Duration::from_secs(20),
+            greedy_cutoff: true,
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// The paper's exact §VI configuration (very slow with this solver —
+    /// hours per cell; provided for completeness).
+    pub fn paper_scale() -> Self {
+        Self {
+            workload: WorkloadConfig::paper(),
+            seeds: (1..=24).collect(),
+            flexibilities: tvnep_workloads::paper_flexibilities(),
+            time_limit: Duration::from_secs(3600),
+            greedy_cutoff: true,
+        }
+    }
+}
+
+fn instance_for(cfg: &HarnessConfig, seed: u64, flex: f64) -> Instance {
+    generate(&cfg.workload, seed).with_flexibility_after(flex)
+}
+
+/// Runs one formulation under the access-control objective over the whole
+/// (seed × flexibility) grid — the data behind Figures 3, 4, 8 and 9.
+pub fn run_sweep(cfg: &HarnessConfig, formulation: Formulation) -> Vec<CellResult> {
+    let mut out = Vec::new();
+    for &seed in &cfg.seeds {
+        for &flex in &cfg.flexibilities {
+            let inst = instance_for(cfg, seed, flex);
+            let mut opts = MipOptions::with_time_limit(cfg.time_limit);
+            let mut greedy_obj = None;
+            let mut greedy_acc = None;
+            if cfg.greedy_cutoff {
+                let g = greedy_csigma(
+                    &inst,
+                    &GreedyOptions {
+                        subproblem: MipOptions::with_time_limit(cfg.time_limit / 4),
+                    },
+                );
+                let rev = g.solution.revenue(&inst);
+                greedy_obj = Some(rev);
+                greedy_acc = Some(g.solution.accepted_count());
+                // Search only for strictly better solutions.
+                opts.cutoff = Some(rev - 1e-6);
+            }
+            let t0 = Instant::now();
+            let run = solve_tvnep(
+                &inst,
+                formulation,
+                Objective::AccessControl,
+                BuildOptions::default_for(formulation),
+                &opts,
+            );
+            let runtime = t0.elapsed();
+            // Merge the greedy cutoff back in: if branch and bound proved
+            // nothing better exists, the greedy solution is optimal.
+            let (status, objective) = match (run.mip.status, run.mip.objective, greedy_obj) {
+                (MipStatus::NoBetterThanCutoff, _, Some(g)) => (MipStatus::Optimal, Some(g)),
+                (MipStatus::NoSolution, None, Some(g)) => (MipStatus::Feasible, Some(g)),
+                (MipStatus::Infeasible, None, Some(g)) => (MipStatus::Optimal, Some(g)),
+                (st, o, g) => {
+                    let best = match (o, g) {
+                        (Some(a), Some(b)) => Some(a.max(b)),
+                        (a, b) => a.or(b),
+                    };
+                    (st, best)
+                }
+            };
+            let gap = objective.map(|o| {
+                ((run.mip.best_bound - o).abs() / o.abs().max(1e-10)).max(0.0)
+            });
+            let verified = run.solution.as_ref().map(|s| is_feasible(&inst, s));
+            // When branch and bound holds the incumbent, count from it;
+            // otherwise the greedy cutoff solution is the incumbent.
+            let accepted = run.solution.as_ref().map(|s| s.accepted_count()).or(greedy_acc);
+            out.push(CellResult {
+                seed,
+                flex,
+                runtime,
+                status,
+                objective,
+                best_bound: run.mip.best_bound,
+                gap: match status {
+                    MipStatus::Optimal => Some(0.0),
+                    _ => gap,
+                },
+                accepted,
+                nodes: run.mip.nodes,
+                verified,
+            });
+        }
+    }
+    out
+}
+
+/// Runs the cΣ-Model under a fixed-request-set objective (Figures 5 and 6).
+pub fn run_objective_sweep(cfg: &HarnessConfig, objective: Objective) -> Vec<CellResult> {
+    let mut out = Vec::new();
+    for &seed in &cfg.seeds {
+        for &flex in &cfg.flexibilities {
+            let inst = instance_for(cfg, seed, flex);
+            // Fixed-set objectives need an embeddable request set: keep the
+            // subset the greedy accepts (the paper plots the number of
+            // requests per flexibility in Fig 8 for the same reason).
+            let g = greedy_csigma(
+                &inst,
+                &GreedyOptions {
+                    subproblem: MipOptions::with_time_limit(cfg.time_limit / 4),
+                },
+            );
+            let keep: Vec<usize> =
+                (0..inst.num_requests()).filter(|&r| g.accepted[r]).collect();
+            if keep.is_empty() {
+                continue;
+            }
+            let maps = inst.fixed_node_mappings.as_ref().expect("generator pins mappings");
+            let sub = Instance::new(
+                inst.substrate.clone(),
+                keep.iter().map(|&r| inst.requests[r].clone()).collect(),
+                inst.horizon,
+                Some(keep.iter().map(|&r| maps[r].clone()).collect()),
+            );
+            let opts = MipOptions::with_time_limit(cfg.time_limit);
+            let t0 = Instant::now();
+            let run = solve_tvnep(
+                &sub,
+                Formulation::CSigma,
+                objective,
+                BuildOptions::default_for(Formulation::CSigma),
+                &opts,
+            );
+            let runtime = t0.elapsed();
+            let verified = run.solution.as_ref().map(|s| is_feasible(&sub, s));
+            out.push(CellResult {
+                seed,
+                flex,
+                runtime,
+                status: run.mip.status,
+                objective: run.mip.objective,
+                best_bound: run.mip.best_bound,
+                gap: run.mip.gap,
+                accepted: Some(keep.len()),
+                nodes: run.mip.nodes,
+                verified,
+            });
+        }
+    }
+    out
+}
+
+/// One greedy run per cell (Figure 7 numerator; the runtime column backs the
+/// "seconds, not hours" claim of Section VI-B2).
+pub fn run_greedy_sweep(cfg: &HarnessConfig) -> Vec<CellResult> {
+    let mut out = Vec::new();
+    for &seed in &cfg.seeds {
+        for &flex in &cfg.flexibilities {
+            let inst = instance_for(cfg, seed, flex);
+            let t0 = Instant::now();
+            let g = greedy_csigma(
+                &inst,
+                &GreedyOptions {
+                    subproblem: MipOptions::with_time_limit(cfg.time_limit / 4),
+                },
+            );
+            let runtime = t0.elapsed();
+            let rev = g.solution.revenue(&inst);
+            let ok = is_feasible(&inst, &g.solution);
+            out.push(CellResult {
+                seed,
+                flex,
+                runtime,
+                status: MipStatus::Feasible,
+                objective: Some(rev),
+                best_bound: f64::NAN,
+                gap: None,
+                accepted: Some(g.solution.accepted_count()),
+                nodes: g.total_nodes,
+                verified: Some(ok),
+            });
+        }
+    }
+    out
+}
+
+/// Prints results as CSV rows with a `label` column.
+pub fn print_csv(label: &str, rows: &[CellResult]) {
+    for r in rows {
+        println!(
+            "{label},{},{},{:.3},{:?},{},{:.4},{},{},{},{}",
+            r.seed,
+            r.flex,
+            r.runtime.as_secs_f64(),
+            r.status,
+            r.objective.map_or("NA".into(), |o| format!("{o:.4}")),
+            r.best_bound,
+            r.gap.map_or("inf".into(), |g| format!("{g:.4}")),
+            r.accepted.map_or("NA".into(), |a| a.to_string()),
+            r.nodes,
+            r.verified.map_or("NA".into(), |v| v.to_string()),
+        );
+    }
+}
+
+/// CSV header matching [`print_csv`].
+pub const CSV_HEADER: &str =
+    "label,seed,flex_h,runtime_s,status,objective,best_bound,gap,accepted,nodes,verified";

@@ -1,0 +1,318 @@
+//! JSON interchange format for TVNEP instances and solutions.
+//!
+//! Deliberately decoupled from the domain types (plain DTOs + conversions)
+//! so the core crates stay serde-free. The format mirrors the paper's
+//! tables: substrate (Table I), requests with demands and temporal
+//! parameters (Tables II and VI), optional pinned node mappings, and
+//! solutions per Definition 2.1.
+
+use serde::{Deserialize, Serialize};
+use tvnep_graph::{DiGraph, EdgeId, NodeId};
+use tvnep_model::{
+    Embedding, Instance, Request, ScheduledRequest, Substrate, TemporalSolution,
+};
+
+/// Top-level instance document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InstanceDoc {
+    /// The physical network.
+    pub substrate: SubstrateDoc,
+    /// Time horizon `T`.
+    pub horizon: f64,
+    /// VNet requests.
+    pub requests: Vec<RequestDoc>,
+    /// Optional a-priori node mappings: `mappings[r][v]` = substrate node
+    /// index hosting virtual node `v` of request `r`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub fixed_node_mappings: Option<Vec<Vec<usize>>>,
+}
+
+/// Substrate network (Table I).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubstrateDoc {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Directed edges as `[from, to]` index pairs.
+    pub edges: Vec<[usize; 2]>,
+    /// Per-node capacities (`c_S` on nodes).
+    pub node_capacities: Vec<f64>,
+    /// Per-edge capacities (`c_S` on links), aligned with `edges`.
+    pub edge_capacities: Vec<f64>,
+}
+
+/// One VNet request (Tables II + VI).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RequestDoc {
+    /// Identifier used in reports.
+    pub name: String,
+    /// Number of virtual nodes.
+    pub num_nodes: usize,
+    /// Virtual links as `[from, to]` pairs.
+    pub edges: Vec<[usize; 2]>,
+    /// Node demands `c_R(N_v)`.
+    pub node_demands: Vec<f64>,
+    /// Link demands `c_R(L_v)`, aligned with `edges`.
+    pub edge_demands: Vec<f64>,
+    /// Earliest start `t^s`.
+    pub earliest_start: f64,
+    /// Latest end `t^e`.
+    pub latest_end: f64,
+    /// Duration `d`.
+    pub duration: f64,
+}
+
+/// Solution document (Definition 2.1 output).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SolutionDoc {
+    /// Objective value reported by the producing algorithm.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub objective: Option<f64>,
+    /// Per-request schedule, aligned with the instance's requests.
+    pub scheduled: Vec<ScheduledDoc>,
+}
+
+/// Schedule + embedding of one request.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScheduledDoc {
+    /// Whether the request is embedded.
+    pub accepted: bool,
+    /// `t⁺`.
+    pub start: f64,
+    /// `t⁻`.
+    pub end: f64,
+    /// Virtual node → substrate node (accepted requests only).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub node_map: Option<Vec<usize>>,
+    /// Per virtual link: `[substrate_edge_index, fraction]` flow terms.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub edge_flows: Option<Vec<Vec<(usize, f64)>>>,
+}
+
+/// Errors produced by document validation.
+#[derive(Debug)]
+pub struct FormatError(pub String);
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "format error: {}", self.0)
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+fn build_graph(num_nodes: usize, edges: &[[usize; 2]]) -> Result<DiGraph, FormatError> {
+    let mut g = DiGraph::with_nodes(num_nodes);
+    for &[a, b] in edges {
+        if a >= num_nodes || b >= num_nodes {
+            return Err(FormatError(format!("edge [{a}, {b}] out of range")));
+        }
+        if a == b {
+            return Err(FormatError(format!("self-loop at node {a}")));
+        }
+        g.add_edge(NodeId(a), NodeId(b));
+    }
+    Ok(g)
+}
+
+impl InstanceDoc {
+    /// Validates and converts into a domain [`Instance`].
+    pub fn into_instance(self) -> Result<Instance, FormatError> {
+        let sg = build_graph(self.substrate.num_nodes, &self.substrate.edges)?;
+        if self.substrate.node_capacities.len() != self.substrate.num_nodes
+            || self.substrate.edge_capacities.len() != self.substrate.edges.len()
+        {
+            return Err(FormatError("substrate capacity lengths mismatch".into()));
+        }
+        let substrate = Substrate::new(
+            sg,
+            self.substrate.node_capacities.clone(),
+            self.substrate.edge_capacities.clone(),
+        );
+        let mut requests = Vec::with_capacity(self.requests.len());
+        for r in &self.requests {
+            let g = build_graph(r.num_nodes, &r.edges)?;
+            if r.node_demands.len() != r.num_nodes || r.edge_demands.len() != r.edges.len() {
+                return Err(FormatError(format!("request {}: demand lengths mismatch", r.name)));
+            }
+            requests.push(Request::new(
+                r.name.clone(),
+                g,
+                r.node_demands.clone(),
+                r.edge_demands.clone(),
+                r.earliest_start,
+                r.latest_end,
+                r.duration,
+            ));
+        }
+        let mappings = self
+            .fixed_node_mappings
+            .map(|maps| {
+                maps.into_iter()
+                    .map(|m| m.into_iter().map(NodeId).collect())
+                    .collect()
+            });
+        Ok(Instance::new(substrate, requests, self.horizon, mappings))
+    }
+
+    /// Converts a domain [`Instance`] into a document.
+    pub fn from_instance(inst: &Instance) -> Self {
+        let sg = inst.substrate.graph();
+        Self {
+            substrate: SubstrateDoc {
+                num_nodes: sg.num_nodes(),
+                edges: sg
+                    .edge_ids()
+                    .map(|e| {
+                        let (a, b) = sg.endpoints(e);
+                        [a.0, b.0]
+                    })
+                    .collect(),
+                node_capacities: inst.substrate.node_capacities().to_vec(),
+                edge_capacities: inst.substrate.edge_capacities().to_vec(),
+            },
+            horizon: inst.horizon,
+            requests: inst
+                .requests
+                .iter()
+                .map(|r| RequestDoc {
+                    name: r.name.clone(),
+                    num_nodes: r.num_nodes(),
+                    edges: r
+                        .graph()
+                        .edge_ids()
+                        .map(|e| {
+                            let (a, b) = r.graph().endpoints(e);
+                            [a.0, b.0]
+                        })
+                        .collect(),
+                    node_demands: (0..r.num_nodes())
+                        .map(|v| r.node_demand(NodeId(v)))
+                        .collect(),
+                    edge_demands: (0..r.num_edges())
+                        .map(|l| r.edge_demand(EdgeId(l)))
+                        .collect(),
+                    earliest_start: r.earliest_start,
+                    latest_end: r.latest_end,
+                    duration: r.duration,
+                })
+                .collect(),
+            fixed_node_mappings: inst
+                .fixed_node_mappings
+                .as_ref()
+                .map(|maps| {
+                    maps.iter().map(|m| m.iter().map(|n| n.0).collect()).collect()
+                }),
+        }
+    }
+}
+
+impl SolutionDoc {
+    /// Converts a domain solution into a document.
+    pub fn from_solution(sol: &TemporalSolution) -> Self {
+        Self {
+            objective: sol.reported_objective,
+            scheduled: sol
+                .scheduled
+                .iter()
+                .map(|s| ScheduledDoc {
+                    accepted: s.accepted,
+                    start: s.start,
+                    end: s.end,
+                    node_map: s
+                        .embedding
+                        .as_ref()
+                        .map(|e| e.node_map.iter().map(|n| n.0).collect()),
+                    edge_flows: s.embedding.as_ref().map(|e| {
+                        e.edge_flows
+                            .iter()
+                            .map(|fl| fl.iter().map(|&(e, f)| (e.0, f)).collect())
+                            .collect()
+                    }),
+                })
+                .collect(),
+        }
+    }
+
+    /// Validates and converts into a domain [`TemporalSolution`].
+    pub fn into_solution(self) -> Result<TemporalSolution, FormatError> {
+        let scheduled = self
+            .scheduled
+            .into_iter()
+            .map(|s| {
+                let embedding = match (s.node_map, s.edge_flows) {
+                    (Some(nm), Some(ef)) => Some(Embedding {
+                        node_map: nm.into_iter().map(NodeId).collect(),
+                        edge_flows: ef
+                            .into_iter()
+                            .map(|fl| fl.into_iter().map(|(e, f)| (EdgeId(e), f)).collect())
+                            .collect(),
+                    }),
+                    (None, None) => None,
+                    _ => {
+                        return Err(FormatError(
+                            "node_map and edge_flows must be both present or both absent"
+                                .into(),
+                        ))
+                    }
+                };
+                Ok(ScheduledRequest { accepted: s.accepted, start: s.start, end: s.end, embedding })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(TemporalSolution { scheduled, reported_objective: self.objective })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvnep_workloads::{generate, WorkloadConfig};
+
+    #[test]
+    fn instance_roundtrip() {
+        let inst = generate(&WorkloadConfig::tiny(), 3);
+        let doc = InstanceDoc::from_instance(&inst);
+        let json = serde_json::to_string_pretty(&doc).unwrap();
+        let back: InstanceDoc = serde_json::from_str(&json).unwrap();
+        let inst2 = back.into_instance().unwrap();
+        assert_eq!(inst.num_requests(), inst2.num_requests());
+        assert_eq!(inst.substrate.num_edges(), inst2.substrate.num_edges());
+        assert_eq!(inst.horizon, inst2.horizon);
+        assert_eq!(inst.fixed_node_mappings, inst2.fixed_node_mappings);
+        for (a, b) in inst.requests.iter().zip(&inst2.requests) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.duration, b.duration);
+            assert_eq!(a.earliest_start, b.earliest_start);
+        }
+    }
+
+    #[test]
+    fn bad_edge_rejected() {
+        let doc = InstanceDoc {
+            substrate: SubstrateDoc {
+                num_nodes: 2,
+                edges: vec![[0, 5]],
+                node_capacities: vec![1.0, 1.0],
+                edge_capacities: vec![1.0],
+            },
+            horizon: 1.0,
+            requests: vec![],
+            fixed_node_mappings: None,
+        };
+        assert!(doc.into_instance().is_err());
+    }
+
+    #[test]
+    fn inconsistent_embedding_rejected() {
+        let doc = SolutionDoc {
+            objective: None,
+            scheduled: vec![ScheduledDoc {
+                accepted: true,
+                start: 0.0,
+                end: 1.0,
+                node_map: Some(vec![0]),
+                edge_flows: None,
+            }],
+        };
+        assert!(doc.into_solution().is_err());
+    }
+}

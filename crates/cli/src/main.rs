@@ -1,0 +1,275 @@
+//! `tvnep-cli` — solve temporal VNet embedding problems from JSON files.
+//!
+//! ```text
+//! tvnep-cli generate --preset small --seed 1 --flex 2.0 -o instance.json
+//! tvnep-cli solve instance.json --formulation csigma --objective access \
+//!           --time-limit 30 -o solution.json
+//! tvnep-cli greedy instance.json -o solution.json
+//! tvnep-cli verify instance.json solution.json
+//! tvnep-cli info instance.json
+//! ```
+//!
+//! Exit codes: 0 success / verified; 1 usage error; 2 infeasible or
+//! verification failure.
+
+mod format;
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use format::{InstanceDoc, SolutionDoc};
+use tvnep_core::{
+    greedy_csigma, solve_tvnep, BuildOptions, Formulation, GreedyOptions, Objective,
+};
+use tvnep_mip::MipOptions;
+use tvnep_model::{verify, Instance};
+use tvnep_workloads::{generate, WorkloadConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  tvnep-cli generate [--preset tiny|small|medium|paper] [--seed N] \
+         [--flex H] [-o FILE]\n  tvnep-cli solve INSTANCE [--formulation delta|sigma|csigma] \
+         [--objective access|earliness|load|links|makespan] [--time-limit SECS] [-o FILE]\n  \
+         tvnep-cli greedy INSTANCE [--time-limit SECS] [-o FILE]\n  \
+         tvnep-cli verify INSTANCE SOLUTION\n  tvnep-cli info INSTANCE"
+    );
+    ExitCode::from(1)
+}
+
+fn read_instance(path: &str) -> Result<Instance, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc: InstanceDoc =
+        serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    doc.into_instance().map_err(|e| e.to_string())
+}
+
+fn write_or_print<T: serde::Serialize>(value: &T, out: Option<&str>) -> Result<(), String> {
+    let json = serde_json::to_string_pretty(value).map_err(|e| e.to_string())?;
+    match out {
+        Some(path) => std::fs::write(path, json).map_err(|e| format!("write {path}: {e}")),
+        None => {
+            println!("{json}");
+            Ok(())
+        }
+    }
+}
+
+struct Args {
+    positional: Vec<String>,
+    flags: std::collections::HashMap<String, String>,
+}
+
+fn parse_args(raw: &[String]) -> Args {
+    let mut positional = Vec::new();
+    let mut flags = std::collections::HashMap::new();
+    let mut i = 0;
+    while i < raw.len() {
+        let a = &raw[i];
+        if let Some(name) = a.strip_prefix("--") {
+            let value = raw.get(i + 1).cloned().unwrap_or_default();
+            flags.insert(name.to_string(), value);
+            i += 2;
+        } else if a == "-o" {
+            let value = raw.get(i + 1).cloned().unwrap_or_default();
+            flags.insert("output".to_string(), value);
+            i += 2;
+        } else {
+            positional.push(a.clone());
+            i += 1;
+        }
+    }
+    Args { positional, flags }
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        return usage();
+    }
+    let cmd = raw[0].clone();
+    let args = parse_args(&raw[1..]);
+    match run(&cmd, &args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn run(cmd: &str, args: &Args) -> Result<ExitCode, String> {
+    match cmd {
+        "generate" => {
+            let preset = args.flags.get("preset").map(String::as_str).unwrap_or("small");
+            let cfg = match preset {
+                "tiny" => WorkloadConfig::tiny(),
+                "small" => WorkloadConfig::small(),
+                "medium" => WorkloadConfig::medium(),
+                "paper" => WorkloadConfig::paper(),
+                other => return Err(format!("unknown preset {other}")),
+            };
+            let seed: u64 = args
+                .flags
+                .get("seed")
+                .map(|s| s.parse().map_err(|e| format!("--seed: {e}")))
+                .transpose()?
+                .unwrap_or(1);
+            let flex: f64 = args
+                .flags
+                .get("flex")
+                .map(|s| s.parse().map_err(|e| format!("--flex: {e}")))
+                .transpose()?
+                .unwrap_or(0.0);
+            let inst = generate(&cfg, seed).with_flexibility_after(flex);
+            write_or_print(
+                &InstanceDoc::from_instance(&inst),
+                args.flags.get("output").map(String::as_str),
+            )?;
+            Ok(ExitCode::SUCCESS)
+        }
+        "solve" => {
+            let path = args.positional.first().ok_or("missing INSTANCE path")?;
+            let inst = read_instance(path)?;
+            let formulation = match args
+                .flags
+                .get("formulation")
+                .map(String::as_str)
+                .unwrap_or("csigma")
+            {
+                "delta" => Formulation::Delta,
+                "sigma" => Formulation::Sigma,
+                "csigma" => Formulation::CSigma,
+                other => return Err(format!("unknown formulation {other}")),
+            };
+            let objective = match args
+                .flags
+                .get("objective")
+                .map(String::as_str)
+                .unwrap_or("access")
+            {
+                "access" => Objective::AccessControl,
+                "earliness" => Objective::MaxEarliness,
+                "load" => Objective::BalanceNodeLoad { fraction: 0.5 },
+                "links" => Objective::DisableLinks,
+                "makespan" => Objective::MinMakespan,
+                other => return Err(format!("unknown objective {other}")),
+            };
+            let secs: u64 = args
+                .flags
+                .get("time-limit")
+                .map(|s| s.parse().map_err(|e| format!("--time-limit: {e}")))
+                .transpose()?
+                .unwrap_or(60);
+            let out = solve_tvnep(
+                &inst,
+                formulation,
+                objective,
+                BuildOptions::default_for(formulation),
+                &MipOptions::with_time_limit(Duration::from_secs(secs)),
+            );
+            eprintln!(
+                "status: {:?}; objective: {:?}; bound: {:.4}; nodes: {}; time: {:?}",
+                out.mip.status, out.mip.objective, out.mip.best_bound, out.mip.nodes,
+                out.mip.runtime
+            );
+            match out.solution {
+                Some(mut sol) => {
+                    sol.reported_objective = out.mip.objective;
+                    write_or_print(
+                        &SolutionDoc::from_solution(&sol),
+                        args.flags.get("output").map(String::as_str),
+                    )?;
+                    Ok(ExitCode::SUCCESS)
+                }
+                None => {
+                    eprintln!("no feasible solution found");
+                    Ok(ExitCode::from(2))
+                }
+            }
+        }
+        "greedy" => {
+            let path = args.positional.first().ok_or("missing INSTANCE path")?;
+            let inst = read_instance(path)?;
+            let secs: u64 = args
+                .flags
+                .get("time-limit")
+                .map(|s| s.parse().map_err(|e| format!("--time-limit: {e}")))
+                .transpose()?
+                .unwrap_or(30);
+            let opts = GreedyOptions {
+                subproblem: MipOptions::with_time_limit(Duration::from_secs(secs)),
+            };
+            let outcome = if inst.fixed_node_mappings.is_some() {
+                greedy_csigma(&inst, &opts)
+            } else {
+                tvnep_core::greedy_with_lp_mappings(&inst, &opts)
+            };
+            eprintln!(
+                "greedy: accepted {}/{} in {:?} ({} subproblem nodes)",
+                outcome.solution.accepted_count(),
+                inst.num_requests(),
+                outcome.runtime,
+                outcome.total_nodes
+            );
+            write_or_print(
+                &SolutionDoc::from_solution(&outcome.solution),
+                args.flags.get("output").map(String::as_str),
+            )?;
+            Ok(ExitCode::SUCCESS)
+        }
+        "verify" => {
+            let ipath = args.positional.first().ok_or("missing INSTANCE path")?;
+            let spath = args.positional.get(1).ok_or("missing SOLUTION path")?;
+            let inst = read_instance(ipath)?;
+            let text =
+                std::fs::read_to_string(spath).map_err(|e| format!("read {spath}: {e}"))?;
+            let doc: SolutionDoc =
+                serde_json::from_str(&text).map_err(|e| format!("parse {spath}: {e}"))?;
+            let sol = doc.into_solution().map_err(|e| e.to_string())?;
+            let violations = verify(&inst, &sol);
+            if violations.is_empty() {
+                println!("OK: solution satisfies Definition 2.1");
+                Ok(ExitCode::SUCCESS)
+            } else {
+                println!("INFEASIBLE: {} violation(s)", violations.len());
+                for v in violations.iter().take(20) {
+                    println!("  {v:?}");
+                }
+                Ok(ExitCode::from(2))
+            }
+        }
+        "info" => {
+            let path = args.positional.first().ok_or("missing INSTANCE path")?;
+            let inst = read_instance(path)?;
+            println!(
+                "substrate: {} nodes, {} links",
+                inst.substrate.num_nodes(),
+                inst.substrate.num_edges()
+            );
+            println!("horizon: {:.2}", inst.horizon);
+            println!(
+                "requests: {} (total revenue {:.2})",
+                inst.num_requests(),
+                inst.total_revenue()
+            );
+            for r in &inst.requests {
+                println!(
+                    "  {}: |V|={} |E|={} window [{:.2}, {:.2}] d={:.2} flex={:.2}",
+                    r.name,
+                    r.num_nodes(),
+                    r.num_edges(),
+                    r.earliest_start,
+                    r.latest_end,
+                    r.duration,
+                    r.flexibility()
+                );
+            }
+            println!(
+                "node mappings: {}",
+                if inst.fixed_node_mappings.is_some() { "pinned" } else { "free" }
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => Ok(usage()),
+    }
+}

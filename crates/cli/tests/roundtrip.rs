@@ -1,0 +1,49 @@
+//! End-to-end CLI pipeline test: generate → solve → verify through the JSON
+//! interchange format, invoked as a library (the binary's plumbing) and
+//! checked against the domain verifier.
+
+use std::time::Duration;
+use tvnep_core::{solve_tvnep, BuildOptions, Formulation, Objective};
+use tvnep_mip::{MipOptions, MipStatus};
+use tvnep_model::is_feasible;
+use tvnep_workloads::{generate, WorkloadConfig};
+
+// The format module is private to the binary; re-parse through the public
+// JSON contract instead: serialize with serde_json Values.
+#[path = "../src/format.rs"]
+mod format;
+
+use format::{InstanceDoc, SolutionDoc};
+
+#[test]
+fn json_pipeline_generate_solve_verify() {
+    let inst = generate(&WorkloadConfig::tiny(), 5).with_flexibility_after(1.0);
+    // Serialize + reparse the instance (as the CLI does across process runs).
+    let json = serde_json::to_string(&InstanceDoc::from_instance(&inst)).unwrap();
+    let doc: InstanceDoc = serde_json::from_str(&json).unwrap();
+    let inst2 = doc.into_instance().unwrap();
+
+    let out = solve_tvnep(
+        &inst2,
+        Formulation::CSigma,
+        Objective::AccessControl,
+        BuildOptions::default_for(Formulation::CSigma),
+        &MipOptions::with_time_limit(Duration::from_secs(60)),
+    );
+    assert_eq!(out.mip.status, MipStatus::Optimal);
+    let sol = out.solution.unwrap();
+
+    // Roundtrip the solution and verify against the *original* instance.
+    let sjson = serde_json::to_string(&SolutionDoc::from_solution(&sol)).unwrap();
+    let sdoc: SolutionDoc = serde_json::from_str(&sjson).unwrap();
+    let sol2 = sdoc.into_solution().unwrap();
+    assert!(is_feasible(&inst, &sol2));
+}
+
+#[test]
+fn malformed_documents_error_cleanly() {
+    let bad: Result<InstanceDoc, _> = serde_json::from_str("{\"horizon\": -1}");
+    assert!(bad.is_err());
+    let bad2: Result<SolutionDoc, _> = serde_json::from_str("[1,2,3]");
+    assert!(bad2.is_err());
+}

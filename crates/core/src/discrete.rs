@@ -1,0 +1,271 @@
+//! A discrete-time baseline for the TVNEP.
+//!
+//! The paper's Section III argues for continuous-time event models because
+//! they "avoid inaccuracies due to time discretizations". This module
+//! implements the alternative the paper argues *against* — a classic
+//! time-slotted MIP — so the claim can be evaluated quantitatively:
+//!
+//! * time is cut into `num_slots` equal slots of width `T / num_slots`;
+//! * request `R` gets binary start indicators `σ_R(s)` for every slot `s`
+//!   whose induced execution `[s·w, s·w + ⌈d_R/w⌉·w]` fits the (rounded)
+//!   window;
+//! * capacity is enforced per slot: request `R` occupies slots
+//!   `s .. s + ⌈d_R/w⌉`.
+//!
+//! Two inherent inaccuracies follow (cf. Section III):
+//!
+//! 1. **Duration rounding** — `d_R` is rounded *up* to whole slots, so the
+//!    discrete model is conservative: it may reject schedules the
+//!    continuous model proves feasible, and its optimal revenue is a lower
+//!    bound that only converges as `num_slots → ∞`.
+//! 2. **Model growth** — the number of variables/constraints grows linearly
+//!    in `num_slots` rather than in `|R|`, which is why the paper's
+//!    continuous formulations win asymptotically.
+//!
+//! [`discretization_gap`] quantifies (1) for a given instance.
+
+use crate::embedding::{build_embedding, EmbeddingVars};
+use tvnep_graph::EdgeId;
+use tvnep_mip::{MipModel, MipOptions, MipResult, Sense, VarId};
+use tvnep_model::{Embedding, Instance, ScheduledRequest, TemporalSolution};
+
+/// A built discrete-time model plus everything needed to extract solutions.
+pub struct DiscreteModel {
+    /// The MIP (maximization, access-control revenue).
+    pub mip: MipModel,
+    /// Embedding variables (shared builder with the continuous models).
+    pub emb: EmbeddingVars,
+    /// Slot width in time units.
+    pub slot_width: f64,
+    /// `start_vars[r]` = (slot index, σ_R(slot)) pairs.
+    pub start_vars: Vec<Vec<(usize, VarId)>>,
+    /// Slots each request occupies when started at a given slot: duration in
+    /// whole slots (rounded up).
+    pub slots_needed: Vec<usize>,
+}
+
+/// Builds the discrete-time access-control model with `num_slots` slots.
+pub fn build_discrete(instance: &Instance, num_slots: usize) -> DiscreteModel {
+    assert!(num_slots >= 1);
+    let mut m = MipModel::new(Sense::Maximize);
+    let emb = build_embedding(&mut m, instance);
+    let w = instance.horizon / num_slots as f64;
+
+    // Revenue objective on x_R.
+    for (r, req) in instance.requests.iter().enumerate() {
+        m.set_obj(emb.x_r[r], req.revenue());
+    }
+
+    // Start indicators.
+    let mut start_vars: Vec<Vec<(usize, VarId)>> = Vec::with_capacity(instance.num_requests());
+    let mut slots_needed: Vec<usize> = Vec::with_capacity(instance.num_requests());
+    for (r, req) in instance.requests.iter().enumerate() {
+        let need = ((req.duration / w) - 1e-9).ceil().max(1.0) as usize;
+        slots_needed.push(need);
+        let mut vars = Vec::new();
+        for s in 0..num_slots.saturating_sub(need - 1) {
+            let start_t = s as f64 * w;
+            let end_t = start_t + need as f64 * w;
+            // The rounded execution must fit the true window.
+            if start_t >= req.earliest_start - 1e-9 && end_t <= req.latest_end + 1e-9 {
+                vars.push((s, m.add_binary(0.0)));
+            }
+        }
+        // Σ_s σ_R(s) = x_R : accepted requests start exactly once.
+        let mut terms: Vec<(VarId, f64)> = vars.iter().map(|&(_, v)| (v, 1.0)).collect();
+        terms.push((emb.x_r[r], -1.0));
+        m.add_eq(&terms, 0.0);
+        // A request whose rounded duration fits nowhere can never be accepted.
+        if vars.is_empty() {
+            m.fix_var(emb.x_r[r], 0.0);
+        }
+        start_vars.push(vars);
+        let _ = r;
+    }
+
+    // Per-slot capacity. Activity indicator of request r in slot t:
+    // act_{r,t} = Σ_{s : s ≤ t < s+need} σ_R(s)  (a linear expression).
+    let sub = &instance.substrate;
+    for t in 0..num_slots {
+        // Node capacities.
+        for n in sub.graph().nodes() {
+            let cap = sub.node_capacity(n);
+            let mut row: Vec<(VarId, f64)> = Vec::new();
+            for r in 0..instance.num_requests() {
+                let need = slots_needed[r];
+                // alloc_V is const·x_R under fixed mappings; under free
+                // mappings we use the per-request a-var trick below. For the
+                // baseline we support the evaluation's fixed-mapping case
+                // directly and fall back to a big-M with x_V otherwise.
+                let alloc = emb.node_alloc_terms(instance, r, n);
+                if alloc.is_empty() {
+                    continue;
+                }
+                let active: Vec<(VarId, f64)> = start_vars[r]
+                    .iter()
+                    .filter(|&&(s, _)| s <= t && t < s + need)
+                    .map(|&(_, v)| (v, 1.0))
+                    .collect();
+                if active.is_empty() {
+                    continue;
+                }
+                match &emb.node_maps[r] {
+                    crate::embedding::NodeMapVars::Fixed(_) => {
+                        // alloc = c·x_R and activity ≤ x_R, so allocation in
+                        // slot t is c·act: push c per active start var.
+                        let c = alloc
+                            .iter()
+                            .map(|&(_, coef)| coef)
+                            .sum::<f64>();
+                        for &(v, _) in &active {
+                            row.push((v, c));
+                        }
+                    }
+                    crate::embedding::NodeMapVars::Free(_) => {
+                        // a ≥ alloc − (1 − act)·cap, a ≥ 0; a joins the row.
+                        let a = m.add_continuous(0.0, cap, 0.0);
+                        let mut terms = vec![(a, 1.0)];
+                        for &(v, c) in &alloc {
+                            terms.push((v, -c));
+                        }
+                        for &(v, _) in &active {
+                            terms.push((v, -cap));
+                        }
+                        m.add_ge(&terms, -cap);
+                        row.push((a, 1.0));
+                    }
+                }
+            }
+            if !row.is_empty() {
+                m.add_le(&row, cap);
+            }
+        }
+        // Edge capacities (alloc_E is variable; a-var per request/slot/edge).
+        for e in sub.graph().edge_ids() {
+            let cap = sub.edge_capacity(e);
+            let mut row: Vec<(VarId, f64)> = Vec::new();
+            for r in 0..instance.num_requests() {
+                let req = &instance.requests[r];
+                if req.num_edges() == 0 {
+                    continue;
+                }
+                let need = slots_needed[r];
+                let active: Vec<(VarId, f64)> = start_vars[r]
+                    .iter()
+                    .filter(|&&(s, _)| s <= t && t < s + need)
+                    .map(|&(_, v)| (v, 1.0))
+                    .collect();
+                if active.is_empty() {
+                    continue;
+                }
+                let bound: f64 =
+                    (0..req.num_edges()).map(|l| req.edge_demand(EdgeId(l))).sum();
+                let big_m = cap.min(bound);
+                let a = m.add_continuous(0.0, big_m, 0.0);
+                let mut terms = vec![(a, 1.0)];
+                for (v, c) in emb.edge_alloc_terms(instance, r, e) {
+                    terms.push((v, -c));
+                }
+                for &(v, _) in &active {
+                    terms.push((v, -big_m));
+                }
+                m.add_ge(&terms, -big_m);
+                row.push((a, 1.0));
+            }
+            if !row.is_empty() {
+                m.add_le(&row, cap);
+            }
+        }
+    }
+
+    DiscreteModel { mip: m, emb, slot_width: w, start_vars, slots_needed }
+}
+
+impl DiscreteModel {
+    /// Extracts a [`TemporalSolution`] from a MIP point. Schedules use the
+    /// *true* duration anchored at the chosen slot start (so the solution
+    /// verifies against Definition 2.1; the rounding conservatism is in the
+    /// model, not the output).
+    pub fn extract_solution(&self, instance: &Instance, x: &[f64]) -> TemporalSolution {
+        let scheduled = (0..instance.num_requests())
+            .map(|r| {
+                let req = &instance.requests[r];
+                let accepted = x[self.emb.x_r[r].0] > 0.5;
+                let start_slot = self.start_vars[r]
+                    .iter()
+                    .find(|&&(_, v)| x[v.0] > 0.5)
+                    .map(|&(s, _)| s);
+                let start = match start_slot {
+                    Some(s) => (s as f64 * self.slot_width).max(req.earliest_start),
+                    None => req.earliest_start,
+                };
+                let embedding = accepted.then(|| {
+                    let node_map = match &self.emb.node_maps[r] {
+                        crate::embedding::NodeMapVars::Fixed(map) => map.clone(),
+                        crate::embedding::NodeMapVars::Free(vars) => vars
+                            .iter()
+                            .map(|per_node| {
+                                let (best, _) = per_node
+                                    .iter()
+                                    .enumerate()
+                                    .max_by(|a, b| {
+                                        x[a.1 .0].partial_cmp(&x[b.1 .0]).expect("finite")
+                                    })
+                                    .expect("non-empty substrate");
+                                tvnep_graph::NodeId(best)
+                            })
+                            .collect(),
+                    };
+                    let edge_flows = self.emb.x_e[r]
+                        .iter()
+                        .map(|per_edge| {
+                            per_edge
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, v)| x[v.0] > 1e-7)
+                                .map(|(e, v)| (EdgeId(e), x[v.0]))
+                                .collect()
+                        })
+                        .collect();
+                    Embedding { node_map, edge_flows }
+                });
+                ScheduledRequest { accepted, start, end: start + req.duration, embedding }
+            })
+            .collect();
+        TemporalSolution { scheduled, reported_objective: None }
+    }
+}
+
+/// Solves the discrete baseline and returns `(result, solution)`.
+pub fn solve_discrete(
+    instance: &Instance,
+    num_slots: usize,
+    opts: &MipOptions,
+) -> (MipResult, Option<TemporalSolution>) {
+    let model = build_discrete(instance, num_slots);
+    let result = tvnep_mip::solve_with(&model.mip, opts);
+    let solution = result.x.as_ref().map(|x| model.extract_solution(instance, x));
+    (result, solution)
+}
+
+/// The *discretization gap*: continuous-optimal revenue minus
+/// discrete-optimal revenue (≥ 0 up to solver tolerance, shrinking as
+/// `num_slots` grows) — the quantity behind the paper's Section III claim.
+pub fn discretization_gap(
+    instance: &Instance,
+    num_slots: usize,
+    opts: &MipOptions,
+) -> Option<f64> {
+    let continuous = crate::formulation::solve_tvnep(
+        instance,
+        crate::formulation::Formulation::CSigma,
+        crate::formulation::Objective::AccessControl,
+        crate::formulation::BuildOptions::default_for(crate::formulation::Formulation::CSigma),
+        opts,
+    );
+    let (discrete, _) = solve_discrete(instance, num_slots, opts);
+    match (continuous.mip.objective, discrete.objective) {
+        (Some(c), Some(d)) => Some(c - d),
+        _ => None,
+    }
+}

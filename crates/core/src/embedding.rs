@@ -1,0 +1,197 @@
+//! Static embedding variables and constraints shared by all formulations:
+//! Tables III (variables), IV (mapping constraints) and V (allocation
+//! macros) of the paper.
+//!
+//! When the instance pins node mappings a priori (as the paper's evaluation
+//! does, §VI-A), the `x_V` variables disappear: `x_V(v, n) = x_R · [map(v) = n]`
+//! and all allocation macros collapse onto the single binary `x_R`, which
+//! substantially shrinks the models.
+
+use tvnep_graph::{EdgeId, NodeId};
+use tvnep_mip::{MipModel, VarId};
+use tvnep_model::Instance;
+
+/// How virtual links map onto substrate paths (Section II-A: "Virtual links
+/// can either be embedded as a single unsplittable flow, or as a splittable
+/// multi-commodity flow").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlowMode {
+    /// `x_E ∈ [0, 1]` continuous — splittable multi-commodity flows (the
+    /// paper's evaluation default).
+    #[default]
+    Splittable,
+    /// `x_E ∈ {0, 1}` — each virtual link follows a single substrate path.
+    /// Harder MIPs (one binary per virtual-link × substrate-edge pair) but
+    /// the schedule is realizable without packet-level load balancing.
+    Unsplittable,
+}
+
+/// Node-mapping variables of one request: either pinned by the instance or a
+/// full binary assignment matrix.
+#[derive(Debug, Clone)]
+pub enum NodeMapVars {
+    /// Mapping fixed a priori; `x_V(v, n) = x_R · [map(v) = n]`.
+    Fixed(Vec<NodeId>),
+    /// Free mapping: `vars[v][n]` is the binary `x_V(v, n)`.
+    Free(Vec<Vec<VarId>>),
+}
+
+/// All static-embedding variables (Table III).
+#[derive(Debug, Clone)]
+pub struct EmbeddingVars {
+    /// `x_R(R)` per request.
+    pub x_r: Vec<VarId>,
+    /// Node mapping per request.
+    pub node_maps: Vec<NodeMapVars>,
+    /// `x_E(L_v, L_s)`: `x_e[r][l][e]` is the flow of virtual link `l` of
+    /// request `r` on substrate edge `e` (continuous in `[0, 1]`).
+    pub x_e: Vec<Vec<Vec<VarId>>>,
+}
+
+impl EmbeddingVars {
+    /// Linear terms of the allocation macro `alloc_V(R, n)` (Table V).
+    pub fn node_alloc_terms(
+        &self,
+        instance: &Instance,
+        r: usize,
+        n: NodeId,
+    ) -> Vec<(VarId, f64)> {
+        let req = &instance.requests[r];
+        match &self.node_maps[r] {
+            NodeMapVars::Fixed(map) => {
+                let total: f64 = map
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &host)| host == n)
+                    .map(|(v, _)| req.node_demand(NodeId(v)))
+                    .sum();
+                if total > 0.0 { vec![(self.x_r[r], total)] } else { vec![] }
+            }
+            NodeMapVars::Free(vars) => (0..req.num_nodes())
+                .filter(|&v| req.node_demand(NodeId(v)) > 0.0)
+                .map(|v| (vars[v][n.0], req.node_demand(NodeId(v))))
+                .collect(),
+        }
+    }
+
+    /// Linear terms of the allocation macro `alloc_E(R, e)` (Table V).
+    pub fn edge_alloc_terms(
+        &self,
+        instance: &Instance,
+        r: usize,
+        e: EdgeId,
+    ) -> Vec<(VarId, f64)> {
+        let req = &instance.requests[r];
+        (0..req.num_edges())
+            .filter(|&l| req.edge_demand(EdgeId(l)) > 0.0)
+            .map(|l| (self.x_e[r][l][e.0], req.edge_demand(EdgeId(l))))
+            .collect()
+    }
+
+    /// Upper bound on `alloc_V(R, n)` over all embeddings (used for big-M
+    /// coefficients): total demand that could land on one node.
+    pub fn node_alloc_bound(&self, instance: &Instance, r: usize, n: NodeId) -> f64 {
+        let req = &instance.requests[r];
+        match &self.node_maps[r] {
+            NodeMapVars::Fixed(map) => map
+                .iter()
+                .enumerate()
+                .filter(|&(_, &host)| host == n)
+                .map(|(v, _)| req.node_demand(NodeId(v)))
+                .sum(),
+            NodeMapVars::Free(_) => req.total_node_demand(),
+        }
+    }
+}
+
+/// Builds Tables III–IV with splittable flows; see [`build_embedding_with`].
+pub fn build_embedding(m: &mut MipModel, instance: &Instance) -> EmbeddingVars {
+    build_embedding_with(m, instance, FlowMode::Splittable)
+}
+
+/// Builds Tables III–IV: variables `x_R`, `x_V`, `x_E`, the node-mapping
+/// Constraint (1) and the flow Constraint (2).
+///
+/// Flow convention: for virtual link `l = (a, b)`, the net outflow at
+/// substrate node `n` equals `x_V(a, n) − x_V(b, n)` (a unit flow from the
+/// host of `a` to the host of `b`; zero when co-located or not embedded).
+pub fn build_embedding_with(
+    m: &mut MipModel,
+    instance: &Instance,
+    flow_mode: FlowMode,
+) -> EmbeddingVars {
+    let k = instance.num_requests();
+    let sg = instance.substrate.graph();
+    let mut x_r = Vec::with_capacity(k);
+    let mut node_maps = Vec::with_capacity(k);
+    let mut x_e = Vec::with_capacity(k);
+
+    for r in 0..k {
+        let req = &instance.requests[r];
+        let xr = m.add_binary(0.0);
+        x_r.push(xr);
+
+        let map_vars = match &instance.fixed_node_mappings {
+            Some(maps) => NodeMapVars::Fixed(maps[r].clone()),
+            None => {
+                let mut rows = Vec::with_capacity(req.num_nodes());
+                for _v in 0..req.num_nodes() {
+                    let vars: Vec<VarId> =
+                        (0..sg.num_nodes()).map(|_| m.add_binary(0.0)).collect();
+                    // Constraint (1): Σ_n x_V(v, n) = x_R.
+                    let mut terms: Vec<(VarId, f64)> =
+                        vars.iter().map(|&v| (v, 1.0)).collect();
+                    terms.push((xr, -1.0));
+                    m.add_eq(&terms, 0.0);
+                    rows.push(vars);
+                }
+                NodeMapVars::Free(rows)
+            }
+        };
+
+        // x_E variables: continuous for splittable flows, binary otherwise.
+        let mut links = Vec::with_capacity(req.num_edges());
+        for _l in 0..req.num_edges() {
+            let vars: Vec<VarId> = (0..sg.num_edges())
+                .map(|_| match flow_mode {
+                    FlowMode::Splittable => m.add_continuous(0.0, 1.0, 0.0),
+                    FlowMode::Unsplittable => m.add_binary(0.0),
+                })
+                .collect();
+            links.push(vars);
+        }
+
+        // Constraint (2): flow conservation per virtual link and substrate
+        // node.
+        for l in 0..req.num_edges() {
+            let (va, vb) = req.graph().endpoints(EdgeId(l));
+            for n in sg.nodes() {
+                let mut terms: Vec<(VarId, f64)> = Vec::new();
+                for &e in sg.out_edges(n) {
+                    terms.push((links[l][e.0], 1.0));
+                }
+                for &e in sg.in_edges(n) {
+                    terms.push((links[l][e.0], -1.0));
+                }
+                match &map_vars {
+                    NodeMapVars::Fixed(map) => {
+                        let bal = f64::from(map[va.0] == n) - f64::from(map[vb.0] == n);
+                        if bal != 0.0 {
+                            terms.push((xr, -bal));
+                        }
+                        m.add_eq(&terms, 0.0);
+                    }
+                    NodeMapVars::Free(vars) => {
+                        terms.push((vars[va.0][n.0], -1.0));
+                        terms.push((vars[vb.0][n.0], 1.0));
+                        m.add_eq(&terms, 0.0);
+                    }
+                }
+            }
+        }
+        node_maps.push(map_vars);
+        x_e.push(links);
+    }
+
+    EmbeddingVars { x_r, node_maps, x_e }
+}

@@ -1,0 +1,239 @@
+//! Node-mapping providers for the greedy algorithm.
+//!
+//! Algorithm cΣᴳ_A takes a-priori node mappings `x'_V` as input; the paper
+//! notes that "alternative embeddings could be computed e.g. by employing
+//! the approach presented in [12]" (Chowdhury et al., INFOCOM'09: solve the
+//! LP relaxation of the coordinated node+link mapping and round). This
+//! module provides exactly that — [`lp_rounding_mappings`] — plus the
+//! uniform-random baseline the paper's own evaluation uses
+//! ([`random_mappings`]).
+
+use tvnep_graph::{EdgeId, NodeId};
+use tvnep_lp::{LpProblem, LpStatus, Simplex, VarId as LpVarId, INF};
+use tvnep_model::{Instance, NodeMapping};
+
+/// Uniform-random mappings (the paper's §VI-A choice), deterministic in
+/// `seed` via a splitmix64 stream.
+pub fn random_mappings(instance: &Instance, seed: u64) -> Vec<NodeMapping> {
+    let n = instance.substrate.num_nodes();
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) as usize
+    };
+    instance
+        .requests
+        .iter()
+        .map(|r| (0..r.num_nodes()).map(|_| NodeId(next() % n)).collect())
+        .collect()
+}
+
+/// Per-request LP-relaxation rounding in the spirit of Chowdhury et al.:
+/// for each request independently, solve the *fractional* coordinated
+/// node-and-link mapping on the otherwise-empty substrate, then round each
+/// virtual node to its highest-weight substrate host subject to not
+/// overfilling any node.
+///
+/// This ignores temporal interaction between requests (the greedy handles
+/// that), but unlike random placement it respects topology: virtual
+/// neighbors land near each other because fractional link flows penalize
+/// spread-out placements through the link-capacity constraints.
+pub fn lp_rounding_mappings(instance: &Instance) -> Vec<NodeMapping> {
+    instance
+        .requests
+        .iter()
+        .map(|req| {
+            lp_round_one(instance, req).unwrap_or_else(|| {
+                // Degenerate fallback: bin-pack greedily by capacity.
+                greedy_pack_one(instance, req)
+            })
+        })
+        .collect()
+}
+
+fn lp_round_one(
+    instance: &Instance,
+    req: &tvnep_model::Request,
+) -> Option<NodeMapping> {
+    let sub = &instance.substrate;
+    let sg = sub.graph();
+    let (nv, ns) = (req.num_nodes(), sub.num_nodes());
+    let mut lp = LpProblem::new();
+    // x_V(v, n) ∈ [0, 1] fractional assignment.
+    let xv: Vec<Vec<LpVarId>> = (0..nv)
+        .map(|_| (0..ns).map(|_| lp.add_var(0.0, 1.0, 0.0)).collect())
+        .collect();
+    // x_E(l, e) ∈ [0, 1] flows; objective: minimize total bandwidth-weighted
+    // flow, which pulls communicating nodes together.
+    let xe: Vec<Vec<LpVarId>> = (0..req.num_edges())
+        .map(|l| {
+            (0..sub.num_edges())
+                .map(|_| lp.add_var(0.0, 1.0, req.edge_demand(EdgeId(l))))
+                .collect()
+        })
+        .collect();
+    // (1): each virtual node fully mapped.
+    for v in 0..nv {
+        let terms: Vec<_> = (0..ns).map(|n| (xv[v][n], 1.0)).collect();
+        lp.add_eq(&terms, 1.0);
+    }
+    // Node capacities (static, single request).
+    for n in 0..ns {
+        let terms: Vec<_> =
+            (0..nv).map(|v| (xv[v][n], req.node_demand(NodeId(v)))).collect();
+        lp.add_le(&terms, sub.node_capacity(NodeId(n)));
+    }
+    // (2): fractional flow conservation per virtual link.
+    for l in 0..req.num_edges() {
+        let (va, vb) = req.graph().endpoints(EdgeId(l));
+        for n in sg.nodes() {
+            let mut terms: Vec<(LpVarId, f64)> = Vec::new();
+            for &e in sg.out_edges(n) {
+                terms.push((xe[l][e.0], 1.0));
+            }
+            for &e in sg.in_edges(n) {
+                terms.push((xe[l][e.0], -1.0));
+            }
+            terms.push((xv[va.0][n.0], -1.0));
+            terms.push((xv[vb.0][n.0], 1.0));
+            lp.add_eq(&terms, 0.0);
+        }
+    }
+    // Link capacities.
+    for e in 0..sub.num_edges() {
+        let terms: Vec<_> = (0..req.num_edges())
+            .map(|l| (xe[l][e], req.edge_demand(EdgeId(l))))
+            .collect();
+        if !terms.is_empty() {
+            lp.add_le(&terms, sub.edge_capacity(EdgeId(e)));
+        }
+    }
+    let _ = INF;
+    let mut s = Simplex::new(&lp);
+    if s.solve() != LpStatus::Optimal {
+        return None;
+    }
+    let sol = s.extract(LpStatus::Optimal);
+
+    // Deterministic rounding with a residual-capacity guard.
+    let mut residual: Vec<f64> = (0..ns).map(|n| sub.node_capacity(NodeId(n))).collect();
+    let mut map = Vec::with_capacity(nv);
+    for v in 0..nv {
+        let demand = req.node_demand(NodeId(v));
+        // Hosts by descending fractional weight.
+        let mut order: Vec<usize> = (0..ns).collect();
+        order.sort_by(|&a, &b| {
+            sol.x[xv[v][b].0]
+                .partial_cmp(&sol.x[xv[v][a].0])
+                .expect("finite LP values")
+        });
+        let host = order
+            .iter()
+            .copied()
+            .find(|&n| residual[n] >= demand - 1e-9)
+            .or_else(|| {
+                // No host has room: take the max-residual one anyway (the
+                // greedy will reject the request if it truly cannot fit).
+                order
+                    .into_iter()
+                    .max_by(|&a, &b| residual[a].partial_cmp(&residual[b]).expect("finite"))
+            })?;
+        residual[host] -= demand;
+        map.push(NodeId(host));
+    }
+    Some(map)
+}
+
+fn greedy_pack_one(instance: &Instance, req: &tvnep_model::Request) -> NodeMapping {
+    let sub = &instance.substrate;
+    let ns = sub.num_nodes();
+    let mut residual: Vec<f64> = (0..ns).map(|n| sub.node_capacity(NodeId(n))).collect();
+    (0..req.num_nodes())
+        .map(|v| {
+            let demand = req.node_demand(NodeId(v));
+            let host = (0..ns)
+                .max_by(|&a, &b| residual[a].partial_cmp(&residual[b]).expect("finite"))
+                .expect("non-empty substrate");
+            residual[host] -= demand;
+            NodeId(host)
+        })
+        .collect()
+}
+
+/// Convenience: run the greedy cΣᴳ_A on an instance *without* pinned
+/// mappings by computing LP-rounded mappings first.
+pub fn greedy_with_lp_mappings(
+    instance: &Instance,
+    opts: &crate::greedy::GreedyOptions,
+) -> crate::greedy::GreedyOutcome {
+    let mappings = lp_rounding_mappings(instance);
+    let pinned = Instance::new(
+        instance.substrate.clone(),
+        instance.requests.clone(),
+        instance.horizon,
+        Some(mappings),
+    );
+    crate::greedy::greedy_csigma(&pinned, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvnep_graph::{grid, star, StarDirection};
+    use tvnep_model::{Request, Substrate};
+
+    fn star_instance() -> Instance {
+        let s = Substrate::uniform(grid(2, 2), 3.5, 5.0);
+        let g = star(3, StarDirection::AwayFromCenter);
+        let r = Request::new("r", g, vec![1.5; 4], vec![1.0; 3], 0.0, 4.0, 2.0);
+        Instance::new(s, vec![r], 10.0, None)
+    }
+
+    #[test]
+    fn random_mappings_deterministic_and_in_range() {
+        let inst = star_instance();
+        let a = random_mappings(&inst, 9);
+        let b = random_mappings(&inst, 9);
+        assert_eq!(a, b);
+        for m in &a {
+            assert_eq!(m.len(), 4);
+            for n in m {
+                assert!(n.0 < 4);
+            }
+        }
+        assert_ne!(random_mappings(&inst, 1), random_mappings(&inst, 2));
+    }
+
+    #[test]
+    fn lp_rounding_respects_node_capacity() {
+        // Demands 1.5 × 4 = 6.0 > 3.5: cannot all land on one node.
+        let inst = star_instance();
+        let maps = lp_rounding_mappings(&inst);
+        let m = &maps[0];
+        let mut load = vec![0.0f64; 4];
+        for (v, host) in m.iter().enumerate() {
+            load[host.0] += inst.requests[0].node_demand(NodeId(v));
+        }
+        for (n, l) in load.iter().enumerate() {
+            assert!(*l <= 3.5 + 1e-9, "node {n} overloaded: {l}");
+        }
+    }
+
+    #[test]
+    fn lp_rounding_keeps_neighbors_close() {
+        // A 2-node pipeline on a 1×4 path-ish grid: LP rounding should not
+        // place the endpoints at maximal distance when adjacent nodes fit.
+        let s = Substrate::uniform(grid(1, 4), 2.0, 5.0);
+        let mut g = tvnep_graph::DiGraph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1));
+        let r = Request::new("r", g, vec![1.0, 1.0], vec![2.0], 0.0, 4.0, 2.0);
+        let inst = Instance::new(s, vec![r], 10.0, None);
+        let maps = lp_rounding_mappings(&inst);
+        let (a, b) = (maps[0][0].0, maps[0][1].0);
+        let dist = a.abs_diff(b);
+        assert!(dist <= 1, "endpoints placed {dist} hops apart: {a} vs {b}");
+    }
+}

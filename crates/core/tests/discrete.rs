@@ -1,0 +1,147 @@
+//! Tests for the discrete-time baseline: conservatism w.r.t. the continuous
+//! model, convergence with slot count, and verified extraction — the
+//! quantitative backing for the paper's Section III discretization argument.
+
+use std::time::Duration;
+use tvnep_core::*;
+use tvnep_mip::{MipOptions, MipStatus};
+use tvnep_model::{is_feasible, verify, Instance, Request, Substrate};
+use tvnep_graph::{grid, DiGraph, NodeId};
+use tvnep_workloads::{generate, WorkloadConfig};
+
+fn opts() -> MipOptions {
+    MipOptions::with_time_limit(Duration::from_secs(60))
+}
+
+/// Two unit requests of duration 1.5 in window [0, 3] on a capacity-1 node:
+/// continuously they fit back-to-back (1.5 + 1.5 = 3); with coarse slots the
+/// rounded duration ⌈1.5/w⌉·w exceeds 1.5 and only one fits.
+fn knife_edge_instance() -> Instance {
+    let s = Substrate::uniform(grid(1, 2), 1.0, 1.0);
+    let reqs: Vec<Request> = (0..2)
+        .map(|i| {
+            Request::new(
+                format!("r{i}"),
+                DiGraph::with_nodes(1),
+                vec![1.0],
+                vec![],
+                0.0,
+                3.0,
+                1.5,
+            )
+        })
+        .collect();
+    Instance::new(s, reqs, 3.0, Some(vec![vec![NodeId(0)]; 2]))
+}
+
+#[test]
+fn coarse_slots_lose_the_knife_edge_schedule() {
+    let inst = knife_edge_instance();
+    // Continuous: both fit.
+    let cont = solve_tvnep(
+        &inst,
+        Formulation::CSigma,
+        Objective::AccessControl,
+        BuildOptions::default_for(Formulation::CSigma),
+        &opts(),
+    );
+    assert_eq!(cont.mip.status, MipStatus::Optimal);
+    assert_eq!(cont.solution.unwrap().accepted_count(), 2);
+
+    // 3 slots of width 1: durations round up to 2 slots each -> only one fits.
+    let (res, sol) = solve_discrete(&inst, 3, &opts());
+    assert_eq!(res.status, MipStatus::Optimal);
+    assert_eq!(sol.unwrap().accepted_count(), 1, "coarse discretization must lose one");
+
+    // 4 slots of width 0.75: durations round to 2 slots = 1.5 exactly -> both fit.
+    let (res, sol) = solve_discrete(&inst, 4, &opts());
+    assert_eq!(res.status, MipStatus::Optimal);
+    assert_eq!(sol.unwrap().accepted_count(), 2, "aligned discretization recovers both");
+}
+
+#[test]
+fn discrete_never_beats_continuous() {
+    for seed in [0, 1, 2] {
+        let inst = generate(&WorkloadConfig::tiny(), seed).with_flexibility_after(1.0);
+        for slots in [4, 8, 16] {
+            let gap = discretization_gap(&inst, slots, &opts())
+                .expect("both models solve tiny instances");
+            assert!(gap >= -1e-5, "seed {seed} slots {slots}: discrete beat continuous by {gap}");
+        }
+    }
+}
+
+#[test]
+fn discretization_gap_shrinks_with_resolution() {
+    let inst = knife_edge_instance();
+    // 3 slots of width 1.0 misalign with the 1.5 h durations (each rounds up
+    // to 2 slots); 4 slots of width 0.75 align exactly.
+    let coarse = discretization_gap(&inst, 3, &opts()).unwrap();
+    let fine = discretization_gap(&inst, 4, &opts()).unwrap();
+    assert!(coarse > 0.5, "3 misaligned slots must lose a request (gap {coarse})");
+    assert!(fine < 1e-5, "4 aligned slots recover the optimum (gap {fine})");
+}
+
+#[test]
+fn discrete_solutions_pass_the_verifier() {
+    for seed in [0, 3] {
+        let inst = generate(&WorkloadConfig::tiny(), seed).with_flexibility_after(1.0);
+        let (res, sol) = solve_discrete(&inst, 12, &opts());
+        assert_eq!(res.status, MipStatus::Optimal, "seed {seed}");
+        let sol = sol.unwrap();
+        assert!(is_feasible(&inst, &sol), "seed {seed}: {:?}", verify(&inst, &sol));
+    }
+}
+
+#[test]
+fn model_size_grows_linearly_with_slots() {
+    let inst = generate(&WorkloadConfig::tiny(), 1).with_flexibility_after(1.0);
+    let small = build_discrete(&inst, 8);
+    let large = build_discrete(&inst, 32);
+    assert!(
+        large.mip.num_rows() > 3 * small.mip.num_rows(),
+        "rows: {} vs {}",
+        large.mip.num_rows(),
+        small.mip.num_rows()
+    );
+    // The continuous cΣ model is independent of any time resolution.
+    let csigma = build_model(
+        &inst,
+        Formulation::CSigma,
+        Objective::AccessControl,
+        BuildOptions::default_for(Formulation::CSigma),
+    );
+    assert!(csigma.mip.num_rows() < large.mip.num_rows());
+}
+
+#[test]
+fn request_that_fits_no_slot_is_rejected() {
+    // Duration 2.4 in window [0.5, 3.0] with 3 unit slots: the rounded
+    // duration needs 3 slots, whose only start (t = 0) precedes the window —
+    // no valid slot exists and the discrete model must reject.
+    let s = Substrate::uniform(grid(1, 2), 1.0, 1.0);
+    let r = Request::new(
+        "tight",
+        DiGraph::with_nodes(1),
+        vec![1.0],
+        vec![],
+        0.5,
+        3.0,
+        2.4,
+    );
+    let inst = Instance::new(s, vec![r], 3.0, Some(vec![vec![NodeId(0)]]));
+    // Continuous accepts it ([0.5, 2.9] fits).
+    let cont = solve_tvnep(
+        &inst,
+        Formulation::CSigma,
+        Objective::AccessControl,
+        BuildOptions::default_for(Formulation::CSigma),
+        &opts(),
+    );
+    assert_eq!(cont.solution.unwrap().accepted_count(), 1);
+    // 3 slots of width 1: needs 3 slots, only start slot 0 = t0.0 < 0.5 — no
+    // valid slot, rejected.
+    let (res, sol) = solve_discrete(&inst, 3, &opts());
+    assert_eq!(res.status, MipStatus::Optimal);
+    assert_eq!(sol.unwrap().accepted_count(), 0);
+}

@@ -1,0 +1,111 @@
+//! Splittable vs unsplittable link embeddings (Section II-A's two flow
+//! models).
+
+use std::time::Duration;
+use tvnep_core::*;
+use tvnep_mip::{MipOptions, MipStatus};
+use tvnep_model::{is_feasible, verify, Instance, Request, Substrate};
+use tvnep_graph::{grid, DiGraph, NodeId};
+
+fn opts() -> MipOptions {
+    MipOptions::with_time_limit(Duration::from_secs(60))
+}
+
+fn with_mode(mode: FlowMode) -> BuildOptions {
+    BuildOptions { flow_mode: mode, ..BuildOptions::default_for(Formulation::CSigma) }
+}
+
+/// One 2-node request with link demand 2 between hosts connected by two
+/// parallel unit-capacity paths: splittable fits (1+1), unsplittable cannot.
+fn parallel_paths_instance() -> Instance {
+    // 2×2 grid: node 0 to node 3 via 1 or via 2 — two disjoint paths.
+    let s = Substrate::uniform(grid(2, 2), 10.0, 1.0);
+    let mut g = DiGraph::with_nodes(2);
+    g.add_edge(NodeId(0), NodeId(1));
+    let r = Request::new("r", g, vec![1.0, 1.0], vec![2.0], 0.0, 4.0, 2.0);
+    Instance::new(s, vec![r], 10.0, Some(vec![vec![NodeId(0), NodeId(3)]]))
+}
+
+#[test]
+fn splittable_uses_both_paths() {
+    let inst = parallel_paths_instance();
+    let out = solve_tvnep(
+        &inst,
+        Formulation::CSigma,
+        Objective::AccessControl,
+        with_mode(FlowMode::Splittable),
+        &opts(),
+    );
+    assert_eq!(out.mip.status, MipStatus::Optimal);
+    let sol = out.solution.unwrap();
+    assert!(is_feasible(&inst, &sol), "{:?}", verify(&inst, &sol));
+    assert_eq!(sol.accepted_count(), 1, "demand 2 splits over two unit paths");
+    // The flow genuinely splits: more than one substrate edge carries > 0.4.
+    let emb = sol.scheduled[0].embedding.as_ref().unwrap();
+    let carrying = emb.edge_flows[0].iter().filter(|&&(_, f)| f > 0.4).count();
+    assert!(carrying >= 2, "expected a split flow, got {:?}", emb.edge_flows[0]);
+}
+
+#[test]
+fn unsplittable_rejects_what_splittable_accepts() {
+    let inst = parallel_paths_instance();
+    let out = solve_tvnep(
+        &inst,
+        Formulation::CSigma,
+        Objective::AccessControl,
+        with_mode(FlowMode::Unsplittable),
+        &opts(),
+    );
+    assert_eq!(out.mip.status, MipStatus::Optimal);
+    let sol = out.solution.unwrap();
+    assert!(is_feasible(&inst, &sol));
+    assert_eq!(
+        sol.accepted_count(),
+        0,
+        "a single path of capacity 1 cannot carry demand 2"
+    );
+}
+
+#[test]
+fn unsplittable_flows_are_integral_paths() {
+    // A feasible unsplittable case: demand 1 fits on one path; every flow
+    // value must be 0 or 1.
+    let s = Substrate::uniform(grid(2, 2), 10.0, 1.5);
+    let mut g = DiGraph::with_nodes(2);
+    g.add_edge(NodeId(0), NodeId(1));
+    let r = Request::new("r", g, vec![1.0, 1.0], vec![1.0], 0.0, 4.0, 2.0);
+    let inst = Instance::new(s, vec![r], 10.0, Some(vec![vec![NodeId(0), NodeId(3)]]));
+    let out = solve_tvnep(
+        &inst,
+        Formulation::CSigma,
+        Objective::AccessControl,
+        with_mode(FlowMode::Unsplittable),
+        &opts(),
+    );
+    let sol = out.solution.unwrap();
+    assert!(is_feasible(&inst, &sol));
+    assert_eq!(sol.accepted_count(), 1);
+    let emb = sol.scheduled[0].embedding.as_ref().unwrap();
+    for &(_, f) in &emb.edge_flows[0] {
+        assert!((f - 1.0).abs() < 1e-6, "unsplittable flow must be integral, got {f}");
+    }
+}
+
+#[test]
+fn unsplittable_never_beats_splittable() {
+    use tvnep_workloads::{generate, WorkloadConfig};
+    for seed in [0, 1] {
+        let inst = generate(&WorkloadConfig::tiny(), seed).with_flexibility_after(1.0);
+        let sp = solve_tvnep(&inst, Formulation::CSigma, Objective::AccessControl,
+            with_mode(FlowMode::Splittable), &opts());
+        let un = solve_tvnep(&inst, Formulation::CSigma, Objective::AccessControl,
+            with_mode(FlowMode::Unsplittable), &opts());
+        assert_eq!(sp.mip.status, MipStatus::Optimal);
+        assert_eq!(un.mip.status, MipStatus::Optimal);
+        assert!(
+            un.mip.objective.unwrap() <= sp.mip.objective.unwrap() + 1e-5,
+            "seed {seed}: unsplittable {:?} > splittable {:?}",
+            un.mip.objective, sp.mip.objective
+        );
+    }
+}

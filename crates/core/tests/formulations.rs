@@ -1,0 +1,282 @@
+//! Cross-formulation tests: the Δ-, Σ- and cΣ-Models must agree on optima,
+//! every produced solution must pass the independent Definition-2.1
+//! verifier, and the relaxation-strength ordering of Section III must hold.
+
+use proptest::prelude::*;
+use std::time::Duration;
+use tvnep_core::*;
+use tvnep_lp::Simplex;
+use tvnep_mip::{MipOptions, MipStatus};
+use tvnep_model::{is_feasible, verify, Instance, Request, Substrate};
+use tvnep_graph::{grid, DiGraph, NodeId};
+use tvnep_workloads::{generate, WorkloadConfig};
+
+const ALL: [Formulation; 3] = [Formulation::Delta, Formulation::Sigma, Formulation::CSigma];
+
+fn opts() -> MipOptions {
+    MipOptions::with_time_limit(Duration::from_secs(60))
+}
+
+/// `n` single-node unit-demand requests pinned to substrate node 0 of a
+/// capacity-1 two-node substrate: at most `floor(window/d)` fit, by
+/// serializing.
+fn serial_instance(n: usize, window: f64, d: f64) -> Instance {
+    let s = Substrate::uniform(grid(1, 2), 1.0, 1.0);
+    let requests: Vec<Request> = (0..n)
+        .map(|i| {
+            Request::new(
+                format!("r{i}"),
+                DiGraph::with_nodes(1),
+                vec![1.0],
+                vec![],
+                0.0,
+                window,
+                d,
+            )
+        })
+        .collect();
+    let maps = vec![vec![NodeId(0)]; n];
+    Instance::new(s, requests, window.max(10.0), Some(maps))
+}
+
+#[test]
+fn serialization_counts_match_window_capacity() {
+    // Window w, duration d: exactly floor(w/d) unit requests fit.
+    for (n, window, d, expect) in
+        [(3, 2.0, 1.0, 2), (3, 3.0, 1.0, 3), (4, 2.5, 1.0, 2), (2, 1.0, 1.0, 1)]
+    {
+        let inst = serial_instance(n, window, d);
+        let out = solve_tvnep(
+            &inst,
+            Formulation::CSigma,
+            Objective::AccessControl,
+            BuildOptions::default_for(Formulation::CSigma),
+            &opts(),
+        );
+        assert_eq!(out.mip.status, MipStatus::Optimal);
+        let sol = out.solution.unwrap();
+        assert!(is_feasible(&inst, &sol), "{:?}", verify(&inst, &sol));
+        assert_eq!(sol.accepted_count(), expect, "n={n} w={window} d={d}");
+    }
+}
+
+#[test]
+fn formulations_agree_on_serialization() {
+    let inst = serial_instance(3, 2.0, 1.0);
+    let mut objectives = Vec::new();
+    for f in ALL {
+        let out = solve_tvnep(
+            &inst,
+            f,
+            Objective::AccessControl,
+            BuildOptions::default_for(f),
+            &opts(),
+        );
+        assert_eq!(out.mip.status, MipStatus::Optimal, "{f:?}");
+        let sol = out.solution.unwrap();
+        assert!(is_feasible(&inst, &sol), "{f:?}: {:?}", verify(&inst, &sol));
+        objectives.push(out.mip.objective.unwrap());
+    }
+    assert!((objectives[0] - objectives[1]).abs() < 1e-5);
+    assert!((objectives[1] - objectives[2]).abs() < 1e-5);
+}
+
+#[test]
+fn relaxation_strength_ordering() {
+    // Section III: the Σ relaxation dominates the Δ relaxation, and cΣ's
+    // cuts only strengthen it further. For a maximization problem the LP
+    // bound ordering must therefore be delta ≥ sigma ≥ csigma (weaker =
+    // larger bound).
+    for seed in [0, 1, 2, 3] {
+        let inst = generate(&WorkloadConfig::tiny(), seed).with_flexibility_after(1.0);
+        let mut bounds = Vec::new();
+        for f in ALL {
+            let built =
+                build_model(&inst, f, Objective::AccessControl, BuildOptions::default_for(f));
+            let lp = built.mip.relaxation_min();
+            let mut s = Simplex::new(&lp);
+            let status = s.solve();
+            assert_eq!(status, tvnep_lp::LpStatus::Optimal, "{f:?} seed {seed}");
+            bounds.push(-s.objective_value()); // maximize-sense bound
+        }
+        let (delta, sigma, csigma) = (bounds[0], bounds[1], bounds[2]);
+        assert!(delta >= sigma - 1e-6, "seed {seed}: Δ bound {delta} < Σ bound {sigma}");
+        assert!(sigma >= csigma - 1e-6, "seed {seed}: Σ bound {sigma} < cΣ bound {csigma}");
+    }
+}
+
+#[test]
+fn flexibility_monotonically_helps() {
+    // More temporal flexibility can only increase optimal revenue.
+    let mut last = 0.0f64;
+    for flex in [0.0, 2.0, 4.0] {
+        let inst = serial_instance(4, 1.0 + flex, 1.0);
+        let out = solve_tvnep(
+            &inst,
+            Formulation::CSigma,
+            Objective::AccessControl,
+            BuildOptions::default_for(Formulation::CSigma),
+            &opts(),
+        );
+        let obj = out.mip.objective.unwrap();
+        assert!(obj >= last - 1e-9, "flex {flex} made things worse");
+        last = obj;
+    }
+}
+
+#[test]
+fn cuts_do_not_change_the_optimum() {
+    // Ablation: the dependency-graph cuts are valid — enabling/disabling
+    // them must not change the optimal value, only the solve behavior.
+    let inst = generate(&WorkloadConfig::tiny(), 5).with_flexibility_after(1.5);
+    let mut objs = Vec::new();
+    for (dr, pc, oc) in [(false, false, false), (true, false, false), (true, true, true)] {
+        let out = solve_tvnep(
+            &inst,
+            Formulation::CSigma,
+            Objective::AccessControl,
+            BuildOptions {
+                event: EventOptions {
+                    dependency_ranges: dr,
+                    pairwise_cuts: pc,
+                    ordering_cuts: oc,
+                },
+                flow_mode: Default::default(),
+            },
+            &opts(),
+        );
+        assert_eq!(out.mip.status, MipStatus::Optimal, "config {dr}/{pc}/{oc}");
+        objs.push(out.mip.objective.unwrap());
+    }
+    assert!((objs[0] - objs[1]).abs() < 1e-5, "{objs:?}");
+    assert!((objs[1] - objs[2]).abs() < 1e-5, "{objs:?}");
+}
+
+#[test]
+fn rejected_requests_occupy_no_resources() {
+    // One giant request that cannot fit plus one that can: the giant is
+    // rejected and must not block the other.
+    let s = Substrate::uniform(grid(1, 2), 1.0, 1.0);
+    let big = Request::new(
+        "big",
+        DiGraph::with_nodes(1),
+        vec![5.0],
+        vec![],
+        0.0,
+        4.0,
+        2.0,
+    );
+    let small = Request::new(
+        "small",
+        DiGraph::with_nodes(1),
+        vec![1.0],
+        vec![],
+        0.0,
+        4.0,
+        2.0,
+    );
+    let inst =
+        Instance::new(s, vec![big, small], 10.0, Some(vec![vec![NodeId(0)], vec![NodeId(0)]]));
+    let out = solve_tvnep(
+        &inst,
+        Formulation::CSigma,
+        Objective::AccessControl,
+        BuildOptions::default_for(Formulation::CSigma),
+        &opts(),
+    );
+    let sol = out.solution.unwrap();
+    assert!(!sol.scheduled[0].accepted);
+    assert!(sol.scheduled[1].accepted);
+    assert!(is_feasible(&inst, &sol));
+    // Rejected requests still carry a valid schedule (Definition 2.1).
+    let r = &sol.scheduled[0];
+    assert!((r.end - r.start - 2.0).abs() < 1e-5);
+}
+
+#[test]
+fn link_capacity_forces_serialization() {
+    // Two 2-node requests whose single link saturates the only substrate
+    // path: they must serialize even though node capacity would allow
+    // overlap.
+    let s = Substrate::uniform(grid(1, 2), 10.0, 1.0);
+    let mk = |name: &str| {
+        let mut g = DiGraph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1));
+        Request::new(name, g, vec![1.0, 1.0], vec![1.0], 0.0, 4.0, 2.0)
+    };
+    let maps = vec![vec![NodeId(0), NodeId(1)]; 2];
+    let inst = Instance::new(s, vec![mk("a"), mk("b")], 10.0, Some(maps));
+    let out = solve_tvnep(
+        &inst,
+        Formulation::CSigma,
+        Objective::AccessControl,
+        BuildOptions::default_for(Formulation::CSigma),
+        &opts(),
+    );
+    let sol = out.solution.unwrap();
+    assert!(is_feasible(&inst, &sol), "{:?}", verify(&inst, &sol));
+    assert_eq!(sol.accepted_count(), 2, "both fit by serializing");
+    let (a, b) = (&sol.scheduled[0], &sol.scheduled[1]);
+    assert!(a.end <= b.start + 1e-5 || b.end <= a.start + 1e-5, "must not overlap");
+}
+
+#[test]
+fn free_node_mappings_are_supported() {
+    // Without fixed mappings the model must place nodes itself: a single
+    // 2-node request with demands 2.0 on capacity-3.5 nodes must spread
+    // across two substrate nodes.
+    let s = Substrate::uniform(grid(1, 2), 3.5, 5.0);
+    let mut g = DiGraph::with_nodes(2);
+    g.add_edge(NodeId(0), NodeId(1));
+    let r = Request::new("r", g, vec![2.0, 2.0], vec![1.0], 0.0, 4.0, 2.0);
+    let inst = Instance::new(s, vec![r], 10.0, None);
+    let out = solve_tvnep(
+        &inst,
+        Formulation::CSigma,
+        Objective::AccessControl,
+        BuildOptions::default_for(Formulation::CSigma),
+        &opts(),
+    );
+    assert_eq!(out.mip.status, MipStatus::Optimal);
+    let sol = out.solution.unwrap();
+    assert!(is_feasible(&inst, &sol), "{:?}", verify(&inst, &sol));
+    assert_eq!(sol.accepted_count(), 1);
+    let emb = sol.scheduled[0].embedding.as_ref().unwrap();
+    assert_ne!(emb.node_map[0], emb.node_map[1], "demands 2+2 exceed one node");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random tiny workloads: every formulation that finishes within its
+    /// budget must agree on the optimal access-control revenue, and every
+    /// produced solution must verify. (Δ and Σ are *expected* to time out on
+    /// some instances — that is the paper's headline result — so a timeout
+    /// skips the value comparison but still checks feasibility.)
+    #[test]
+    fn formulations_agree_on_random_tiny_workloads(seed in 0u64..200, flex in 0.0f64..1.5) {
+        let inst = generate(&WorkloadConfig::tiny(), seed).with_flexibility_after(flex);
+        let budget = MipOptions::with_time_limit(Duration::from_secs(20));
+        let mut optimum: Option<f64> = None;
+        for f in [Formulation::CSigma, Formulation::Sigma, Formulation::Delta] {
+            let out = solve_tvnep(&inst, f, Objective::AccessControl,
+                BuildOptions::default_for(f), &budget);
+            if let Some(sol) = &out.solution {
+                prop_assert!(is_feasible(&inst, sol), "{:?}: {:?}", f, verify(&inst, sol));
+            }
+            if f == Formulation::CSigma {
+                // The compact model must close these tiny instances.
+                prop_assert_eq!(out.mip.status, MipStatus::Optimal, "cΣ timed out");
+            }
+            if out.mip.status == MipStatus::Optimal {
+                let o = out.mip.objective.unwrap();
+                if let Some(prev) = optimum {
+                    prop_assert!((o - prev).abs() < 1e-4,
+                        "{:?} found {} but another formulation found {}", f, o, prev);
+                } else {
+                    optimum = Some(o);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Graph algorithms: reachability, topological order, DAG longest paths.
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// Nodes reachable from `start` (including `start`) by BFS.
+pub fn reachable_from(g: &DiGraph, start: NodeId) -> Vec<bool> {
+    let mut seen = vec![false; g.num_nodes()];
+    let mut queue = std::collections::VecDeque::new();
+    seen[start.0] = true;
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        for &e in g.out_edges(v) {
+            let w = g.target(e);
+            if !seen[w.0] {
+                seen[w.0] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    seen
+}
+
+/// True if `to` is reachable from `from` (reflexive).
+pub fn reaches(g: &DiGraph, from: NodeId, to: NodeId) -> bool {
+    reachable_from(g, from)[to.0]
+}
+
+/// Kahn topological sort; `None` if the graph has a cycle.
+pub fn topological_sort(g: &DiGraph) -> Option<Vec<NodeId>> {
+    let mut indeg: Vec<usize> = g.nodes().map(|v| g.in_edges(v).len()).collect();
+    let mut queue: std::collections::VecDeque<NodeId> =
+        g.nodes().filter(|&v| indeg[v.0] == 0).collect();
+    let mut order = Vec::with_capacity(g.num_nodes());
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &e in g.out_edges(v) {
+            let w = g.target(e);
+            indeg[w.0] -= 1;
+            if indeg[w.0] == 0 {
+                queue.push_back(w);
+            }
+        }
+    }
+    (order.len() == g.num_nodes()).then_some(order)
+}
+
+/// True if the graph is a DAG.
+pub fn is_acyclic(g: &DiGraph) -> bool {
+    topological_sort(g).is_some()
+}
+
+/// All-pairs *longest* path lengths on a DAG with per-edge integer weights,
+/// computed — as the paper prescribes — by negating the weights and running
+/// Floyd–Warshall. Unreachable pairs get `None`; the diagonal is `Some(0)`.
+///
+/// # Panics
+///
+/// Panics if the graph contains a cycle (longest paths would be unbounded).
+pub fn dag_longest_paths(g: &DiGraph, weight: impl Fn(crate::EdgeId) -> i64) -> Vec<Vec<Option<i64>>> {
+    assert!(is_acyclic(g), "longest paths require a DAG");
+    let n = g.num_nodes();
+    // dist[u][v] = minimal negated weight = -(maximal weight).
+    let mut dist: Vec<Vec<Option<i64>>> = vec![vec![None; n]; n];
+    for (u, row) in dist.iter_mut().enumerate() {
+        row[u] = Some(0);
+    }
+    for e in g.edge_ids() {
+        let (u, v) = g.endpoints(e);
+        let w = -weight(e);
+        let entry = &mut dist[u.0][v.0];
+        *entry = Some(entry.map_or(w, |cur| cur.min(w)));
+    }
+    for k in 0..n {
+        for i in 0..n {
+            let Some(dik) = dist[i][k] else { continue };
+            for j in 0..n {
+                let Some(dkj) = dist[k][j] else { continue };
+                let via = dik + dkj;
+                let entry = &mut dist[i][j];
+                if entry.map_or(true, |cur| via < cur) {
+                    *entry = Some(via);
+                }
+            }
+        }
+    }
+    // Negate back to longest-path lengths.
+    for row in &mut dist {
+        for d in row.iter_mut() {
+            if let Some(v) = d {
+                *v = -*v;
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::digraph::DiGraph;
+
+    fn chain(n: usize) -> DiGraph {
+        let mut g = DiGraph::with_nodes(n);
+        for i in 0..n - 1 {
+            g.add_edge(NodeId(i), NodeId(i + 1));
+        }
+        g
+    }
+
+    #[test]
+    fn reachability_on_chain() {
+        let g = chain(4);
+        assert!(reaches(&g, NodeId(0), NodeId(3)));
+        assert!(!reaches(&g, NodeId(3), NodeId(0)));
+        assert!(reaches(&g, NodeId(2), NodeId(2)));
+    }
+
+    #[test]
+    fn topo_sort_chain_in_order() {
+        let g = chain(5);
+        let order = topological_sort(&g).unwrap();
+        assert_eq!(order, (0..5).map(NodeId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = chain(3);
+        g.add_edge(NodeId(2), NodeId(0));
+        assert!(!is_acyclic(&g));
+        assert!(topological_sort(&g).is_none());
+    }
+
+    #[test]
+    fn longest_paths_diamond() {
+        // 0 -> 1 -> 3 and 0 -> 2 -> 3, weights: 0->1:1, 1->3:1, 0->2:5, 2->3:1.
+        let mut g = DiGraph::with_nodes(4);
+        let e01 = g.add_edge(NodeId(0), NodeId(1));
+        let e13 = g.add_edge(NodeId(1), NodeId(3));
+        let e02 = g.add_edge(NodeId(0), NodeId(2));
+        let e23 = g.add_edge(NodeId(2), NodeId(3));
+        let w = move |e| {
+            if e == e01 || e == e13 || e == e23 { 1 } else if e == e02 { 5 } else { 0 }
+        };
+        let d = dag_longest_paths(&g, w);
+        assert_eq!(d[0][3], Some(6)); // via node 2
+        assert_eq!(d[0][1], Some(1));
+        assert_eq!(d[1][2], None);
+        assert_eq!(d[2][2], Some(0));
+    }
+
+    #[test]
+    fn longest_paths_zero_weights() {
+        let g = chain(3);
+        let d = dag_longest_paths(&g, |_| 0);
+        assert_eq!(d[0][2], Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "DAG")]
+    fn longest_paths_reject_cycles() {
+        let mut g = chain(2);
+        g.add_edge(NodeId(1), NodeId(0));
+        dag_longest_paths(&g, |_| 1);
+    }
+}

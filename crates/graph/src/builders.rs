@@ -1,0 +1,117 @@
+//! Topology builders for the paper's workloads.
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// Direction of the links of a [`star`] request topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StarDirection {
+    /// All links point from the leaves towards the center (master collects).
+    TowardsCenter,
+    /// All links point from the center to the leaves (master distributes).
+    AwayFromCenter,
+}
+
+/// Builds a directed `rows × cols` grid: every adjacent pair is connected by
+/// edges in *both* directions (the paper's 4×5 grid has 20 nodes and 62
+/// directed edges = 2 · (4·4 + 3·5) ... counted per its figure; this builder
+/// produces `2·(rows·(cols−1) + cols·(rows−1))` edges).
+///
+/// Node `(r, c)` has id `r * cols + c`.
+pub fn grid(rows: usize, cols: usize) -> DiGraph {
+    assert!(rows >= 1 && cols >= 1);
+    let mut g = DiGraph::with_nodes(rows * cols);
+    let id = |r: usize, c: usize| NodeId(r * cols + c);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(id(r, c), id(r, c + 1));
+                g.add_edge(id(r, c + 1), id(r, c));
+            }
+            if r + 1 < rows {
+                g.add_edge(id(r, c), id(r + 1, c));
+                g.add_edge(id(r + 1, c), id(r, c));
+            }
+        }
+    }
+    g
+}
+
+/// Builds a star with one center (node 0) and `leaves` surrounding nodes,
+/// with all links oriented per `direction` (§VI-A uses 5-node stars, i.e.
+/// `leaves = 4`; the topology models master-slave or Virtual Cluster
+/// requests).
+pub fn star(leaves: usize, direction: StarDirection) -> DiGraph {
+    let mut g = DiGraph::with_nodes(leaves + 1);
+    let center = NodeId(0);
+    for l in 1..=leaves {
+        match direction {
+            StarDirection::TowardsCenter => g.add_edge(NodeId(l), center),
+            StarDirection::AwayFromCenter => g.add_edge(center, NodeId(l)),
+        };
+    }
+    g
+}
+
+/// Erdős–Rényi `G(n, p)` digraph (each ordered pair independently), built
+/// from a caller-supplied uniform sampler so the crate stays RNG-agnostic.
+pub fn erdos_renyi(n: usize, p: f64, mut uniform: impl FnMut() -> f64) -> DiGraph {
+    assert!((0.0..=1.0).contains(&p));
+    let mut g = DiGraph::with_nodes(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && uniform() < p {
+                g.add_edge(NodeId(u), NodeId(v));
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_counts_match_formula() {
+        let g = grid(4, 5);
+        assert_eq!(g.num_nodes(), 20);
+        // 2*(4*4 + 5*3) = 2*31 = 62 — matches the paper's "62 directed edges".
+        assert_eq!(g.num_edges(), 62);
+    }
+
+    #[test]
+    fn grid_1x1_has_no_edges() {
+        let g = grid(1, 1);
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn grid_is_symmetric() {
+        let g = grid(3, 3);
+        for e in g.edge_ids() {
+            let (u, v) = g.endpoints(e);
+            assert!(g.has_edge(v, u), "missing reverse of {u:?}->{v:?}");
+        }
+    }
+
+    #[test]
+    fn star_directions() {
+        let g_in = star(4, StarDirection::TowardsCenter);
+        assert_eq!(g_in.num_nodes(), 5);
+        assert_eq!(g_in.num_edges(), 4);
+        assert_eq!(g_in.in_edges(NodeId(0)).len(), 4);
+        assert_eq!(g_in.out_edges(NodeId(0)).len(), 0);
+        let g_out = star(4, StarDirection::AwayFromCenter);
+        assert_eq!(g_out.out_edges(NodeId(0)).len(), 4);
+        assert_eq!(g_out.in_edges(NodeId(0)).len(), 0);
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let empty = erdos_renyi(5, 0.0, || 0.5);
+        assert_eq!(empty.num_edges(), 0);
+        let full = erdos_renyi(5, 1.0, || 0.5);
+        assert_eq!(full.num_edges(), 20); // n(n-1)
+    }
+}

@@ -1,0 +1,143 @@
+//! Compact directed graph with indexed nodes and edges.
+
+/// Index of a node in a [`DiGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Index of a directed edge in a [`DiGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub usize);
+
+/// A directed graph stored as edge lists plus per-node in/out adjacency.
+///
+/// Self-loops are rejected (neither substrates nor VNets use them); parallel
+/// edges are allowed and keep distinct [`EdgeId`]s.
+#[derive(Debug, Clone, Default)]
+pub struct DiGraph {
+    edges: Vec<(NodeId, NodeId)>,
+    out_adj: Vec<Vec<EdgeId>>,
+    in_adj: Vec<Vec<EdgeId>>,
+}
+
+impl DiGraph {
+    /// An empty graph with `n` isolated nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        Self {
+            edges: Vec::new(),
+            out_adj: vec![Vec::new(); n],
+            in_adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        NodeId(self.out_adj.len() - 1)
+    }
+
+    /// Adds a directed edge `from -> to`.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> EdgeId {
+        assert!(from.0 < self.num_nodes() && to.0 < self.num_nodes(), "edge endpoint out of range");
+        assert_ne!(from, to, "self-loops are not supported");
+        let id = EdgeId(self.edges.len());
+        self.edges.push((from, to));
+        self.out_adj[from.0].push(id);
+        self.in_adj[to.0].push(id);
+        id
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.out_adj.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Endpoints `(from, to)` of edge `e`.
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.edges[e.0]
+    }
+
+    /// Source of edge `e`.
+    pub fn source(&self, e: EdgeId) -> NodeId {
+        self.edges[e.0].0
+    }
+
+    /// Target of edge `e`.
+    pub fn target(&self, e: EdgeId) -> NodeId {
+        self.edges[e.0].1
+    }
+
+    /// Outgoing edges δ⁺(v).
+    pub fn out_edges(&self, v: NodeId) -> &[EdgeId] {
+        &self.out_adj[v.0]
+    }
+
+    /// Incoming edges δ⁻(v).
+    pub fn in_edges(&self, v: NodeId) -> &[EdgeId] {
+        &self.in_adj[v.0]
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes()).map(NodeId)
+    }
+
+    /// Iterator over all edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.num_edges()).map(EdgeId)
+    }
+
+    /// True if some edge `from -> to` exists.
+    pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.out_adj[from.0].iter().any(|&e| self.target(e) == to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adjacency_bookkeeping() {
+        let mut g = DiGraph::with_nodes(3);
+        let e0 = g.add_edge(NodeId(0), NodeId(1));
+        let e1 = g.add_edge(NodeId(1), NodeId(2));
+        let e2 = g.add_edge(NodeId(0), NodeId(2));
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.out_edges(NodeId(0)), &[e0, e2]);
+        assert_eq!(g.in_edges(NodeId(2)), &[e1, e2]);
+        assert_eq!(g.endpoints(e1), (NodeId(1), NodeId(2)));
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(!g.has_edge(NodeId(1), NodeId(0)));
+    }
+
+    #[test]
+    fn parallel_edges_allowed() {
+        let mut g = DiGraph::with_nodes(2);
+        let a = g.add_edge(NodeId(0), NodeId(1));
+        let b = g.add_edge(NodeId(0), NodeId(1));
+        assert_ne!(a, b);
+        assert_eq!(g.out_edges(NodeId(0)).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loops_rejected() {
+        let mut g = DiGraph::with_nodes(1);
+        g.add_edge(NodeId(0), NodeId(0));
+    }
+
+    #[test]
+    fn add_node_grows() {
+        let mut g = DiGraph::default();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b);
+        assert_eq!(g.num_nodes(), 2);
+    }
+}

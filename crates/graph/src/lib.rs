@@ -1,0 +1,21 @@
+//! # tvnep-graph — directed-graph substrate
+//!
+//! Graph structures and algorithms used throughout the TVNEP reproduction:
+//!
+//! * [`DiGraph`] — compact directed graph with O(1) δ⁺/δ⁻ adjacency;
+//! * builders for the paper's topologies: [`grid`] substrates (§VI-A uses a
+//!   directed 4×5 grid) and [`star`] virtual networks (5-node stars, links
+//!   towards or away from the center), plus [`erdos_renyi`] for extra
+//!   workloads;
+//! * [`topological_sort`], [`is_acyclic`], [`reachable_from`];
+//! * [`dag_longest_paths`] — all-pairs longest paths on a weighted DAG via
+//!   Floyd–Warshall with negated weights, exactly the computation behind the
+//!   paper's temporal-dependency-graph cuts (Section IV-C).
+
+pub mod algo;
+pub mod builders;
+pub mod digraph;
+
+pub use algo::{dag_longest_paths, is_acyclic, reachable_from, reaches, topological_sort};
+pub use builders::{erdos_renyi, grid, star, StarDirection};
+pub use digraph::{DiGraph, EdgeId, NodeId};

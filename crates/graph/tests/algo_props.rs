@@ -1,0 +1,150 @@
+//! Property tests for the graph algorithms against brute-force references.
+
+use proptest::prelude::*;
+use tvnep_graph::{
+    dag_longest_paths, erdos_renyi, grid, is_acyclic, reachable_from, reaches,
+    topological_sort, DiGraph, NodeId,
+};
+
+/// Builds a random DAG by only allowing edges from lower to higher indices.
+fn random_dag(n: usize, edge_bits: &[bool]) -> DiGraph {
+    let mut g = DiGraph::with_nodes(n);
+    let mut k = 0;
+    for u in 0..n {
+        for v in u + 1..n {
+            if edge_bits.get(k).copied().unwrap_or(false) {
+                g.add_edge(NodeId(u), NodeId(v));
+            }
+            k += 1;
+        }
+    }
+    g
+}
+
+/// Exhaustive longest path by DFS (exponential; fine for ≤ 8 nodes).
+fn brute_longest(g: &DiGraph, weights: &[i64], from: usize, to: usize) -> Option<i64> {
+    fn dfs(g: &DiGraph, weights: &[i64], u: usize, to: usize) -> Option<i64> {
+        if u == to {
+            return Some(0);
+        }
+        let mut best = None;
+        for &e in g.out_edges(NodeId(u)) {
+            let v = g.target(e).0;
+            if let Some(rest) = dfs(g, weights, v, to) {
+                let total = weights[e.0] + rest;
+                best = Some(best.map_or(total, |b: i64| b.max(total)));
+            }
+        }
+        best
+    }
+    dfs(g, weights, from, to)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn longest_paths_match_brute_force(
+        n in 2usize..8,
+        edge_bits in prop::collection::vec(any::<bool>(), 28),
+        weight_seed in prop::collection::vec(0i64..5, 28),
+    ) {
+        let g = random_dag(n, &edge_bits);
+        let weights: Vec<i64> =
+            (0..g.num_edges()).map(|e| weight_seed[e % weight_seed.len()]).collect();
+        let d = dag_longest_paths(&g, |e| weights[e.0]);
+        for u in 0..n {
+            for v in 0..n {
+                let brute = if u == v { Some(0) } else { brute_longest(&g, &weights, u, v) };
+                prop_assert_eq!(d[u][v], brute, "pair ({}, {})", u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn topological_sort_respects_all_edges(
+        n in 1usize..12,
+        edge_bits in prop::collection::vec(any::<bool>(), 66),
+    ) {
+        let g = random_dag(n, &edge_bits);
+        let order = topological_sort(&g).expect("random_dag is acyclic");
+        prop_assert_eq!(order.len(), n);
+        let mut pos = vec![0usize; n];
+        for (i, v) in order.iter().enumerate() {
+            pos[v.0] = i;
+        }
+        for e in g.edge_ids() {
+            let (u, v) = g.endpoints(e);
+            prop_assert!(pos[u.0] < pos[v.0]);
+        }
+    }
+
+    #[test]
+    fn reachability_is_transitive(
+        n in 2usize..10,
+        edge_bits in prop::collection::vec(any::<bool>(), 45),
+    ) {
+        let g = random_dag(n, &edge_bits);
+        for a in 0..n {
+            let ra = reachable_from(&g, NodeId(a));
+            for b in 0..n {
+                if !ra[b] {
+                    continue;
+                }
+                let rb = reachable_from(&g, NodeId(b));
+                for c in 0..n {
+                    if rb[c] {
+                        prop_assert!(ra[c], "{a}->{b}->{c} but not {a}->{c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_detection_on_random_digraphs(seed in 0u64..500, p in 0.05f64..0.5) {
+        // Erdős–Rényi digraphs: cross-check is_acyclic against a DFS
+        // three-color cycle search.
+        let mut state = seed;
+        let mut uniform = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let g = erdos_renyi(8, p, &mut uniform);
+        // Reference: DFS cycle detection.
+        fn has_cycle(g: &DiGraph) -> bool {
+            #[derive(Clone, Copy, PartialEq)]
+            enum C { White, Grey, Black }
+            fn dfs(g: &DiGraph, u: usize, color: &mut [C]) -> bool {
+                color[u] = C::Grey;
+                for &e in g.out_edges(NodeId(u)) {
+                    let v = g.target(e).0;
+                    match color[v] {
+                        C::Grey => return true,
+                        C::White => {
+                            if dfs(g, v, color) {
+                                return true;
+                            }
+                        }
+                        C::Black => {}
+                    }
+                }
+                color[u] = C::Black;
+                false
+            }
+            let mut color = vec![C::White; g.num_nodes()];
+            (0..g.num_nodes()).any(|u| color[u] == C::White && dfs(g, u, &mut color))
+        }
+        prop_assert_eq!(is_acyclic(&g), !has_cycle(&g));
+    }
+}
+
+#[test]
+fn grid_reaches_everywhere() {
+    let g = grid(3, 4);
+    for a in g.nodes() {
+        for b in g.nodes() {
+            assert!(reaches(&g, a, b), "{a:?} cannot reach {b:?} in a grid");
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # tvnep-lp — a bounded-variable revised simplex solver
+//!
+//! Linear-programming substrate for the TVNEP reproduction. The paper solved
+//! its mixed-integer programs with Gurobi; no comparable solver exists as an
+//! offline Rust crate, so this crate implements the LP engine that the
+//! branch-and-bound layer (`tvnep-mip`) drives:
+//!
+//! * [`problem::LpProblem`] — `min c'x, rlo ≤ Ax ≤ rup, l ≤ x ≤ u`;
+//! * [`simplex::Simplex`] — revised primal simplex with variable bounds,
+//!   composite phase 1, product-form inverse, periodic refactorization and
+//!   warm starts from recorded bases;
+//! * [`simplex::solve`] — one-shot convenience entry point.
+//!
+//! ```
+//! use tvnep_lp::{LpProblem, solve, LpStatus, INF};
+//! let mut lp = LpProblem::new();
+//! let x = lp.add_var(0.0, INF, -3.0); // maximize 3x + 2y via negation
+//! let y = lp.add_var(0.0, INF, -2.0);
+//! lp.add_le(&[(x, 1.0), (y, 1.0)], 4.0);
+//! lp.add_le(&[(x, 1.0), (y, 3.0)], 6.0);
+//! let sol = solve(&lp);
+//! assert_eq!(sol.status, LpStatus::Optimal);
+//! assert!((sol.objective - (-12.0)).abs() < 1e-6); // x = 4, y = 0
+//! ```
+
+pub mod problem;
+pub mod simplex;
+pub mod sparse;
+
+pub use problem::{LpProblem, RowId, VarId, INF};
+pub use simplex::{solve, Basis, LpSolution, LpStatus, Params, Simplex, VarStatus};

@@ -1,0 +1,252 @@
+//! User-facing linear-program definition.
+//!
+//! An [`LpProblem`] is `minimize c'x  subject to  rlo ≤ Ax ≤ rup,  l ≤ x ≤ u`.
+//! Range rows unify the three constraint senses: `≤ b` is `(-∞, b]`, `≥ b` is
+//! `[b, ∞)` and `= b` is `[b, b]`. Maximization is handled by callers negating
+//! the objective (the MIP layer does this).
+
+use crate::sparse::{CscMatrix, TripletMatrix};
+
+/// Positive infinity used to mark absent bounds.
+pub const INF: f64 = f64::INFINITY;
+
+/// Index of a variable within an [`LpProblem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub usize);
+
+/// Index of a row (constraint) within an [`LpProblem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId(pub usize);
+
+/// A linear program in "computational form": bounds on variables and on row
+/// activities.
+#[derive(Debug, Clone, Default)]
+pub struct LpProblem {
+    obj: Vec<f64>,
+    var_lo: Vec<f64>,
+    var_up: Vec<f64>,
+    row_lo: Vec<f64>,
+    row_up: Vec<f64>,
+    /// Rows as sparse (column, coefficient) lists.
+    rows: Vec<Vec<(usize, f64)>>,
+    /// Constant added to the objective value (useful after presolve).
+    obj_offset: f64,
+}
+
+impl LpProblem {
+    /// Creates an empty problem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a variable with bounds `[lo, up]` and objective coefficient `obj`.
+    pub fn add_var(&mut self, lo: f64, up: f64, obj: f64) -> VarId {
+        assert!(lo <= up, "variable bounds crossed: [{lo}, {up}]");
+        assert!(!lo.is_nan() && !up.is_nan() && obj.is_finite());
+        self.var_lo.push(lo);
+        self.var_up.push(up);
+        self.obj.push(obj);
+        VarId(self.obj.len() - 1)
+    }
+
+    /// Adds a row with activity bounds `[lo, up]` over the given terms.
+    /// Duplicate variable references within one row are summed.
+    pub fn add_row(&mut self, lo: f64, up: f64, terms: &[(VarId, f64)]) -> RowId {
+        assert!(lo <= up, "row bounds crossed: [{lo}, {up}]");
+        let mut entries: Vec<(usize, f64)> = terms
+            .iter()
+            .filter(|&&(_, c)| c != 0.0)
+            .map(|&(VarId(j), c)| {
+                assert!(j < self.num_vars(), "row references unknown variable");
+                assert!(c.is_finite(), "non-finite row coefficient");
+                (j, c)
+            })
+            .collect();
+        entries.sort_unstable_by_key(|&(j, _)| j);
+        entries.dedup_by(|b, a| {
+            if a.0 == b.0 {
+                a.1 += b.1;
+                true
+            } else {
+                false
+            }
+        });
+        entries.retain(|&(_, c)| c != 0.0);
+        self.rows.push(entries);
+        self.row_lo.push(lo);
+        self.row_up.push(up);
+        RowId(self.rows.len() - 1)
+    }
+
+    /// Convenience: `terms ≤ rhs`.
+    pub fn add_le(&mut self, terms: &[(VarId, f64)], rhs: f64) -> RowId {
+        self.add_row(-INF, rhs, terms)
+    }
+
+    /// Convenience: `terms ≥ rhs`.
+    pub fn add_ge(&mut self, terms: &[(VarId, f64)], rhs: f64) -> RowId {
+        self.add_row(rhs, INF, terms)
+    }
+
+    /// Convenience: `terms = rhs`.
+    pub fn add_eq(&mut self, terms: &[(VarId, f64)], rhs: f64) -> RowId {
+        self.add_row(rhs, rhs, terms)
+    }
+
+    /// Overwrites the bounds of variable `v`.
+    pub fn set_var_bounds(&mut self, v: VarId, lo: f64, up: f64) {
+        assert!(lo <= up, "variable bounds crossed: [{lo}, {up}]");
+        self.var_lo[v.0] = lo;
+        self.var_up[v.0] = up;
+    }
+
+    /// Overwrites the objective coefficient of variable `v`.
+    pub fn set_obj(&mut self, v: VarId, obj: f64) {
+        assert!(obj.is_finite());
+        self.obj[v.0] = obj;
+    }
+
+    /// Adds a constant to every reported objective value.
+    pub fn set_obj_offset(&mut self, offset: f64) {
+        self.obj_offset = offset;
+    }
+
+    /// The constant objective offset.
+    pub fn obj_offset(&self) -> f64 {
+        self.obj_offset
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.obj.len()
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Objective coefficients.
+    pub fn objective(&self) -> &[f64] {
+        &self.obj
+    }
+
+    /// Lower variable bounds.
+    pub fn var_lower(&self) -> &[f64] {
+        &self.var_lo
+    }
+
+    /// Upper variable bounds.
+    pub fn var_upper(&self) -> &[f64] {
+        &self.var_up
+    }
+
+    /// Lower row-activity bounds.
+    pub fn row_lower(&self) -> &[f64] {
+        &self.row_lo
+    }
+
+    /// Upper row-activity bounds.
+    pub fn row_upper(&self) -> &[f64] {
+        &self.row_up
+    }
+
+    /// The terms of row `r`.
+    pub fn row(&self, r: RowId) -> &[(usize, f64)] {
+        &self.rows[r.0]
+    }
+
+    /// Builds the column-wise constraint matrix.
+    pub fn matrix(&self) -> CscMatrix {
+        let mut t = TripletMatrix::new(self.num_rows(), self.num_vars());
+        for (i, row) in self.rows.iter().enumerate() {
+            for &(j, c) in row {
+                t.push(i, j, c);
+            }
+        }
+        t.to_csc()
+    }
+
+    /// Objective value of a point (including offset); no feasibility check.
+    pub fn eval_objective(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.num_vars());
+        self.obj_offset + self.obj.iter().zip(x).map(|(c, v)| c * v).sum::<f64>()
+    }
+
+    /// Maximum violation of variable bounds and row-activity bounds at `x`.
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.num_vars());
+        let mut worst = 0f64;
+        for j in 0..self.num_vars() {
+            worst = worst.max(self.var_lo[j] - x[j]).max(x[j] - self.var_up[j]);
+        }
+        for (i, row) in self.rows.iter().enumerate() {
+            let act: f64 = row.iter().map(|&(j, c)| c * x[j]).sum();
+            worst = worst.max(self.row_lo[i] - act).max(act - self.row_up[i]);
+        }
+        worst.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_shapes() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var(0.0, INF, 1.0);
+        let y = lp.add_var(0.0, 2.0, -1.0);
+        lp.add_le(&[(x, 1.0), (y, 1.0)], 3.0);
+        lp.add_eq(&[(x, 2.0)], 4.0);
+        assert_eq!(lp.num_vars(), 2);
+        assert_eq!(lp.num_rows(), 2);
+        assert_eq!(lp.matrix().nnz(), 3);
+        assert_eq!(lp.row_lower()[0], -INF);
+        assert_eq!(lp.row_upper()[1], 4.0);
+    }
+
+    #[test]
+    fn duplicate_terms_merge() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var(0.0, 1.0, 0.0);
+        let r = lp.add_le(&[(x, 1.0), (x, 2.0)], 5.0);
+        assert_eq!(lp.row(r), &[(0, 3.0)]);
+    }
+
+    #[test]
+    fn cancelling_terms_vanish() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var(0.0, 1.0, 0.0);
+        let y = lp.add_var(0.0, 1.0, 0.0);
+        let r = lp.add_le(&[(x, 1.0), (x, -1.0), (y, 1.0)], 5.0);
+        assert_eq!(lp.row(r), &[(1, 1.0)]);
+    }
+
+    #[test]
+    fn violation_measures_rows_and_bounds() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var(0.0, 1.0, 0.0);
+        lp.add_ge(&[(x, 1.0)], 2.0);
+        // x = 1 satisfies bounds but violates the row by 1.
+        assert!((lp.max_violation(&[1.0]) - 1.0).abs() < 1e-12);
+        // x = 3 violates its upper bound by 2.
+        assert!((lp.max_violation(&[3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds crossed")]
+    fn crossed_bounds_rejected() {
+        let mut lp = LpProblem::new();
+        lp.add_var(1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn objective_offset_applied() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var(0.0, 1.0, 2.0);
+        lp.set_obj_offset(10.0);
+        assert_eq!(lp.eval_objective(&[1.0]), 12.0);
+        let _ = x;
+    }
+}

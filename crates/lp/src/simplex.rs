@@ -1,0 +1,1131 @@
+//! Bounded-variable revised simplex: primal (with a composite, artificial-
+//! free phase 1) and dual (for branch-and-bound warm starts).
+//!
+//! # Standard form
+//!
+//! The user problem `rlo ≤ Ax ≤ rup, l ≤ x ≤ u` is augmented with one slack
+//! per row: `Ax − s = 0`, `s ∈ [rlo, rup]`. All constraints become equalities
+//! with right-hand side 0 and the all-slack basis (`B = −I`) is always
+//! structurally nonsingular, so the solver can start — and warm-start — from
+//! any recorded basis without artificial variables.
+//!
+//! # Phase 1 (primal)
+//!
+//! Feasibility is attained by minimizing the sum of bound violations of the
+//! basic variables ("composite objective"): a basic variable below its lower
+//! bound gets phase-1 cost −1, above its upper bound +1, otherwise 0. The
+//! ratio test lets an infeasible basic variable travel to the bound it is
+//! violating (first-breakpoint rule) where it leaves the basis feasibly.
+//!
+//! # Dual simplex
+//!
+//! After a bound change the old optimal basis stays *dual* feasible (reduced
+//! costs are untouched) while a few basic variables may violate their new
+//! bounds. [`Simplex::solve_warm`] runs the dual simplex from that basis —
+//! typically a handful of pivots per branch-and-bound node — and falls back
+//! to the primal phases whenever dual feasibility does not hold.
+//!
+//! # Numerical safety
+//!
+//! The dense basis inverse is stored column-major so every per-pivot kernel
+//! (FTRAN, BTRAN, product-form update) walks contiguous memory. It is
+//! rebuilt from scratch (Gauss–Jordan with partial pivoting) every
+//! [`Params::refactor_every`] pivots, and claimed optima are re-verified
+//! after a fresh factorization before being reported. Prolonged degeneracy
+//! switches pricing to Bland's rule.
+
+use std::time::Instant;
+
+use crate::problem::{LpProblem, INF};
+use crate::sparse::CscMatrix;
+
+/// Outcome of a simplex run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LpStatus {
+    /// Proven optimal within tolerances.
+    Optimal,
+    /// Phase 1 terminated with positive infeasibility.
+    Infeasible,
+    /// Phase 2 found an improving ray.
+    Unbounded,
+    /// Iteration limit hit before convergence.
+    IterationLimit,
+    /// The deadline in [`Params::deadline`] passed mid-solve.
+    TimeLimit,
+    /// Numerical verification failed repeatedly.
+    Numerical,
+}
+
+/// Position of a variable relative to the current basis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarStatus {
+    /// In the basis; value stored in `xb`.
+    Basic,
+    /// Nonbasic at its (finite) lower bound.
+    AtLower,
+    /// Nonbasic at its (finite) upper bound.
+    AtUpper,
+    /// Nonbasic free variable resting at zero.
+    Free,
+}
+
+/// A snapshot of the basis, sufficient to warm-start a later solve.
+#[derive(Debug, Clone)]
+pub struct Basis {
+    basis: Vec<usize>,
+    status: Vec<VarStatus>,
+}
+
+/// Solver tolerances and limits.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Primal feasibility tolerance.
+    pub feas_tol: f64,
+    /// Dual (reduced-cost) tolerance.
+    pub opt_tol: f64,
+    /// Smallest acceptable pivot magnitude.
+    pub pivot_tol: f64,
+    /// Rebuild the basis inverse after this many pivots.
+    pub refactor_every: usize,
+    /// Consecutive degenerate pivots before switching to Bland's rule.
+    pub degen_switch: usize,
+    /// Hard iteration cap (phases combined).
+    pub max_iters: usize,
+    /// Optional wall-clock deadline, checked periodically mid-solve.
+    pub deadline: Option<Instant>,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self {
+            feas_tol: 1e-7,
+            opt_tol: 1e-7,
+            pivot_tol: 1e-9,
+            refactor_every: 150,
+            degen_switch: 300,
+            max_iters: 500_000,
+            deadline: None,
+        }
+    }
+}
+
+/// Result of [`solve`]: status plus (when feasible) the optimal point.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Termination status.
+    pub status: LpStatus,
+    /// Objective value including the problem's offset (meaningful when
+    /// `status == Optimal`).
+    pub objective: f64,
+    /// Values of the structural variables.
+    pub x: Vec<f64>,
+    /// Row activities `Ax`.
+    pub row_activity: Vec<f64>,
+    /// Simplex iterations performed.
+    pub iterations: usize,
+}
+
+/// One-shot convenience wrapper around [`Simplex`].
+pub fn solve(problem: &LpProblem) -> LpSolution {
+    let mut s = Simplex::new(problem);
+    let status = s.solve();
+    s.extract(status)
+}
+
+enum Pricing {
+    Dantzig,
+    Bland,
+}
+
+/// Reusable simplex instance; supports bound changes and warm starts, which
+/// the branch-and-bound layer relies on.
+pub struct Simplex {
+    m: usize,
+    n_struct: usize,
+    n_total: usize,
+    /// `m × n_total` matrix: structural columns then `−1`-diagonal slacks.
+    cols: CscMatrix,
+    obj: Vec<f64>,
+    /// Slightly perturbed costs used for *pricing only*: the TVNEP LPs have
+    /// almost entirely zero objectives, making them massively degenerate;
+    /// unique-ish perturbed costs give every pivot strict dual progress.
+    /// Reported objectives and final optimality checks always use `obj`.
+    obj_pert: Vec<f64>,
+    lo: Vec<f64>,
+    up: Vec<f64>,
+    obj_offset: f64,
+
+    basis: Vec<usize>,
+    status: Vec<VarStatus>,
+    xb: Vec<f64>,
+    /// Dense *column-major* basis inverse: entry `(i, j)` at `binv[j*m + i]`.
+    binv: Vec<f64>,
+    /// Pivots since the last refactorization.
+    pivots_since_refactor: usize,
+    iterations: usize,
+    params: Params,
+    /// Scratch buffers reused across iterations to avoid allocation.
+    scratch_w: Vec<f64>,
+    scratch_y: Vec<f64>,
+    /// Cumulative counters for performance diagnosis.
+    pub stats: SolveStats,
+}
+
+/// Cumulative solver statistics (updated across all solves of an instance).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolveStats {
+    /// Calls to [`Simplex::solve_warm`].
+    pub warm_calls: usize,
+    /// Warm calls where the dual simplex finished the job.
+    pub dual_successes: usize,
+    /// Warm calls that fell back to the primal phases.
+    pub dual_fallbacks: usize,
+    /// Iterations spent inside the dual simplex.
+    pub dual_iters: usize,
+    /// Iterations spent inside the primal phases.
+    pub primal_iters: usize,
+}
+
+impl Simplex {
+    /// Builds a solver for `problem`, starting from the all-slack basis.
+    pub fn new(problem: &LpProblem) -> Self {
+        let m = problem.num_rows();
+        let n_struct = problem.num_vars();
+        let n_total = n_struct + m;
+        let mut cols = CscMatrix::empty(m);
+        let a = problem.matrix();
+        for j in 0..n_struct {
+            let (rows, vals) = a.column(j);
+            let entries: Vec<(usize, f64)> =
+                rows.iter().copied().zip(vals.iter().copied()).collect();
+            cols.push_column(&entries);
+        }
+        for i in 0..m {
+            cols.push_column(&[(i, -1.0)]);
+        }
+        let mut obj = problem.objective().to_vec();
+        obj.resize(n_total, 0.0);
+        // Deterministic tiny perturbation (splitmix64 per index).
+        let obj_pert: Vec<f64> = obj
+            .iter()
+            .enumerate()
+            .map(|(j, &c)| {
+                let mut z = (j as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                let unit = (z >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+                let eps = 1e-9 * (1.0 + c.abs()) * (0.5 + unit);
+                let sign = if z & 1 == 0 { 1.0 } else { -1.0 };
+                c + sign * eps
+            })
+            .collect();
+        let mut lo = problem.var_lower().to_vec();
+        let mut up = problem.var_upper().to_vec();
+        lo.extend_from_slice(problem.row_lower());
+        up.extend_from_slice(problem.row_upper());
+
+        let mut s = Self {
+            m,
+            n_struct,
+            n_total,
+            cols,
+            obj,
+            obj_pert,
+            lo,
+            up,
+            obj_offset: problem.obj_offset(),
+            basis: Vec::new(),
+            status: Vec::new(),
+            xb: Vec::new(),
+            binv: Vec::new(),
+            pivots_since_refactor: 0,
+            iterations: 0,
+            params: Params::default(),
+            scratch_w: vec![0.0; m],
+            scratch_y: vec![0.0; m],
+            stats: SolveStats::default(),
+        };
+        s.reset_basis();
+        s
+    }
+
+    /// Overrides the default tolerances/limits.
+    pub fn set_params(&mut self, params: Params) {
+        self.params = params;
+    }
+
+    /// Sets only the deadline, keeping other parameters.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.params.deadline = deadline;
+    }
+
+    /// Number of structural variables.
+    pub fn num_vars(&self) -> usize {
+        self.n_struct
+    }
+
+    /// Total simplex iterations across all calls to [`solve`](Self::solve).
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Resets to the all-slack basis with structural variables at the bound
+    /// closest to zero.
+    pub fn reset_basis(&mut self) {
+        self.basis = (self.n_struct..self.n_total).collect();
+        self.status = (0..self.n_total)
+            .map(|j| {
+                if j >= self.n_struct {
+                    VarStatus::Basic
+                } else {
+                    Self::resting_status(self.lo[j], self.up[j])
+                }
+            })
+            .collect();
+        self.rebuild_state();
+    }
+
+    fn resting_status(lo: f64, up: f64) -> VarStatus {
+        if lo.is_finite() {
+            if up.is_finite() && up.abs() < lo.abs() {
+                VarStatus::AtUpper
+            } else {
+                VarStatus::AtLower
+            }
+        } else if up.is_finite() {
+            VarStatus::AtUpper
+        } else {
+            VarStatus::Free
+        }
+    }
+
+    /// Changes the bounds of structural variable `j` (used by branch &
+    /// bound). The basis is kept; call [`solve_warm`](Self::solve_warm) to
+    /// re-optimize.
+    pub fn set_var_bounds(&mut self, j: usize, lo: f64, up: f64) {
+        assert!(j < self.n_struct && lo <= up);
+        self.lo[j] = lo;
+        self.up[j] = up;
+    }
+
+    /// Current bounds of structural variable `j`.
+    pub fn var_bounds(&self, j: usize) -> (f64, f64) {
+        (self.lo[j], self.up[j])
+    }
+
+    /// Records the current basis for later [`load_basis`](Self::load_basis).
+    pub fn save_basis(&self) -> Basis {
+        Basis { basis: self.basis.clone(), status: self.status.clone() }
+    }
+
+    /// Restores a recorded basis (bounds may have changed since it was saved;
+    /// nonbasic variables are re-clamped to their current bounds).
+    pub fn load_basis(&mut self, b: &Basis) {
+        assert_eq!(b.basis.len(), self.m);
+        assert_eq!(b.status.len(), self.n_total);
+        self.basis = b.basis.clone();
+        self.status = b.status.clone();
+        self.normalize_nonbasic_statuses();
+        self.rebuild_state();
+    }
+
+    /// Re-clamps nonbasic statuses after bound changes: a status pointing at
+    /// an infinite bound is moved to a finite one (or `Free`).
+    fn normalize_nonbasic_statuses(&mut self) {
+        for j in 0..self.n_total {
+            match self.status[j] {
+                VarStatus::Basic => {}
+                VarStatus::AtLower if self.lo[j].is_finite() => {}
+                VarStatus::AtUpper if self.up[j].is_finite() => {}
+                _ => self.status[j] = Self::resting_status(self.lo[j], self.up[j]),
+            }
+        }
+    }
+
+    fn nonbasic_value(&self, j: usize) -> f64 {
+        match self.status[j] {
+            VarStatus::AtLower => self.lo[j],
+            VarStatus::AtUpper => self.up[j],
+            VarStatus::Free => 0.0,
+            VarStatus::Basic => unreachable!("basic variable has no resting value"),
+        }
+    }
+
+    fn deadline_hit(&self) -> bool {
+        self.params.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Rebuilds `binv` by Gauss–Jordan with partial pivoting (row-major for
+    /// contiguous row operations, then transposed into the column-major
+    /// layout). Returns `false` on a singular basis.
+    fn refactorize(&mut self) -> bool {
+        let m = self.m;
+        // Row-major B: bmat[r*m + c] = B(r, c) where column c is basis[c].
+        let mut bmat = vec![0.0; m * m];
+        for (c, &j) in self.basis.iter().enumerate() {
+            let (rows, vals) = self.cols.column(j);
+            for (&r, &v) in rows.iter().zip(vals) {
+                bmat[r * m + c] = v;
+            }
+        }
+        let mut inv = vec![0.0; m * m];
+        for i in 0..m {
+            inv[i * m + i] = 1.0;
+        }
+        for col in 0..m {
+            let mut best = col;
+            let mut best_abs = bmat[col * m + col].abs();
+            for r in col + 1..m {
+                let a = bmat[r * m + col].abs();
+                if a > best_abs {
+                    best = r;
+                    best_abs = a;
+                }
+            }
+            if best_abs < 1e-12 {
+                return false;
+            }
+            if best != col {
+                for k in 0..m {
+                    bmat.swap(col * m + k, best * m + k);
+                    inv.swap(col * m + k, best * m + k);
+                }
+            }
+            let inv_piv = 1.0 / bmat[col * m + col];
+            for k in 0..m {
+                bmat[col * m + k] *= inv_piv;
+                inv[col * m + k] *= inv_piv;
+            }
+            // Split the rows around `col` to eliminate without aliasing.
+            let (before, rest) = bmat.split_at_mut(col * m);
+            let (pivot_row, after) = rest.split_at_mut(m);
+            let (ibefore, irest) = inv.split_at_mut(col * m);
+            let (ipivot_row, iafter) = irest.split_at_mut(m);
+            let eliminate = |rows: &mut [f64], irows: &mut [f64], row_count: usize| {
+                for r in 0..row_count {
+                    let f = rows[r * m + col];
+                    if f != 0.0 {
+                        for k in 0..m {
+                            rows[r * m + k] -= f * pivot_row[k];
+                        }
+                        for k in 0..m {
+                            irows[r * m + k] -= f * ipivot_row[k];
+                        }
+                    }
+                }
+            };
+            eliminate(before, ibefore, col);
+            eliminate(after, iafter, m - col - 1);
+        }
+        // Transpose into column-major.
+        if self.binv.len() != m * m {
+            self.binv = vec![0.0; m * m];
+        }
+        for i in 0..m {
+            for j in 0..m {
+                self.binv[j * m + i] = inv[i * m + j];
+            }
+        }
+        self.pivots_since_refactor = 0;
+        true
+    }
+
+    /// Recomputes `xb = B⁻¹ (0 − N x_N)`.
+    fn recompute_xb(&mut self) {
+        let m = self.m;
+        let mut rhs = vec![0.0; m];
+        for j in 0..self.n_total {
+            if self.status[j] != VarStatus::Basic {
+                let v = self.nonbasic_value(j);
+                if v != 0.0 {
+                    self.cols.axpy_column(j, -v, &mut rhs);
+                }
+            }
+        }
+        let mut xb = vec![0.0; m];
+        for (j, &r) in rhs.iter().enumerate() {
+            if r != 0.0 {
+                let col = &self.binv[j * m..(j + 1) * m];
+                for (x, &b) in xb.iter_mut().zip(col) {
+                    *x += r * b;
+                }
+            }
+        }
+        self.xb = xb;
+    }
+
+    fn rebuild_state(&mut self) {
+        if !self.refactorize() {
+            // A recorded basis can become singular only through memory
+            // corruption; the all-slack basis never is.
+            self.basis = (self.n_struct..self.n_total).collect();
+            for j in 0..self.n_total {
+                self.status[j] = if j >= self.n_struct {
+                    VarStatus::Basic
+                } else {
+                    Self::resting_status(self.lo[j], self.up[j])
+                };
+            }
+            let ok = self.refactorize();
+            assert!(ok, "slack basis must be nonsingular");
+        }
+        self.recompute_xb();
+    }
+
+    /// `w = B⁻¹ A_q` into `scratch_w`.
+    fn ftran(&mut self, q: usize) {
+        let m = self.m;
+        self.scratch_w[..m].iter_mut().for_each(|v| *v = 0.0);
+        let (rows, vals) = self.cols.column(q);
+        for (&r, &v) in rows.iter().zip(vals) {
+            let col = &self.binv[r * m..(r + 1) * m];
+            for (w, &b) in self.scratch_w.iter_mut().zip(col) {
+                *w += v * b;
+            }
+        }
+    }
+
+    /// `y = c_B' B⁻¹` into `scratch_y` for the given basic-cost vector.
+    fn btran_costs(&mut self, cb: &[f64]) {
+        let m = self.m;
+        for j in 0..m {
+            let col = &self.binv[j * m..(j + 1) * m];
+            let mut acc = 0.0;
+            for (c, &b) in cb.iter().zip(col) {
+                acc += c * b;
+            }
+            self.scratch_y[j] = acc;
+        }
+    }
+
+    /// Product-form update of the column-major inverse after a pivot at row
+    /// `r` with direction `w = B⁻¹ A_q` (in `scratch_w`).
+    fn update_binv(&mut self, r: usize) {
+        let m = self.m;
+        let inv_piv = 1.0 / self.scratch_w[r];
+        for k in 0..m {
+            let col = &mut self.binv[k * m..(k + 1) * m];
+            let t = col[r] * inv_piv;
+            if t != 0.0 {
+                for (c, &w) in col.iter_mut().zip(&self.scratch_w) {
+                    *c -= w * t;
+                }
+            }
+            col[r] = t;
+        }
+        self.pivots_since_refactor += 1;
+    }
+
+    /// Total bound violation of the basic variables.
+    fn infeasibility(&self) -> f64 {
+        let mut total = 0.0;
+        for (i, &j) in self.basis.iter().enumerate() {
+            let v = self.xb[i];
+            if v < self.lo[j] {
+                total += self.lo[j] - v;
+            } else if v > self.up[j] {
+                total += v - self.up[j];
+            }
+        }
+        total
+    }
+
+    /// Runs phase 1 (if needed) and phase 2 from the current basis.
+    pub fn solve(&mut self) -> LpStatus {
+        // Bounds may have changed since the basis was recorded.
+        self.normalize_nonbasic_statuses();
+        if self.pivots_since_refactor > 0 || self.binv.len() != self.m * self.m {
+            if !self.refactorize() {
+                self.reset_basis();
+            }
+        }
+        self.recompute_xb();
+
+        match self.run_phase(true, false) {
+            LpStatus::Optimal => {}
+            other => return other,
+        }
+        if self.infeasibility() > self.params.feas_tol * 10.0 {
+            return LpStatus::Infeasible;
+        }
+        // Phase 2: fast perturbed pass, exact cleanup pass, verification
+        // after a fresh factorization; resume on disagreement.
+        for _attempt in 0..4 {
+            match self.run_phase(false, true) {
+                LpStatus::Optimal | LpStatus::Unbounded => {}
+                other => return other,
+            }
+            // Cleanup with the true costs decides optimality/unboundedness.
+            match self.run_phase(false, false) {
+                LpStatus::Optimal => {}
+                other => return other,
+            }
+            let ok1 = self.refactorize();
+            self.recompute_xb();
+            if ok1
+                && self.infeasibility() <= self.params.feas_tol * 100.0
+                && !self.has_improving_direction()
+            {
+                return LpStatus::Optimal;
+            }
+            match self.run_phase(true, false) {
+                LpStatus::Optimal => {}
+                other => return other,
+            }
+            if self.infeasibility() > self.params.feas_tol * 10.0 {
+                return LpStatus::Infeasible;
+            }
+        }
+        LpStatus::Numerical
+    }
+
+    /// Re-optimizes after bound changes: dual simplex from the current basis
+    /// (dual feasibility survives bound changes), falling back to the primal
+    /// phases on any trouble. This is the branch-and-bound workhorse.
+    pub fn solve_warm(&mut self) -> LpStatus {
+        self.stats.warm_calls += 1;
+        self.normalize_nonbasic_statuses();
+        if self.binv.len() != self.m * self.m {
+            self.stats.dual_fallbacks += 1;
+            return self.solve();
+        }
+        self.recompute_xb();
+        let before = self.iterations;
+        let dual_status = self.dual_simplex();
+        self.stats.dual_iters += self.iterations - before;
+        match dual_status {
+            LpStatus::Optimal => {
+                // The dual optimized perturbed costs; clean up against the
+                // true costs from this (near-optimal) basis, then verify.
+                if self.infeasibility() <= self.params.feas_tol * 100.0
+                    && !self.has_improving_direction()
+                {
+                    self.stats.dual_successes += 1;
+                    return LpStatus::Optimal;
+                }
+                match self.run_phase(false, false) {
+                    LpStatus::Optimal => {}
+                    other => return other,
+                }
+                if self.infeasibility() <= self.params.feas_tol * 100.0
+                    && !self.has_improving_direction()
+                {
+                    self.stats.dual_successes += 1;
+                    LpStatus::Optimal
+                } else {
+                    self.stats.dual_fallbacks += 1;
+                    self.solve()
+                }
+            }
+            LpStatus::Infeasible => {
+                self.stats.dual_successes += 1;
+                LpStatus::Infeasible
+            }
+            LpStatus::TimeLimit => LpStatus::TimeLimit,
+            LpStatus::IterationLimit => LpStatus::IterationLimit,
+            // Dual feasibility did not hold or numerics interfered: do the
+            // full primal solve.
+            _ => {
+                self.stats.dual_fallbacks += 1;
+                self.solve()
+            }
+        }
+    }
+
+    fn phase1_costs(&self) -> Vec<f64> {
+        let mut cb = vec![0.0; self.m];
+        for (i, &j) in self.basis.iter().enumerate() {
+            if self.xb[i] < self.lo[j] - self.params.feas_tol {
+                cb[i] = -1.0;
+            } else if self.xb[i] > self.up[j] + self.params.feas_tol {
+                cb[i] = 1.0;
+            }
+        }
+        cb
+    }
+
+    /// True if any nonbasic variable has an improving reduced cost (phase 2).
+    fn has_improving_direction(&mut self) -> bool {
+        let cb: Vec<f64> = self.basis.iter().map(|&j| self.obj[j]).collect();
+        self.btran_costs(&cb);
+        let tol = self.params.opt_tol * 100.0;
+        for j in 0..self.n_total {
+            if self.status[j] == VarStatus::Basic || self.lo[j] == self.up[j] {
+                continue;
+            }
+            let d = self.reduced_cost(j, false, false);
+            match self.status[j] {
+                VarStatus::AtLower if d < -tol => return true,
+                VarStatus::AtUpper if d > tol => return true,
+                VarStatus::Free if d.abs() > tol => return true,
+                _ => {}
+            }
+        }
+        false
+    }
+
+    fn reduced_cost(&self, j: usize, phase1: bool, pert: bool) -> f64 {
+        let c = if phase1 {
+            0.0
+        } else if pert {
+            self.obj_pert[j]
+        } else {
+            self.obj[j]
+        };
+        c - self.cols.column_dot(j, &self.scratch_y)
+    }
+
+    /// The dual simplex loop. Requires a dual-feasible basis; detects and
+    /// reports violations as `Numerical` so callers can fall back.
+    fn dual_simplex(&mut self) -> LpStatus {
+        let m = self.m;
+        // Reduced costs for all nonbasic variables.
+        let cb: Vec<f64> = self.basis.iter().map(|&j| self.obj_pert[j]).collect();
+        self.btran_costs(&cb);
+        let mut d: Vec<f64> = (0..self.n_total)
+            .map(|j| {
+                if self.status[j] == VarStatus::Basic {
+                    0.0
+                } else {
+                    self.reduced_cost(j, false, true)
+                }
+            })
+            .collect();
+        // Verify dual feasibility within a loose tolerance.
+        let dtol = self.params.opt_tol * 100.0;
+        for j in 0..self.n_total {
+            if self.lo[j] == self.up[j] {
+                continue;
+            }
+            let bad = match self.status[j] {
+                VarStatus::Basic => false,
+                VarStatus::AtLower => d[j] < -dtol,
+                VarStatus::AtUpper => d[j] > dtol,
+                VarStatus::Free => d[j].abs() > dtol,
+            };
+            if bad {
+                return LpStatus::Numerical; // caller falls back to primal
+            }
+        }
+
+        let mut rho = vec![0.0; m];
+        let mut alpha = vec![0.0; self.n_total];
+        let mut degen_run = 0usize;
+        // Deterministic xorshift for the anti-stall row choice.
+        let mut rng_state: u64 = 0x9E37_79B9_7F4A_7C15 ^ (self.iterations as u64 + 1);
+        loop {
+            if self.iterations >= self.params.max_iters {
+                return LpStatus::IterationLimit;
+            }
+            if self.iterations % 64 == 0 && self.deadline_hit() {
+                return LpStatus::TimeLimit;
+            }
+            if degen_run > self.params.degen_switch {
+                // The TVNEP LPs are massively dual-degenerate (nearly all
+                // costs are zero); prolonged zero-progress pivoting is better
+                // handled by the primal phases. Caller falls back.
+                return LpStatus::Numerical;
+            }
+            // Leaving row: worst bound violation; under stalling, a
+            // pseudo-random violated row (breaks ping-pong patterns).
+            let randomize = degen_run > 50;
+            let mut r_best: Option<(usize, f64, bool)> = None; // (row, viol/score, below)
+            for i in 0..m {
+                let j = self.basis[i];
+                let v = self.xb[i];
+                let (viol, below) = if v < self.lo[j] - self.params.feas_tol {
+                    (self.lo[j] - v, true)
+                } else if v > self.up[j] + self.params.feas_tol {
+                    (v - self.up[j], false)
+                } else {
+                    continue;
+                };
+                let score = if randomize {
+                    rng_state ^= rng_state << 13;
+                    rng_state ^= rng_state >> 7;
+                    rng_state ^= rng_state << 17;
+                    (rng_state >> 11) as f64
+                } else {
+                    viol
+                };
+                if r_best.map_or(true, |(_, w, _)| score > w) {
+                    r_best = Some((i, score, below));
+                }
+            }
+            let Some((r, _viol, below)) = r_best else {
+                return LpStatus::Optimal; // primal feasible, dual maintained
+            };
+
+            // ρ = row r of B⁻¹; α_j = ρ'A_j for nonbasic j.
+            for j in 0..m {
+                rho[j] = self.binv[j * m + r];
+            }
+            // Dual ratio test: minimize |d_j| / |α_j| over eligible columns.
+            let mut best: Option<(usize, f64, f64)> = None; // (var, ratio, |alpha|)
+            for j in 0..self.n_total {
+                if self.status[j] == VarStatus::Basic || self.lo[j] == self.up[j] {
+                    continue;
+                }
+                let a = self.cols.column_dot(j, &rho);
+                alpha[j] = a;
+                if a.abs() <= self.params.pivot_tol {
+                    continue;
+                }
+                let eligible = match (self.status[j], below) {
+                    // Leaving exits at its lower bound: x_B[r] must increase.
+                    (VarStatus::AtLower, true) => a < 0.0,
+                    (VarStatus::AtUpper, true) => a > 0.0,
+                    // Leaving exits at its upper bound: x_B[r] must decrease.
+                    (VarStatus::AtLower, false) => a > 0.0,
+                    (VarStatus::AtUpper, false) => a < 0.0,
+                    (VarStatus::Free, _) => true,
+                    (VarStatus::Basic, _) => unreachable!(),
+                };
+                if !eligible {
+                    continue;
+                }
+                let ratio = d[j].abs() / a.abs();
+                // Under stalling, randomize the tie-break among the (many)
+                // zero-ratio candidates instead of always taking max |α|.
+                let score = if randomize {
+                    rng_state ^= rng_state << 13;
+                    rng_state ^= rng_state >> 7;
+                    rng_state ^= rng_state << 17;
+                    (rng_state >> 11) as f64
+                } else {
+                    a.abs()
+                };
+                let better = match best {
+                    None => true,
+                    Some((_, br, ba)) => {
+                        ratio < br - 1e-12 || (ratio < br + 1e-12 && score > ba)
+                    }
+                };
+                if better {
+                    best = Some((j, ratio, score));
+                }
+            }
+            let Some((q, _ratio, _)) = best else {
+                // No entering column can repair the violated row: infeasible.
+                return LpStatus::Infeasible;
+            };
+
+            // Pivot: move x_B[r] exactly onto its violated bound.
+            self.ftran(q);
+            let w_r = self.scratch_w[r];
+            if w_r.abs() <= self.params.pivot_tol {
+                return LpStatus::Numerical;
+            }
+            let jl = self.basis[r];
+            let target = if below { self.lo[jl] } else { self.up[jl] };
+            let delta_xbr = target - self.xb[r];
+            let dx_q = -delta_xbr / w_r;
+            // Update basic values: Δx_B = −w · Δx_q.
+            for i in 0..m {
+                self.xb[i] -= self.scratch_w[i] * dx_q;
+            }
+            let entering_value = self.nonbasic_value(q) + dx_q;
+            self.status[jl] = if below { VarStatus::AtLower } else { VarStatus::AtUpper };
+            self.basis[r] = q;
+            self.status[q] = VarStatus::Basic;
+            self.xb[r] = entering_value;
+
+            // Incremental reduced-cost update: d'_k = d_k − (d_q/α_q)·α_k.
+            let theta = d[q] / alpha[q];
+            if theta != 0.0 {
+                for k in 0..self.n_total {
+                    if self.status[k] != VarStatus::Basic && alpha[k] != 0.0 {
+                        d[k] -= theta * alpha[k];
+                    }
+                }
+            }
+            d[jl] = -theta;
+            d[q] = 0.0;
+            alpha.iter_mut().for_each(|a| *a = 0.0);
+
+            self.update_binv(r);
+            self.iterations += 1;
+            // A dual-degenerate pivot makes no dual-objective progress
+            // (θ = d_q/α_q ≈ 0), even though primal values move.
+            if theta.abs() <= 1e-10 {
+                degen_run += 1;
+            } else {
+                degen_run = 0;
+            }
+            if self.pivots_since_refactor >= self.params.refactor_every {
+                if !self.refactorize() {
+                    return LpStatus::Numerical;
+                }
+                self.recompute_xb();
+                // Refresh reduced costs from scratch to bound drift.
+                let cb: Vec<f64> = self.basis.iter().map(|&j| self.obj_pert[j]).collect();
+                self.btran_costs(&cb);
+                for j in 0..self.n_total {
+                    d[j] = if self.status[j] == VarStatus::Basic {
+                        0.0
+                    } else {
+                        self.reduced_cost(j, false, true)
+                    };
+                }
+            }
+        }
+    }
+
+    /// Core pricing + ratio-test + pivot loop for one primal phase.
+    /// `pert` selects the perturbed costs (anti-degeneracy); the final
+    /// cleanup pass always runs with `pert = false`.
+    fn run_phase(&mut self, phase1: bool, pert: bool) -> LpStatus {
+        let mut degen_run = 0usize;
+        loop {
+            if self.iterations >= self.params.max_iters {
+                return LpStatus::IterationLimit;
+            }
+            if self.iterations % 64 == 0 && self.deadline_hit() {
+                return LpStatus::TimeLimit;
+            }
+            if phase1 && self.infeasibility() <= self.params.feas_tol {
+                return LpStatus::Optimal;
+            }
+            // Price.
+            let cb: Vec<f64> = if phase1 {
+                self.phase1_costs()
+            } else if pert {
+                self.basis.iter().map(|&j| self.obj_pert[j]).collect()
+            } else {
+                self.basis.iter().map(|&j| self.obj[j]).collect()
+            };
+            self.btran_costs(&cb);
+            let pricing = if degen_run > self.params.degen_switch {
+                Pricing::Bland
+            } else {
+                Pricing::Dantzig
+            };
+            let mut entering: Option<(usize, f64, f64)> = None; // (var, d, sigma)
+            for j in 0..self.n_total {
+                if self.status[j] == VarStatus::Basic || self.lo[j] == self.up[j] {
+                    continue;
+                }
+                let d = self.reduced_cost(j, phase1, pert);
+                let (eligible, sigma) = match self.status[j] {
+                    VarStatus::AtLower => (d < -self.params.opt_tol, 1.0),
+                    VarStatus::AtUpper => (d > self.params.opt_tol, -1.0),
+                    VarStatus::Free => {
+                        (d.abs() > self.params.opt_tol, if d < 0.0 { 1.0 } else { -1.0 })
+                    }
+                    VarStatus::Basic => unreachable!(),
+                };
+                if !eligible {
+                    continue;
+                }
+                match pricing {
+                    Pricing::Bland => {
+                        entering = Some((j, d, sigma));
+                        break;
+                    }
+                    Pricing::Dantzig => {
+                        if entering.map_or(true, |(_, dbest, _)| d.abs() > dbest.abs()) {
+                            entering = Some((j, d, sigma));
+                        }
+                    }
+                }
+            }
+            let Some((q, _dq, sigma)) = entering else {
+                return LpStatus::Optimal;
+            };
+
+            // Direction of basics: dx_B/dt = −σ·w.
+            self.ftran(q);
+
+            // Ratio test.
+            let own_limit = match self.status[q] {
+                VarStatus::AtLower | VarStatus::AtUpper => self.up[q] - self.lo[q],
+                VarStatus::Free => INF,
+                VarStatus::Basic => unreachable!(),
+            };
+            let mut best_t = INF;
+            let mut best_row: Option<(usize, bool)> = None; // (row, blocks_at_upper)
+            let mut best_piv: f64 = 0.0;
+            for i in 0..self.m {
+                let w = self.scratch_w[i];
+                if w.abs() <= self.params.pivot_tol {
+                    continue;
+                }
+                let rate = -sigma * w; // dx_B[i]/dt
+                let bj = self.basis[i];
+                let v = self.xb[i];
+                let below = v < self.lo[bj] - self.params.feas_tol;
+                let above = v > self.up[bj] + self.params.feas_tol;
+                let (limit, at_upper) = if phase1 && below {
+                    if rate > 0.0 {
+                        ((self.lo[bj] - v) / rate, false)
+                    } else {
+                        continue;
+                    }
+                } else if phase1 && above {
+                    if rate < 0.0 {
+                        ((v - self.up[bj]) / -rate, true)
+                    } else {
+                        continue;
+                    }
+                } else if rate > 0.0 {
+                    if self.up[bj] == INF {
+                        continue;
+                    }
+                    (((self.up[bj] - v) / rate).max(0.0), true)
+                } else {
+                    if self.lo[bj] == -INF {
+                        continue;
+                    }
+                    (((v - self.lo[bj]) / -rate).max(0.0), false)
+                };
+                let better = limit < best_t - 1e-12
+                    || (limit < best_t + 1e-12 && w.abs() > best_piv.abs());
+                if better {
+                    best_t = limit;
+                    best_row = Some((i, at_upper));
+                    best_piv = w;
+                }
+            }
+
+            if own_limit <= best_t {
+                if own_limit == INF {
+                    return if phase1 { LpStatus::Numerical } else { LpStatus::Unbounded };
+                }
+                // Bound flip: no basis change.
+                let t = own_limit;
+                for i in 0..self.m {
+                    self.xb[i] -= sigma * t * self.scratch_w[i];
+                }
+                self.status[q] = match self.status[q] {
+                    VarStatus::AtLower => VarStatus::AtUpper,
+                    VarStatus::AtUpper => VarStatus::AtLower,
+                    _ => unreachable!("free variables have no opposite bound"),
+                };
+                self.iterations += 1;
+                if t <= 1e-10 {
+                    degen_run += 1;
+                } else {
+                    degen_run = 0;
+                }
+                continue;
+            }
+
+            let Some((r, at_upper)) = best_row else {
+                return if phase1 { LpStatus::Numerical } else { LpStatus::Unbounded };
+            };
+            let t = best_t;
+            let entering_value = match self.status[q] {
+                VarStatus::AtLower => self.lo[q] + sigma * t,
+                VarStatus::AtUpper => self.up[q] + sigma * t,
+                VarStatus::Free => sigma * t,
+                VarStatus::Basic => unreachable!(),
+            };
+            for i in 0..self.m {
+                self.xb[i] -= sigma * t * self.scratch_w[i];
+            }
+            let leaving = self.basis[r];
+            self.status[leaving] =
+                if at_upper { VarStatus::AtUpper } else { VarStatus::AtLower };
+            self.basis[r] = q;
+            self.status[q] = VarStatus::Basic;
+            self.xb[r] = entering_value;
+
+            self.update_binv(r);
+            self.iterations += 1;
+            if t <= 1e-10 {
+                degen_run += 1;
+            } else {
+                degen_run = 0;
+            }
+            if self.pivots_since_refactor >= self.params.refactor_every {
+                if !self.refactorize() {
+                    return LpStatus::Numerical;
+                }
+                self.recompute_xb();
+            }
+        }
+    }
+
+    /// Current value of structural variable `j`.
+    fn var_value(&self, j: usize) -> f64 {
+        match self.status[j] {
+            VarStatus::Basic => {
+                let i = self.basis.iter().position(|&b| b == j).expect("basic var in basis");
+                self.xb[i]
+            }
+            _ => self.nonbasic_value(j),
+        }
+    }
+
+    /// Maximum KKT violation of the current basis point: primal bound/row
+    /// violations plus dual-feasibility violations of the reduced costs.
+    /// A small value certifies optimality independently of the pivoting path,
+    /// which the test suite uses in place of a reference solver.
+    pub fn kkt_violation(&self) -> f64 {
+        let m = self.m;
+        // y = c_B' B⁻¹ computed locally (&self).
+        let cb: Vec<f64> = self.basis.iter().map(|&j| self.obj[j]).collect();
+        let mut y = vec![0.0; m];
+        for (j, yv) in y.iter_mut().enumerate() {
+            let col = &self.binv[j * m..(j + 1) * m];
+            let mut acc = 0.0;
+            for (c, &b) in cb.iter().zip(col) {
+                acc += c * b;
+            }
+            *yv = acc;
+        }
+        let mut worst = self.infeasibility();
+        for j in 0..self.n_total {
+            if self.lo[j] == self.up[j] {
+                continue;
+            }
+            let d = self.obj[j] - self.cols.column_dot(j, &y);
+            let viol = match self.status[j] {
+                VarStatus::Basic => d.abs(),
+                VarStatus::AtLower => (-d).max(0.0),
+                VarStatus::AtUpper => d.max(0.0),
+                VarStatus::Free => d.abs(),
+            };
+            worst = worst.max(viol);
+        }
+        worst
+    }
+
+    /// Objective of the current point (including offset).
+    pub fn objective_value(&self) -> f64 {
+        self.obj_offset
+            + (0..self.n_struct)
+                .map(|j| self.obj[j] * self.var_value(j))
+                .sum::<f64>()
+    }
+
+    /// Extracts the solution; `status` should be the value returned by
+    /// [`solve`](Self::solve).
+    pub fn extract(&self, status: LpStatus) -> LpSolution {
+        let mut x = vec![0.0; self.n_struct];
+        let mut basic_pos = vec![usize::MAX; self.n_total];
+        for (i, &j) in self.basis.iter().enumerate() {
+            basic_pos[j] = i;
+        }
+        for (j, xv) in x.iter_mut().enumerate() {
+            *xv = if basic_pos[j] != usize::MAX {
+                self.xb[basic_pos[j]]
+            } else {
+                self.nonbasic_value(j)
+            };
+        }
+        let mut row_activity = vec![0.0; self.m];
+        for (s, act) in row_activity.iter_mut().enumerate() {
+            let j = self.n_struct + s;
+            *act = if basic_pos[j] != usize::MAX {
+                self.xb[basic_pos[j]]
+            } else {
+                self.nonbasic_value(j)
+            };
+        }
+        let objective =
+            self.obj_offset + (0..self.n_struct).map(|j| self.obj[j] * x[j]).sum::<f64>();
+        LpSolution { status, objective, x, row_activity, iterations: self.iterations }
+    }
+}

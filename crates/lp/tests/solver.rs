@@ -1,0 +1,346 @@
+//! Integration tests for the simplex solver: textbook LPs with known optima,
+//! degenerate/edge cases, warm starts, and KKT-certified random instances.
+
+use proptest::prelude::*;
+use tvnep_lp::{solve, LpProblem, LpStatus, Simplex, INF};
+
+fn assert_opt(lp: &LpProblem, expected: f64) {
+    let sol = solve(lp);
+    assert_eq!(sol.status, LpStatus::Optimal, "expected optimal");
+    assert!(
+        (sol.objective - expected).abs() < 1e-6,
+        "objective {} != expected {expected}",
+        sol.objective
+    );
+    assert!(lp.max_violation(&sol.x) < 1e-6, "solution must be feasible");
+}
+
+#[test]
+fn textbook_max_two_vars() {
+    // max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18 (Hillier-Lieberman).
+    let mut lp = LpProblem::new();
+    let x = lp.add_var(0.0, INF, -3.0);
+    let y = lp.add_var(0.0, INF, -5.0);
+    lp.add_le(&[(x, 1.0)], 4.0);
+    lp.add_le(&[(y, 2.0)], 12.0);
+    lp.add_le(&[(x, 3.0), (y, 2.0)], 18.0);
+    assert_opt(&lp, -36.0); // x=2, y=6
+}
+
+#[test]
+fn equality_constraints_need_phase1() {
+    // min x + y st x + 2y = 4, 3x - y = 2 -> unique point (8/7, 10/7).
+    let mut lp = LpProblem::new();
+    let x = lp.add_var(-INF, INF, 1.0);
+    let y = lp.add_var(-INF, INF, 1.0);
+    lp.add_eq(&[(x, 1.0), (y, 2.0)], 4.0);
+    lp.add_eq(&[(x, 3.0), (y, -1.0)], 2.0);
+    assert_opt(&lp, 8.0 / 7.0 + 10.0 / 7.0);
+}
+
+#[test]
+fn infeasible_detected() {
+    let mut lp = LpProblem::new();
+    let x = lp.add_var(0.0, 1.0, 0.0);
+    lp.add_ge(&[(x, 1.0)], 2.0);
+    assert_eq!(solve(&lp).status, LpStatus::Infeasible);
+}
+
+#[test]
+fn infeasible_between_rows() {
+    let mut lp = LpProblem::new();
+    let x = lp.add_var(-INF, INF, 0.0);
+    lp.add_le(&[(x, 1.0)], 1.0);
+    lp.add_ge(&[(x, 1.0)], 2.0);
+    assert_eq!(solve(&lp).status, LpStatus::Infeasible);
+}
+
+#[test]
+fn unbounded_detected() {
+    let mut lp = LpProblem::new();
+    let x = lp.add_var(0.0, INF, -1.0);
+    lp.add_ge(&[(x, 1.0)], 1.0);
+    assert_eq!(solve(&lp).status, LpStatus::Unbounded);
+}
+
+#[test]
+fn free_variable_unbounded_without_rows() {
+    let mut lp = LpProblem::new();
+    lp.add_var(-INF, INF, 1.0);
+    assert_eq!(solve(&lp).status, LpStatus::Unbounded);
+}
+
+#[test]
+fn pure_bound_problem_no_rows() {
+    let mut lp = LpProblem::new();
+    lp.add_var(-1.0, 2.0, 1.0); // -> -1
+    lp.add_var(-1.0, 2.0, -1.0); // -> 2 (contributes -2)
+    lp.add_var(3.0, 3.0, 10.0); // fixed -> 30
+    assert_opt(&lp, 27.0);
+}
+
+#[test]
+fn range_row_binds_on_both_sides() {
+    // min x st 1 <= x + y <= 2, y in [0, 10], x free.
+    let mut lp = LpProblem::new();
+    let x = lp.add_var(-INF, INF, 1.0);
+    let y = lp.add_var(0.0, 10.0, 0.0);
+    lp.add_row(1.0, 2.0, &[(x, 1.0), (y, 1.0)]);
+    assert_opt(&lp, -9.0); // y=10, x=-9 puts activity at lower bound 1
+}
+
+#[test]
+fn degenerate_beale_cycle_guard() {
+    // Beale's classic cycling example; Bland fallback must terminate it.
+    let mut lp = LpProblem::new();
+    let x1 = lp.add_var(0.0, INF, -0.75);
+    let x2 = lp.add_var(0.0, INF, 150.0);
+    let x3 = lp.add_var(0.0, INF, -0.02);
+    let x4 = lp.add_var(0.0, INF, 6.0);
+    lp.add_le(&[(x1, 0.25), (x2, -60.0), (x3, -1.0 / 25.0), (x4, 9.0)], 0.0);
+    lp.add_le(&[(x1, 0.5), (x2, -90.0), (x3, -1.0 / 50.0), (x4, 3.0)], 0.0);
+    lp.add_le(&[(x3, 1.0)], 1.0);
+    assert_opt(&lp, -0.05);
+}
+
+#[test]
+fn upper_bounded_transport() {
+    // min cost transport with bound flips: 2 supplies, 2 demands.
+    let mut lp = LpProblem::new();
+    let x11 = lp.add_var(0.0, 5.0, 1.0);
+    let x12 = lp.add_var(0.0, 5.0, 4.0);
+    let x21 = lp.add_var(0.0, 5.0, 2.0);
+    let x22 = lp.add_var(0.0, 5.0, 1.0);
+    lp.add_eq(&[(x11, 1.0), (x12, 1.0)], 6.0); // needs x12 > 0 given cap 5
+    lp.add_eq(&[(x21, 1.0), (x22, 1.0)], 4.0);
+    lp.add_eq(&[(x11, 1.0), (x21, 1.0)], 5.0);
+    lp.add_eq(&[(x12, 1.0), (x22, 1.0)], 5.0);
+    // x11=5, x12=1, x21=0, x22=4 -> 5 + 4 + 0 + 4 = 13.
+    assert_opt(&lp, 13.0);
+}
+
+#[test]
+fn negative_lower_bounds() {
+    let mut lp = LpProblem::new();
+    let x = lp.add_var(-5.0, 5.0, 1.0);
+    let y = lp.add_var(-5.0, 5.0, 1.0);
+    lp.add_ge(&[(x, 1.0), (y, 1.0)], -3.0);
+    assert_opt(&lp, -3.0);
+}
+
+#[test]
+fn warm_start_after_bound_tightening() {
+    // Mimics a branch-and-bound step: solve, tighten a bound, re-solve.
+    let mut lp = LpProblem::new();
+    let x = lp.add_var(0.0, 1.0, -1.0);
+    let y = lp.add_var(0.0, 1.0, -1.0);
+    lp.add_le(&[(x, 1.0), (y, 1.0)], 1.5);
+    let mut s = Simplex::new(&lp);
+    assert_eq!(s.solve(), LpStatus::Optimal);
+    let sol = s.extract(LpStatus::Optimal);
+    assert!((sol.objective - (-1.5)).abs() < 1e-7);
+    let basis = s.save_basis();
+    // Branch x <= 0.
+    s.set_var_bounds(0, 0.0, 0.0);
+    assert_eq!(s.solve(), LpStatus::Optimal);
+    assert!((s.objective_value() - (-1.0)).abs() < 1e-7);
+    // Backtrack: x >= 1 branch from the recorded parent basis.
+    s.set_var_bounds(0, 1.0, 1.0);
+    s.load_basis(&basis);
+    assert_eq!(s.solve(), LpStatus::Optimal);
+    assert!((s.objective_value() - (-1.5)).abs() < 1e-7);
+}
+
+#[test]
+fn fixed_variables_stay_fixed() {
+    let mut lp = LpProblem::new();
+    let x = lp.add_var(2.0, 2.0, -10.0);
+    let y = lp.add_var(0.0, INF, 1.0);
+    lp.add_ge(&[(x, 1.0), (y, 1.0)], 3.0);
+    let sol = solve(&lp);
+    assert_eq!(sol.status, LpStatus::Optimal);
+    assert!((sol.x[0] - 2.0).abs() < 1e-9);
+    assert!((sol.x[1] - 1.0).abs() < 1e-7);
+    let _ = (x, y);
+}
+
+#[test]
+fn zero_capacity_rows() {
+    // A row forced to zero activity acts like an equality through the origin.
+    let mut lp = LpProblem::new();
+    let x = lp.add_var(0.0, 10.0, -1.0);
+    let y = lp.add_var(0.0, 10.0, 0.0);
+    lp.add_row(0.0, 0.0, &[(x, 1.0), (y, -1.0)]);
+    lp.add_le(&[(y, 1.0)], 7.0);
+    assert_opt(&lp, -7.0);
+}
+
+#[test]
+fn larger_assignment_lp_is_integral() {
+    // 6x6 assignment problem relaxation: optimum is a permutation.
+    let n = 6;
+    let cost: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|j| (((i * 7 + j * 13) % 10) + 1) as f64).collect())
+        .collect();
+    let mut lp = LpProblem::new();
+    let mut vars = vec![vec![]; n];
+    for (i, row) in vars.iter_mut().enumerate() {
+        for j in 0..n {
+            row.push(lp.add_var(0.0, 1.0, cost[i][j]));
+        }
+    }
+    for i in 0..n {
+        let terms: Vec<_> = (0..n).map(|j| (vars[i][j], 1.0)).collect();
+        lp.add_eq(&terms, 1.0);
+        let terms: Vec<_> = (0..n).map(|j| (vars[j][i], 1.0)).collect();
+        lp.add_eq(&terms, 1.0);
+    }
+    let sol = solve(&lp);
+    assert_eq!(sol.status, LpStatus::Optimal);
+    // Totally unimodular constraint matrix -> basic optimum is 0/1.
+    for v in &sol.x {
+        assert!(v.abs() < 1e-6 || (v - 1.0).abs() < 1e-6, "fractional {v}");
+    }
+}
+
+#[test]
+fn max_flow_as_lp() {
+    // Max s-t flow on a diamond: s->a (3), s->b (2), a->t (2), b->t (3), a->b (1).
+    let mut lp = LpProblem::new();
+    let sa = lp.add_var(0.0, 3.0, -1.0);
+    let sb = lp.add_var(0.0, 2.0, -1.0);
+    let at = lp.add_var(0.0, 2.0, 0.0);
+    let bt = lp.add_var(0.0, 3.0, 0.0);
+    let ab = lp.add_var(0.0, 1.0, 0.0);
+    lp.add_eq(&[(sa, 1.0), (at, -1.0), (ab, -1.0)], 0.0); // node a
+    lp.add_eq(&[(sb, 1.0), (ab, 1.0), (bt, -1.0)], 0.0); // node b
+    assert_opt(&lp, -5.0); // min cut = 5
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random LPs built around a known feasible point: the solver must never
+    /// report infeasible, and any claimed optimum must satisfy the KKT
+    /// conditions (independent certificate) and primal feasibility.
+    #[test]
+    fn random_feasible_lps_are_kkt_optimal(
+        n in 1usize..8,
+        m in 0usize..10,
+        seed_vals in prop::collection::vec(-5.0f64..5.0, 8),
+        coeffs in prop::collection::vec(-3.0f64..3.0, 80),
+        costs in prop::collection::vec(-2.0f64..2.0, 8),
+        slack in 0.0f64..4.0,
+    ) {
+        let mut lp = LpProblem::new();
+        let x0: Vec<f64> = seed_vals.iter().take(n).copied().collect();
+        for (j, &v) in x0.iter().enumerate() {
+            // Bounds around the seed point, so x0 is always feasible.
+            lp.add_var(v - 1.0, v + 1.0 + slack, costs[j]);
+        }
+        for i in 0..m {
+            let terms: Vec<_> = (0..n)
+                .map(|j| (tvnep_lp::VarId(j), coeffs[(i * n + j) % coeffs.len()]))
+                .collect();
+            let act: f64 = terms.iter().map(|&(v, c)| c * x0[v.0]).sum();
+            lp.add_row(act - slack - 1.0, act + 0.5, &terms);
+        }
+        let mut s = Simplex::new(&lp);
+        let status = s.solve();
+        prop_assert_eq!(status, LpStatus::Optimal, "bounded feasible LP must solve");
+        let sol = s.extract(status);
+        prop_assert!(lp.max_violation(&sol.x) < 1e-6);
+        prop_assert!(s.kkt_violation() < 1e-5, "KKT violation {}", s.kkt_violation());
+        // Optimum must not exceed the seed point's objective.
+        prop_assert!(sol.objective <= lp.eval_objective(&x0) + 1e-6);
+    }
+
+    /// Dual-simplex warm start (the branch-and-bound path) must agree with a
+    /// cold primal solve after bound tightening, including infeasibility.
+    #[test]
+    fn dual_warm_start_matches_cold_solve(
+        n in 2usize..6,
+        m in 1usize..6,
+        coeffs in prop::collection::vec(-2.0f64..2.0, 36),
+        costs in prop::collection::vec(-2.0f64..2.0, 6),
+        tighten in prop::collection::vec((0usize..6, 0.0f64..1.0), 1..4),
+    ) {
+        let mut lp = LpProblem::new();
+        for j in 0..n {
+            lp.add_var(0.0, 2.0, costs[j]);
+        }
+        for i in 0..m {
+            let terms: Vec<_> = (0..n)
+                .map(|j| (tvnep_lp::VarId(j), coeffs[(i * n + j) % coeffs.len()]))
+                .collect();
+            lp.add_row(-3.0, 3.0, &terms);
+        }
+        let mut s = Simplex::new(&lp);
+        if s.solve() != LpStatus::Optimal {
+            return Ok(());
+        }
+        // Apply a sequence of tightenings, dual-warm-starting each time —
+        // exactly the branch-and-bound dive pattern.
+        let mut lp2 = lp.clone();
+        for &(var, frac) in &tighten {
+            let j = var % n;
+            let (lo, _) = s.var_bounds(j);
+            let new_up = lo + (2.0 - lo) * frac;
+            s.set_var_bounds(j, lo, new_up);
+            lp2.set_var_bounds(tvnep_lp::VarId(j), lo, new_up);
+            let warm = s.solve_warm();
+            let cold = solve(&lp2);
+            prop_assert_eq!(warm, cold.status, "warm vs cold status");
+            if warm == LpStatus::Optimal {
+                prop_assert!(
+                    (s.objective_value() - cold.objective).abs() < 1e-5,
+                    "warm {} vs cold {}", s.objective_value(), cold.objective
+                );
+                prop_assert!(s.kkt_violation() < 1e-5);
+            } else {
+                break; // infeasible: further tightening is moot
+            }
+        }
+    }
+
+    /// Bound tightening then warm-started re-solve must agree with a cold solve.
+    #[test]
+    fn warm_start_matches_cold_solve(
+        n in 2usize..6,
+        m in 1usize..6,
+        coeffs in prop::collection::vec(-2.0f64..2.0, 36),
+        costs in prop::collection::vec(-2.0f64..2.0, 6),
+        tighten_var in 0usize..6,
+        frac in 0.0f64..1.0,
+    ) {
+        let mut lp = LpProblem::new();
+        for j in 0..n {
+            lp.add_var(0.0, 2.0, costs[j]);
+        }
+        for i in 0..m {
+            let terms: Vec<_> = (0..n)
+                .map(|j| (tvnep_lp::VarId(j), coeffs[(i * n + j) % coeffs.len()]))
+                .collect();
+            lp.add_row(-3.0, 3.0, &terms);
+        }
+        let mut s = Simplex::new(&lp);
+        if s.solve() != LpStatus::Optimal {
+            return Ok(()); // rows may make the box infeasible; fine
+        }
+        let j = tighten_var % n;
+        let new_up = 2.0 * frac;
+        s.set_var_bounds(j, 0.0, new_up);
+        let warm_status = s.solve_warm();
+
+        let mut lp2 = lp.clone();
+        lp2.set_var_bounds(tvnep_lp::VarId(j), 0.0, new_up);
+        let cold = solve(&lp2);
+        prop_assert_eq!(warm_status, cold.status);
+        if warm_status == LpStatus::Optimal {
+            prop_assert!(
+                (s.objective_value() - cold.objective).abs() < 1e-5,
+                "warm {} vs cold {}", s.objective_value(), cold.objective
+            );
+        }
+    }
+}

@@ -1,0 +1,646 @@
+//! Branch-and-bound solver for [`MipModel`]s.
+//!
+//! Classic LP-based branch and bound: best-bound node selection with
+//! depth-first plunging, most-fractional or pseudocost branching, a rounding
+//! heuristic for quick incumbents, and warm-started LP re-solves (the
+//! [`Simplex`] keeps its basis between nodes; only integer-variable bounds
+//! change). Reports the same quantities the paper's Gurobi runs report:
+//! incumbent objective, best bound, relative *objective gap* and node count.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+use crate::model::{MipModel, Sense, VarKind};
+use tvnep_lp::{LpStatus, Params, Simplex};
+
+/// Termination status of a MIP solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MipStatus {
+    /// Incumbent proven optimal (within the relative gap tolerance).
+    Optimal,
+    /// A limit was hit; an incumbent exists but is not proven optimal.
+    Feasible,
+    /// The problem has no feasible point.
+    Infeasible,
+    /// The relaxation is unbounded in the optimization direction.
+    Unbounded,
+    /// A limit was hit before any feasible point was found.
+    NoSolution,
+    /// The tree is exhausted and nothing beats the caller-provided cutoff:
+    /// the cutoff solution is optimal (within the pruning tolerance).
+    NoBetterThanCutoff,
+    /// Repeated numerical failures in the LP engine.
+    Numerical,
+}
+
+/// Branching-variable selection rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Branching {
+    /// Pick the integer variable whose fractional part is closest to 1/2.
+    MostFractional,
+    /// Pseudocost branching with most-fractional fallback until initialized.
+    Pseudocost,
+}
+
+/// Solver options.
+#[derive(Debug, Clone)]
+pub struct MipOptions {
+    /// Wall-clock limit for the whole solve.
+    pub time_limit: Option<Duration>,
+    /// Maximum number of branch-and-bound nodes.
+    pub node_limit: Option<u64>,
+    /// Terminate when the relative gap drops to this value.
+    pub rel_gap: f64,
+    /// Integrality tolerance.
+    pub int_tol: f64,
+    /// Branching rule.
+    pub branching: Branching,
+    /// Print a progress line every N nodes (None = silent).
+    pub log_every: Option<u64>,
+    /// LP engine parameters.
+    pub lp_params: Option<Params>,
+    /// Objective value (user sense) of a known feasible solution, e.g. from
+    /// a heuristic. Activates bound pruning immediately: only strictly
+    /// better solutions are searched for. When the tree is exhausted without
+    /// finding one, the status is [`MipStatus::NoBetterThanCutoff`].
+    pub cutoff: Option<f64>,
+}
+
+impl Default for MipOptions {
+    fn default() -> Self {
+        Self {
+            time_limit: None,
+            node_limit: None,
+            rel_gap: 1e-6,
+            int_tol: 1e-6,
+            branching: Branching::Pseudocost,
+            log_every: None,
+            lp_params: None,
+            cutoff: None,
+        }
+    }
+}
+
+impl MipOptions {
+    /// Options with only a time limit set.
+    pub fn with_time_limit(limit: Duration) -> Self {
+        Self { time_limit: Some(limit), ..Self::default() }
+    }
+}
+
+/// Result of a branch-and-bound run. Objective/bound are in the user's sense.
+#[derive(Debug, Clone)]
+pub struct MipResult {
+    /// Termination status.
+    pub status: MipStatus,
+    /// Incumbent objective, if any feasible point was found.
+    pub objective: Option<f64>,
+    /// Best proven bound on the optimum (user sense: upper bound when
+    /// maximizing, lower bound when minimizing).
+    pub best_bound: f64,
+    /// Incumbent point, if any.
+    pub x: Option<Vec<f64>>,
+    /// Relative objective gap `|obj − bound| / |obj|`; `None` when no
+    /// incumbent exists (the paper plots this case as ∞).
+    pub gap: Option<f64>,
+    /// Nodes processed.
+    pub nodes: u64,
+    /// Total simplex iterations.
+    pub lp_iterations: usize,
+    /// Wall-clock time spent.
+    pub runtime: Duration,
+}
+
+impl MipResult {
+    /// Gap with `None` mapped to infinity (paper convention for "no solution
+    /// found within the time limit").
+    pub fn gap_or_inf(&self) -> f64 {
+        self.gap.unwrap_or(f64::INFINITY)
+    }
+
+    /// True if an incumbent exists.
+    pub fn has_solution(&self) -> bool {
+        self.x.is_some()
+    }
+}
+
+/// Solves with default options.
+pub fn solve(model: &MipModel) -> MipResult {
+    solve_with(model, &MipOptions::default())
+}
+
+struct Node {
+    /// `(lo, up)` for each *integer* variable, in `int_vars` order.
+    bounds: Box<[(f64, f64)]>,
+    /// LP bound inherited from the parent (minimize sense).
+    bound: f64,
+    depth: u32,
+    seq: u64,
+    /// Pseudocost bookkeeping: `(int_var_idx, branched_up, parent_lp_obj,
+    /// fractional_part)` of the branching that created this node. Recorded
+    /// once the node's own LP solves.
+    pending_pseudo: Option<(usize, bool, f64, f64)>,
+}
+
+// Min-heap on (bound, seq): BinaryHeap is a max-heap, so invert.
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound && self.seq == other.seq
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct PseudoCosts {
+    up_sum: Vec<f64>,
+    up_count: Vec<u32>,
+    down_sum: Vec<f64>,
+    down_count: Vec<u32>,
+}
+
+impl PseudoCosts {
+    fn new(n: usize) -> Self {
+        Self {
+            up_sum: vec![0.0; n],
+            up_count: vec![0; n],
+            down_sum: vec![0.0; n],
+            down_count: vec![0; n],
+        }
+    }
+
+    fn record(&mut self, k: usize, up: bool, obj_gain_per_unit: f64) {
+        let gain = obj_gain_per_unit.max(0.0);
+        if up {
+            self.up_sum[k] += gain;
+            self.up_count[k] += 1;
+        } else {
+            self.down_sum[k] += gain;
+            self.down_count[k] += 1;
+        }
+    }
+
+    /// Estimated objective degradation product (standard score).
+    fn score(&self, k: usize, frac: f64) -> Option<f64> {
+        if self.up_count[k] == 0 || self.down_count[k] == 0 {
+            return None;
+        }
+        let up = self.up_sum[k] / self.up_count[k] as f64;
+        let down = self.down_sum[k] / self.down_count[k] as f64;
+        let u = up * (1.0 - frac);
+        let d = down * frac;
+        Some(u.max(1e-6) * d.max(1e-6))
+    }
+}
+
+/// Iterative rounding dive: from the current (fractional) LP, repeatedly fix
+/// the most-integral fractional integer variable to its rounding and
+/// re-solve, hoping to land on an integer-feasible point. Bounds mutated
+/// here are overwritten by the next node's bound assignment, so no explicit
+/// restore is needed.
+fn dive_heuristic(
+    simplex: &mut Simplex,
+    int_vars: &[usize],
+    int_tol: f64,
+    max_solves: usize,
+) -> Option<(f64, Vec<f64>)> {
+    for _ in 0..max_solves {
+        let sol = simplex.extract(LpStatus::Optimal);
+        // Most-integral fractional variable.
+        let mut pick: Option<(usize, f64, f64)> = None; // (var, value, dist)
+        for &j in int_vars {
+            let v = sol.x[j];
+            let dist = (v - v.round()).abs();
+            if dist > int_tol && pick.map_or(true, |(_, _, d)| dist < d) {
+                pick = Some((j, v, dist));
+            }
+        }
+        let Some((j, v, _)) = pick else {
+            return Some((sol.objective, sol.x));
+        };
+        let r = v.round();
+        let (lo, up) = simplex.var_bounds(j);
+        if r < lo - 1e-9 || r > up + 1e-9 {
+            return None;
+        }
+        simplex.set_var_bounds(j, r, r);
+        if simplex.solve_warm() != LpStatus::Optimal {
+            return None;
+        }
+    }
+    None
+}
+
+/// Solves `model` with `opts`.
+pub fn solve_with(model: &MipModel, opts: &MipOptions) -> MipResult {
+    let start = Instant::now();
+    let sign = match model.sense() {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    let lp_min = model.relaxation_min();
+    let mut simplex = Simplex::new(&lp_min);
+    if let Some(p) = &opts.lp_params {
+        simplex.set_params(p.clone());
+    }
+    // The LP engine honors the same wall-clock budget so a single long
+    // relaxation cannot blow through the MIP time limit.
+    if let Some(tl) = opts.time_limit {
+        simplex.set_deadline(Some(start + tl));
+    }
+    let mut first_lp = true;
+    let int_vars: Vec<usize> = model
+        .kinds()
+        .iter()
+        .enumerate()
+        .filter(|(_, k)| !matches!(k, VarKind::Continuous))
+        .map(|(j, _)| j)
+        .collect();
+    let root_bounds: Box<[(f64, f64)]> = int_vars
+        .iter()
+        .map(|&j| (lp_min.var_lower()[j], lp_min.var_upper()[j]))
+        .collect();
+
+    let mut pseudo = PseudoCosts::new(int_vars.len());
+    let mut heap: BinaryHeap<Node> = BinaryHeap::new();
+    let mut seq: u64 = 0;
+    let mut nodes: u64 = 0;
+    let mut incumbent: Option<(f64, Vec<f64>)> = None; // minimize sense
+    // Cutoff in minimize sense: prune anything not strictly better.
+    let cutoff_min: Option<f64> = opts.cutoff.map(|c| sign * c);
+    let mut numerical_failures: u32 = 0;
+
+    heap.push(Node {
+        bounds: root_bounds,
+        bound: f64::NEG_INFINITY,
+        depth: 0,
+        seq,
+        pending_pseudo: None,
+    });
+    seq += 1;
+
+    let finish = |status: MipStatus,
+                  incumbent: Option<(f64, Vec<f64>)>,
+                  bound_min: f64,
+                  nodes: u64,
+                  simplex: &Simplex| {
+        let (objective, x) = match incumbent {
+            Some((obj, x)) => (Some(sign * obj), Some(x)),
+            None => (None, None),
+        };
+        let gap = objective.map(|o| {
+            let b = sign * bound_min;
+            ((o - b).abs() / o.abs().max(1e-10)).max(0.0)
+        });
+        MipResult {
+            status,
+            objective,
+            best_bound: sign * bound_min,
+            x,
+            gap,
+            nodes,
+            lp_iterations: simplex.iterations(),
+            runtime: start.elapsed(),
+        }
+    };
+
+    // The global dual bound is the min over open-node bounds (lazy: heap
+    // contents) and, during a dive, the dive node's own bound.
+    let global_bound = |heap: &BinaryHeap<Node>, dive: Option<f64>, inc: &Option<(f64, Vec<f64>)>| {
+        let mut b = f64::INFINITY;
+        if let Some(top) = heap.peek() {
+            b = b.min(top.bound);
+        }
+        if let Some(d) = dive {
+            b = b.min(d);
+        }
+        if b == f64::INFINITY {
+            // Tree exhausted: bound equals incumbent (or +inf if none).
+            b = inc.as_ref().map_or(f64::INFINITY, |(o, _)| *o);
+        }
+        b
+    };
+
+    let mut unbounded_root = false;
+    // The value any new solution must strictly beat (minimize sense).
+    let must_beat = |incumbent: &Option<(f64, Vec<f64>)>| -> Option<f64> {
+        match (incumbent.as_ref().map(|(o, _)| *o), cutoff_min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, b) => b,
+        }
+    };
+
+    'outer: loop {
+        // Pick next node.
+        let Some(node) = heap.pop() else { break };
+        // Prune against incumbent/cutoff.
+        if let Some(beat) = must_beat(&incumbent) {
+            if node.bound >= beat - prune_eps(beat) {
+                continue;
+            }
+        }
+
+        // Dive from this node until pruned.
+        let mut current = node;
+        loop {
+            // Limits.
+            if let Some(tl) = opts.time_limit {
+                if start.elapsed() >= tl {
+                    let b = global_bound(&heap, Some(current.bound), &incumbent);
+                    let status = if incumbent.is_some() {
+                        MipStatus::Feasible
+                    } else {
+                        MipStatus::NoSolution
+                    };
+                    return finish(status, incumbent, b, nodes, &simplex);
+                }
+            }
+            if let Some(nl) = opts.node_limit {
+                if nodes >= nl {
+                    let b = global_bound(&heap, Some(current.bound), &incumbent);
+                    let status = if incumbent.is_some() {
+                        MipStatus::Feasible
+                    } else {
+                        MipStatus::NoSolution
+                    };
+                    return finish(status, incumbent, b, nodes, &simplex);
+                }
+            }
+
+            nodes += 1;
+            if let Some(every) = opts.log_every {
+                if nodes % every == 0 {
+                    let b = global_bound(&heap, Some(current.bound), &incumbent);
+                    eprintln!(
+                        "[mip] node {nodes} open {} inc {:?} bound {:.6} t {:?} lp_it {} {:?}",
+                        heap.len(),
+                        incumbent.as_ref().map(|(o, _)| sign * o),
+                        sign * b,
+                        start.elapsed(),
+                        simplex.iterations(),
+                        simplex.stats,
+                    );
+                }
+            }
+
+            // Apply this node's integer bounds and solve the LP.
+            for (k, &j) in int_vars.iter().enumerate() {
+                let (lo, up) = current.bounds[k];
+                simplex.set_var_bounds(j, lo, up);
+            }
+            let mut status =
+                if first_lp { simplex.solve() } else { simplex.solve_warm() };
+            first_lp = false;
+            if status == LpStatus::TimeLimit {
+                let b = global_bound(&heap, Some(current.bound), &incumbent);
+                let st = if incumbent.is_some() {
+                    MipStatus::Feasible
+                } else {
+                    MipStatus::NoSolution
+                };
+                return finish(st, incumbent, b, nodes, &simplex);
+            }
+            if matches!(status, LpStatus::Numerical | LpStatus::IterationLimit) {
+                // Retry once from a fresh basis.
+                simplex.reset_basis();
+                status = simplex.solve();
+                if status == LpStatus::TimeLimit {
+                    let b = global_bound(&heap, Some(current.bound), &incumbent);
+                    let st = if incumbent.is_some() {
+                        MipStatus::Feasible
+                    } else {
+                        MipStatus::NoSolution
+                    };
+                    return finish(st, incumbent, b, nodes, &simplex);
+                }
+                if matches!(status, LpStatus::Numerical | LpStatus::IterationLimit) {
+                    numerical_failures += 1;
+                    if numerical_failures > 5 {
+                        let b = global_bound(&heap, Some(current.bound), &incumbent);
+                        return finish(MipStatus::Numerical, incumbent, b, nodes, &simplex);
+                    }
+                    // Treat the node as unresolved: requeue with its parent
+                    // bound so it is revisited later (no pruning done).
+                    current.seq = seq;
+                    seq += 1;
+                    heap.push(current);
+                    break;
+                }
+            }
+            match status {
+                LpStatus::Infeasible => break, // prune
+                LpStatus::Unbounded => {
+                    if current.depth == 0 {
+                        unbounded_root = true;
+                        break 'outer;
+                    }
+                    // Bounded root cannot have unbounded children; be safe.
+                    unbounded_root = true;
+                    break 'outer;
+                }
+                _ => {}
+            }
+            let sol = simplex.extract(status);
+            let lp_obj = sol.objective;
+            current.bound = current.bound.max(lp_obj);
+
+            // Settle the pseudocost observation for the branching that
+            // created this node.
+            if let Some((k, is_up, parent_obj, frac)) = current.pending_pseudo.take() {
+                let delta = (lp_obj - parent_obj).max(0.0);
+                let per_unit = if is_up { delta / (1.0 - frac).max(1e-6) } else { delta / frac.max(1e-6) };
+                pseudo.record(k, is_up, per_unit);
+            }
+
+            // Prune by bound.
+            if let Some(beat) = must_beat(&incumbent) {
+                if lp_obj >= beat - prune_eps(beat) {
+                    break;
+                }
+            }
+
+            // Find the most useful branching candidate.
+            let mut frac_vars: Vec<(usize, f64)> = Vec::new(); // (int idx, frac)
+            for (k, &j) in int_vars.iter().enumerate() {
+                let v = sol.x[j];
+                let f = v - v.floor();
+                let dist = f.min(1.0 - f);
+                if dist > opts.int_tol {
+                    frac_vars.push((k, f));
+                }
+            }
+
+            if frac_vars.is_empty() {
+                // Integer feasible: new incumbent?
+                let better = must_beat(&incumbent)
+                    .map_or(true, |beat| lp_obj < beat - prune_eps(beat));
+                if better {
+                    incumbent = Some((lp_obj, sol.x.clone()));
+                    // Gap-based early stop.
+                    let b = global_bound(&heap, None, &incumbent);
+                    let gap = (lp_obj - b).abs() / lp_obj.abs().max(1e-10);
+                    if gap <= opts.rel_gap {
+                        return finish(MipStatus::Optimal, incumbent, b, nodes, &simplex);
+                    }
+                }
+                break; // leaf
+            }
+
+            // Primal heuristics: a one-shot rounding test, and (on a
+            // schedule) an iterative rounding dive. Any bound mutations the
+            // dive makes are overwritten when the next node applies its own
+            // bounds.
+            if incumbent.is_none() {
+                let mut rounded = sol.x.clone();
+                for &j in &int_vars {
+                    rounded[j] = rounded[j].round();
+                }
+                if lp_min.max_violation(&rounded) < 1e-7 {
+                    let obj = lp_min.eval_objective(&rounded);
+                    if must_beat(&incumbent).map_or(true, |b| obj < b - prune_eps(b)) {
+                        incumbent = Some((obj, rounded));
+                    }
+                }
+            }
+            let dive_period = if incumbent.is_none() { 10 } else { 200 };
+            if nodes % dive_period == 1 {
+                let budget = int_vars.len() + 10;
+                if let Some((obj, x)) = dive_heuristic(&mut simplex, &int_vars, opts.int_tol, budget) {
+                    let better = must_beat(&incumbent).map_or(true, |b| obj < b - prune_eps(b));
+                    if better && model.max_integrality_violation(&x) <= opts.int_tol * 10.0 {
+                        incumbent = Some((obj, x));
+                        let b = global_bound(&heap, Some(current.bound), &incumbent);
+                        let io = incumbent.as_ref().map(|(o, _)| *o).expect("just set");
+                        let gap = (io - b).abs() / io.abs().max(1e-10);
+                        if gap <= opts.rel_gap {
+                            return finish(MipStatus::Optimal, incumbent, b, nodes, &simplex);
+                        }
+                    }
+                }
+                // Restore this node's bounds and re-solve so branching below
+                // uses the node's own relaxation. The dive left the basis
+                // near-optimal, so this is cheap.
+                for (k2, &j2) in int_vars.iter().enumerate() {
+                    let (lo2, up2) = current.bounds[k2];
+                    simplex.set_var_bounds(j2, lo2, up2);
+                }
+                if simplex.solve_warm() != LpStatus::Optimal {
+                    // Should not happen (this exact LP solved above); requeue
+                    // conservatively.
+                    current.seq = seq;
+                    seq += 1;
+                    heap.push(current);
+                    break;
+                }
+            }
+
+            // Select branching variable.
+            let (bk, bfrac) = match opts.branching {
+                Branching::MostFractional => most_fractional(&frac_vars),
+                Branching::Pseudocost => {
+                    let mut best: Option<(usize, f64, f64)> = None; // (k, frac, score)
+                    let mut all_scored = true;
+                    for &(k, f) in &frac_vars {
+                        match pseudo.score(k, f) {
+                            Some(s) => {
+                                if best.map_or(true, |(_, _, bs)| s > bs) {
+                                    best = Some((k, f, s));
+                                }
+                            }
+                            None => {
+                                all_scored = false;
+                            }
+                        }
+                    }
+                    if all_scored {
+                        let (k, f, _) = best.expect("nonempty frac_vars");
+                        (k, f)
+                    } else {
+                        // Not all initialized: fall back to most fractional to
+                        // gather pseudocost observations broadly.
+                        most_fractional(&frac_vars)
+                    }
+                }
+            };
+            let j = int_vars[bk];
+            let xval = sol.x[j];
+            let (lo, up) = current.bounds[bk];
+
+            // Children: down (x <= floor) and up (x >= ceil).
+            let mut down_bounds = current.bounds.clone();
+            down_bounds[bk] = (lo, xval.floor());
+            let mut up_bounds = current.bounds.clone();
+            up_bounds[bk] = (xval.ceil(), up);
+            let down = Node {
+                bounds: down_bounds,
+                bound: lp_obj,
+                depth: current.depth + 1,
+                seq: { seq += 1; seq },
+                pending_pseudo: Some((bk, false, lp_obj, bfrac)),
+            };
+            let up_node = Node {
+                bounds: up_bounds,
+                bound: lp_obj,
+                depth: current.depth + 1,
+                seq: { seq += 1; seq },
+                pending_pseudo: Some((bk, true, lp_obj, bfrac)),
+            };
+
+            // Dive into the child on the nearer side of the fraction; the
+            // sibling joins the best-bound queue.
+            let (dive_node, other) = if bfrac < 0.5 { (down, up_node) } else { (up_node, down) };
+            heap.push(other);
+            current = dive_node;
+        }
+        // nothing: continue outer loop
+    }
+
+    if unbounded_root {
+        return finish(MipStatus::Unbounded, None, f64::NEG_INFINITY, nodes, &simplex);
+    }
+
+    // Tree exhausted.
+    match (&incumbent, cutoff_min) {
+        (Some(_), _) => {
+            let b = incumbent.as_ref().map(|(o, _)| *o).unwrap();
+            finish(MipStatus::Optimal, incumbent, b, nodes, &simplex)
+        }
+        (None, Some(c)) => {
+            // Nothing strictly better than the cutoff exists; the caller's
+            // heuristic solution is optimal.
+            finish(MipStatus::NoBetterThanCutoff, None, c, nodes, &simplex)
+        }
+        (None, None) => finish(MipStatus::Infeasible, None, f64::INFINITY, nodes, &simplex),
+    }
+}
+
+fn most_fractional(frac_vars: &[(usize, f64)]) -> (usize, f64) {
+    let mut best = frac_vars[0];
+    let mut best_dist = -1.0;
+    for &(k, f) in frac_vars {
+        let dist = f.min(1.0 - f);
+        if dist > best_dist {
+            best_dist = dist;
+            best = (k, f);
+        }
+    }
+    best
+}
+
+fn prune_eps(incumbent: f64) -> f64 {
+    1e-9 * incumbent.abs().max(1.0)
+}

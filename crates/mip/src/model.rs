@@ -1,0 +1,239 @@
+//! Mixed-integer model builder.
+//!
+//! Thin layer over [`tvnep_lp::LpProblem`] adding variable integrality and an
+//! optimization sense. The formulations in `tvnep-core` build their Δ/Σ/cΣ
+//! models through this interface.
+
+use tvnep_lp::{LpProblem, RowId, VarId, INF};
+
+/// Integrality class of a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    /// Real-valued within its bounds.
+    Continuous,
+    /// Integer within its bounds.
+    Integer,
+    /// Integer in `{0, 1}` (bounds are clipped to `[0, 1]`).
+    Binary,
+}
+
+/// Direction of optimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Minimize the objective (default).
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// A mixed-integer program: `optimize c'x  s.t.  rlo ≤ Ax ≤ rup, l ≤ x ≤ u`,
+/// with some variables integral.
+#[derive(Debug, Clone)]
+pub struct MipModel {
+    lp: LpProblem,
+    kinds: Vec<VarKind>,
+    sense: Sense,
+}
+
+impl Default for MipModel {
+    fn default() -> Self {
+        Self::new(Sense::Minimize)
+    }
+}
+
+impl MipModel {
+    /// Creates an empty model with the given sense.
+    pub fn new(sense: Sense) -> Self {
+        Self { lp: LpProblem::new(), kinds: Vec::new(), sense }
+    }
+
+    /// Convenience constructor for maximization models.
+    pub fn maximize() -> Self {
+        Self::new(Sense::Maximize)
+    }
+
+    /// Convenience constructor for minimization models.
+    pub fn minimize() -> Self {
+        Self::new(Sense::Minimize)
+    }
+
+    /// Adds a variable. Binary variables have their bounds clipped to `[0,1]`.
+    pub fn add_var(&mut self, kind: VarKind, lo: f64, up: f64, obj: f64) -> VarId {
+        let (lo, up) = match kind {
+            VarKind::Binary => (lo.max(0.0), up.min(1.0)),
+            _ => (lo, up),
+        };
+        let v = self.lp.add_var(lo, up, obj);
+        self.kinds.push(kind);
+        v
+    }
+
+    /// Adds a continuous variable in `[lo, up]`.
+    pub fn add_continuous(&mut self, lo: f64, up: f64, obj: f64) -> VarId {
+        self.add_var(VarKind::Continuous, lo, up, obj)
+    }
+
+    /// Adds a binary variable.
+    pub fn add_binary(&mut self, obj: f64) -> VarId {
+        self.add_var(VarKind::Binary, 0.0, 1.0, obj)
+    }
+
+    /// Adds an integer variable in `[lo, up]`.
+    pub fn add_integer(&mut self, lo: f64, up: f64, obj: f64) -> VarId {
+        self.add_var(VarKind::Integer, lo, up, obj)
+    }
+
+    /// Adds `lo ≤ terms ≤ up`.
+    pub fn add_row(&mut self, lo: f64, up: f64, terms: &[(VarId, f64)]) -> RowId {
+        self.lp.add_row(lo, up, terms)
+    }
+
+    /// Adds `terms ≤ rhs`.
+    pub fn add_le(&mut self, terms: &[(VarId, f64)], rhs: f64) -> RowId {
+        self.lp.add_le(terms, rhs)
+    }
+
+    /// Adds `terms ≥ rhs`.
+    pub fn add_ge(&mut self, terms: &[(VarId, f64)], rhs: f64) -> RowId {
+        self.lp.add_ge(terms, rhs)
+    }
+
+    /// Adds `terms = rhs`.
+    pub fn add_eq(&mut self, terms: &[(VarId, f64)], rhs: f64) -> RowId {
+        self.lp.add_eq(terms, rhs)
+    }
+
+    /// Fixes variable `v` to `value` (both bounds).
+    pub fn fix_var(&mut self, v: VarId, value: f64) {
+        self.lp.set_var_bounds(v, value, value);
+    }
+
+    /// Overwrites the bounds of `v`.
+    pub fn set_var_bounds(&mut self, v: VarId, lo: f64, up: f64) {
+        self.lp.set_var_bounds(v, lo, up);
+    }
+
+    /// Overwrites the objective coefficient of `v`.
+    pub fn set_obj(&mut self, v: VarId, obj: f64) {
+        self.lp.set_obj(v, obj);
+    }
+
+    /// Adds a constant to reported objective values.
+    pub fn set_obj_offset(&mut self, offset: f64) {
+        self.lp.set_obj_offset(offset);
+    }
+
+    /// The optimization sense.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.lp.num_rows()
+    }
+
+    /// Number of integer (incl. binary) variables.
+    pub fn num_integers(&self) -> usize {
+        self.kinds.iter().filter(|k| !matches!(k, VarKind::Continuous)).count()
+    }
+
+    /// Integrality kind of `v`.
+    pub fn kind(&self, v: VarId) -> VarKind {
+        self.kinds[v.0]
+    }
+
+    /// All integrality kinds, indexed by variable.
+    pub fn kinds(&self) -> &[VarKind] {
+        &self.kinds
+    }
+
+    /// The underlying LP (user sense; *not* negated for maximization).
+    pub fn lp(&self) -> &LpProblem {
+        &self.lp
+    }
+
+    /// The LP relaxation in minimize form: objective negated when the model
+    /// maximizes. Returned objective values must be negated back by callers.
+    pub fn relaxation_min(&self) -> LpProblem {
+        let mut lp = self.lp.clone();
+        if self.sense == Sense::Maximize {
+            for j in 0..lp.num_vars() {
+                let c = lp.objective()[j];
+                lp.set_obj(VarId(j), -c);
+            }
+            lp.set_obj_offset(-lp.obj_offset());
+        }
+        lp
+    }
+
+    /// Objective value of `x` in the user sense.
+    pub fn eval_objective(&self, x: &[f64]) -> f64 {
+        self.lp.eval_objective(x)
+    }
+
+    /// Maximum violation of bounds/rows at `x` (ignores integrality).
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        self.lp.max_violation(x)
+    }
+
+    /// Maximum distance of any integer variable from its nearest integer.
+    pub fn max_integrality_violation(&self, x: &[f64]) -> f64 {
+        self.kinds
+            .iter()
+            .zip(x)
+            .filter(|(k, _)| !matches!(k, VarKind::Continuous))
+            .map(|(_, &v)| (v - v.round()).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Bounds of `v`.
+    pub fn var_bounds(&self, v: VarId) -> (f64, f64) {
+        (self.lp.var_lower()[v.0], self.lp.var_upper()[v.0])
+    }
+}
+
+/// Re-exported so downstream crates only need `tvnep_mip`.
+pub use tvnep_lp::INF as LP_INF;
+
+/// Positive infinity for bounds (alias of [`tvnep_lp::INF`]).
+pub const MIP_INF: f64 = INF;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_bounds_clipped() {
+        let mut m = MipModel::maximize();
+        let b = m.add_var(VarKind::Binary, -5.0, 5.0, 1.0);
+        assert_eq!(m.var_bounds(b), (0.0, 1.0));
+        assert_eq!(m.num_integers(), 1);
+    }
+
+    #[test]
+    fn relaxation_negates_for_max() {
+        let mut m = MipModel::maximize();
+        let x = m.add_continuous(0.0, 1.0, 3.0);
+        m.set_obj_offset(2.0);
+        let lp = m.relaxation_min();
+        assert_eq!(lp.objective()[x.0], -3.0);
+        assert_eq!(lp.obj_offset(), -2.0);
+        // User-sense evaluation unchanged.
+        assert_eq!(m.eval_objective(&[1.0]), 5.0);
+    }
+
+    #[test]
+    fn integrality_violation_ignores_continuous() {
+        let mut m = MipModel::minimize();
+        m.add_continuous(0.0, 1.0, 0.0);
+        m.add_binary(0.0);
+        assert_eq!(m.max_integrality_violation(&[0.5, 1.0]), 0.0);
+        assert!((m.max_integrality_violation(&[0.5, 0.7]) - 0.3).abs() < 1e-12);
+    }
+}

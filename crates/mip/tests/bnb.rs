@@ -1,0 +1,305 @@
+//! Branch-and-bound integration tests: knapsacks, assignment, infeasibility,
+//! limits, and exhaustive cross-checks on random small integer programs.
+
+use proptest::prelude::*;
+use std::time::Duration;
+use tvnep_mip::{
+    solve, solve_with, Branching, MipModel, MipOptions, MipStatus, VarId,
+};
+
+#[test]
+fn knapsack_small() {
+    // max 10a + 13b + 7c st 3a + 4b + 2c <= 6, binary -> a + c = 17? check:
+    // items (v,w): a(10,3) b(13,4) c(7,2). Capacity 6. Best: a+c (w5, v17)
+    // vs b+c (w6, v20). Optimal 20.
+    let mut m = MipModel::maximize();
+    let a = m.add_binary(10.0);
+    let b = m.add_binary(13.0);
+    let c = m.add_binary(7.0);
+    m.add_le(&[(a, 3.0), (b, 4.0), (c, 2.0)], 6.0);
+    let r = solve(&m);
+    assert_eq!(r.status, MipStatus::Optimal);
+    assert!((r.objective.unwrap() - 20.0).abs() < 1e-6);
+    let x = r.x.unwrap();
+    assert!(x[0] < 0.5 && x[1] > 0.5 && x[2] > 0.5);
+}
+
+#[test]
+fn knapsack_11_items() {
+    let values = [41.0, 50.0, 49.0, 59.0, 45.0, 47.0, 42.0, 44.0, 52.0, 48.0, 51.0];
+    let weights = [7.0, 8.0, 9.0, 10.0, 6.0, 7.0, 8.0, 5.0, 9.0, 6.0, 7.0];
+    let cap = 30.0;
+    let mut m = MipModel::maximize();
+    let vars: Vec<VarId> = values.iter().map(|&v| m.add_binary(v)).collect();
+    let terms: Vec<_> = vars.iter().zip(weights).map(|(&v, w)| (v, w)).collect();
+    m.add_le(&terms, cap);
+    let r = solve(&m);
+    assert_eq!(r.status, MipStatus::Optimal);
+    // Exhaustive check (2^11 subsets).
+    let mut best = 0.0f64;
+    for mask in 0u32..(1 << 11) {
+        let w: f64 = (0..11).filter(|i| mask >> i & 1 == 1).map(|i| weights[i]).sum();
+        if w <= cap {
+            let v: f64 = (0..11).filter(|i| mask >> i & 1 == 1).map(|i| values[i]).sum();
+            best = best.max(v);
+        }
+    }
+    assert!((r.objective.unwrap() - best).abs() < 1e-6, "bnb {} vs brute {best}", r.objective.unwrap());
+}
+
+#[test]
+fn integer_infeasible_but_lp_feasible() {
+    // 2x = 1 with x integer: LP relaxation feasible (x=0.5), IP infeasible.
+    let mut m = MipModel::minimize();
+    let x = m.add_integer(0.0, 10.0, 1.0);
+    m.add_eq(&[(x, 2.0)], 1.0);
+    assert_eq!(solve(&m).status, MipStatus::Infeasible);
+}
+
+#[test]
+fn lp_infeasible_detected() {
+    let mut m = MipModel::minimize();
+    let x = m.add_binary(1.0);
+    m.add_ge(&[(x, 1.0)], 2.0);
+    assert_eq!(solve(&m).status, MipStatus::Infeasible);
+}
+
+#[test]
+fn unbounded_detected() {
+    let mut m = MipModel::maximize();
+    let x = m.add_integer(0.0, tvnep_mip::INF, 1.0);
+    let _ = x;
+    assert_eq!(solve(&m).status, MipStatus::Unbounded);
+}
+
+#[test]
+fn pure_lp_passthrough() {
+    // No integer variables: solver must return the LP optimum at the root.
+    let mut m = MipModel::maximize();
+    let x = m.add_continuous(0.0, 4.0, 1.0);
+    let y = m.add_continuous(0.0, 4.0, 1.0);
+    m.add_le(&[(x, 1.0), (y, 1.0)], 5.0);
+    let r = solve(&m);
+    assert_eq!(r.status, MipStatus::Optimal);
+    assert!((r.objective.unwrap() - 5.0).abs() < 1e-6);
+    assert_eq!(r.nodes, 1);
+}
+
+#[test]
+fn equality_sos_like_choice() {
+    // Exactly one of three options, costs 3/1/2 -> pick the 1.
+    let mut m = MipModel::minimize();
+    let a = m.add_binary(3.0);
+    let b = m.add_binary(1.0);
+    let c = m.add_binary(2.0);
+    m.add_eq(&[(a, 1.0), (b, 1.0), (c, 1.0)], 1.0);
+    let r = solve(&m);
+    assert!((r.objective.unwrap() - 1.0).abs() < 1e-9);
+    assert!(r.x.unwrap()[1] > 0.5);
+}
+
+#[test]
+fn node_limit_reports_feasible_or_nosolution() {
+    let mut m = MipModel::maximize();
+    // A knapsack big enough to need several nodes.
+    let vars: Vec<VarId> = (0..12).map(|i| m.add_binary(10.0 + (i as f64 * 7.0) % 5.0)).collect();
+    let terms: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, 3.0 + (i as f64 * 11.0) % 7.0)).collect();
+    m.add_le(&terms, 20.0);
+    let opts = MipOptions { node_limit: Some(1), ..Default::default() };
+    let r = solve_with(&m, &opts);
+    assert!(matches!(r.status, MipStatus::Feasible | MipStatus::NoSolution | MipStatus::Optimal));
+    assert!(r.nodes <= 2);
+}
+
+#[test]
+fn time_limit_zero_terminates_immediately() {
+    let mut m = MipModel::maximize();
+    let x = m.add_binary(1.0);
+    m.add_le(&[(x, 1.0)], 1.0);
+    let opts = MipOptions::with_time_limit(Duration::from_secs(0));
+    let r = solve_with(&m, &opts);
+    assert!(matches!(r.status, MipStatus::NoSolution | MipStatus::Feasible));
+    assert!(r.gap_or_inf().is_infinite() || r.gap.is_some());
+}
+
+#[test]
+fn gap_zero_at_optimality() {
+    let mut m = MipModel::maximize();
+    let x = m.add_binary(2.0);
+    let y = m.add_binary(3.0);
+    m.add_le(&[(x, 1.0), (y, 1.0)], 1.0);
+    let r = solve(&m);
+    assert_eq!(r.status, MipStatus::Optimal);
+    assert!(r.gap.unwrap() < 1e-6);
+    assert!((r.best_bound - 3.0).abs() < 1e-5);
+}
+
+#[test]
+fn maximize_and_minimize_agree() {
+    // min c'x == -max (-c)'x on the same feasible set.
+    let mut mn = MipModel::minimize();
+    let mut mx = MipModel::maximize();
+    for _ in 0..4 {
+        mn.add_binary(0.0);
+        mx.add_binary(0.0);
+    }
+    let costs = [3.0, -2.0, 5.0, -1.0];
+    for (j, &c) in costs.iter().enumerate() {
+        mn.set_obj(VarId(j), c);
+        mx.set_obj(VarId(j), -c);
+    }
+    let cover: Vec<_> = (0..4).map(|j| (VarId(j), 1.0)).collect();
+    mn.add_ge(&cover, 2.0);
+    mx.add_ge(&cover, 2.0);
+    let rn = solve(&mn);
+    let rx = solve(&mx);
+    assert!((rn.objective.unwrap() + rx.objective.unwrap()).abs() < 1e-9);
+}
+
+#[test]
+fn both_branching_rules_agree() {
+    let mut m = MipModel::maximize();
+    let vars: Vec<VarId> = (0..10).map(|i| m.add_binary(((i * 37) % 11 + 1) as f64)).collect();
+    let t1: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, ((i * 13) % 5 + 1) as f64)).collect();
+    let t2: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, ((i * 7) % 4 + 1) as f64)).collect();
+    m.add_le(&t1, 12.0);
+    m.add_le(&t2, 9.0);
+    let r1 = solve_with(&m, &MipOptions { branching: Branching::MostFractional, ..Default::default() });
+    let r2 = solve_with(&m, &MipOptions { branching: Branching::Pseudocost, ..Default::default() });
+    assert_eq!(r1.status, MipStatus::Optimal);
+    assert_eq!(r2.status, MipStatus::Optimal);
+    assert!((r1.objective.unwrap() - r2.objective.unwrap()).abs() < 1e-6);
+}
+
+#[test]
+fn general_integers_not_just_binaries() {
+    // max x + y st 2x + y <= 7, x + 3y <= 9, x,y in [0,5] integer.
+    let mut m = MipModel::maximize();
+    let x = m.add_integer(0.0, 5.0, 1.0);
+    let y = m.add_integer(0.0, 5.0, 1.0);
+    m.add_le(&[(x, 2.0), (y, 1.0)], 7.0);
+    m.add_le(&[(x, 1.0), (y, 3.0)], 9.0);
+    let r = solve(&m);
+    assert_eq!(r.status, MipStatus::Optimal);
+    // Enumerate.
+    let mut best = 0i64;
+    for xi in 0..=5i64 {
+        for yi in 0..=5i64 {
+            if 2 * xi + yi <= 7 && xi + 3 * yi <= 9 {
+                best = best.max(xi + yi);
+            }
+        }
+    }
+    assert_eq!(r.objective.unwrap().round() as i64, best);
+}
+
+#[test]
+fn fixed_integer_vars_respected() {
+    let mut m = MipModel::maximize();
+    let x = m.add_binary(5.0);
+    let y = m.add_binary(3.0);
+    m.fix_var(x, 0.0);
+    m.add_le(&[(x, 1.0), (y, 1.0)], 2.0);
+    let r = solve(&m);
+    assert!((r.objective.unwrap() - 3.0).abs() < 1e-9);
+    assert!(r.x.unwrap()[0] < 1e-9);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random small binary programs: branch and bound must match exhaustive
+    /// enumeration exactly (both value and feasibility verdict).
+    #[test]
+    fn random_binary_programs_match_enumeration(
+        n in 1usize..7,
+        m_rows in 0usize..5,
+        costs in prop::collection::vec(-5.0f64..5.0, 7),
+        coeffs in prop::collection::vec(-4.0f64..4.0, 35),
+        rhss in prop::collection::vec(-3.0f64..6.0, 5),
+        maximize in any::<bool>(),
+    ) {
+        let mut m = if maximize { MipModel::maximize() } else { MipModel::minimize() };
+        let vars: Vec<VarId> = (0..n).map(|j| m.add_binary(costs[j])).collect();
+        for i in 0..m_rows {
+            let terms: Vec<_> = vars
+                .iter()
+                .enumerate()
+                .map(|(j, &v)| (v, coeffs[(i * n + j) % coeffs.len()]))
+                .collect();
+            m.add_le(&terms, rhss[i]);
+        }
+        let r = solve(&m);
+
+        // Enumerate all 2^n assignments.
+        let mut best: Option<f64> = None;
+        for mask in 0u32..(1 << n) {
+            let x: Vec<f64> = (0..n).map(|j| ((mask >> j) & 1) as f64).collect();
+            let mut feasible = true;
+            for i in 0..m_rows {
+                let act: f64 = (0..n).map(|j| coeffs[(i * n + j) % coeffs.len()] * x[j]).sum();
+                if act > rhss[i] + 1e-9 {
+                    feasible = false;
+                    break;
+                }
+            }
+            if feasible {
+                let obj: f64 = (0..n).map(|j| costs[j] * x[j]).sum();
+                best = Some(match best {
+                    None => obj,
+                    Some(b) => if maximize { b.max(obj) } else { b.min(obj) },
+                });
+            }
+        }
+        match best {
+            None => prop_assert_eq!(r.status, MipStatus::Infeasible),
+            Some(b) => {
+                prop_assert_eq!(r.status, MipStatus::Optimal);
+                let got = r.objective.unwrap();
+                prop_assert!((got - b).abs() < 1e-6, "bnb {} vs brute {}", got, b);
+                // Incumbent must be feasible and integral.
+                let x = r.x.unwrap();
+                prop_assert!(m.max_violation(&x) < 1e-6);
+                prop_assert!(m.max_integrality_violation(&x) < 1e-6);
+            }
+        }
+    }
+
+    /// Mixed problems: integer vars plus continuous vars; spot-check against a
+    /// partial enumeration (enumerate integers, solve the continuous rest as
+    /// an LP).
+    #[test]
+    fn random_mixed_programs_match_seminumeration(
+        nb in 1usize..5,
+        costs in prop::collection::vec(-3.0f64..3.0, 6),
+        ccost in -3.0f64..3.0,
+        coeffs in prop::collection::vec(0.1f64..3.0, 6),
+        ccoef in 0.1f64..3.0,
+        rhs in 1.0f64..8.0,
+    ) {
+        // max costs'b + ccost*z st coeffs'b + ccoef*z <= rhs, 0<=z<=2, b binary.
+        let mut m = MipModel::maximize();
+        let bs: Vec<VarId> = (0..nb).map(|j| m.add_binary(costs[j])).collect();
+        let z = m.add_continuous(0.0, 2.0, ccost);
+        let mut terms: Vec<_> = bs.iter().enumerate().map(|(j, &v)| (v, coeffs[j])).collect();
+        terms.push((z, ccoef));
+        m.add_le(&terms, rhs);
+        let r = solve(&m);
+        prop_assert_eq!(r.status, MipStatus::Optimal);
+
+        let mut best = f64::NEG_INFINITY;
+        for mask in 0u32..(1 << nb) {
+            let used: f64 = (0..nb).filter(|j| mask >> j & 1 == 1).map(|j| coeffs[j]).sum();
+            if used > rhs + 1e-12 {
+                continue;
+            }
+            let bval: f64 = (0..nb).filter(|j| mask >> j & 1 == 1).map(|j| costs[j]).sum();
+            // Continuous part: z in [0, min(2, (rhs-used)/ccoef)], pick by sign.
+            let zmax = 2.0f64.min((rhs - used) / ccoef);
+            let zbest = if ccost > 0.0 { zmax } else { 0.0 };
+            best = best.max(bval + ccost * zbest);
+        }
+        prop_assert!((r.objective.unwrap() - best).abs() < 1e-5,
+            "bnb {} vs semi-enum {}", r.objective.unwrap(), best);
+    }
+}

@@ -1,0 +1,352 @@
+//! The temporal dependency graph `G_dep(R)` of Section IV-C.
+//!
+//! Nodes are the abstract start/end points of every request; a directed edge
+//! `(v, w)` exists iff `latest(v) < earliest(w)`, i.e. `v` *must* occur
+//! strictly before `w` in every feasible schedule. Edges leaving a *start*
+//! node have weight 1 (a start consumes one event point in the cΣ-Model),
+//! all others weight 0. The graph is acyclic by construction; longest-path
+//! distances and the lead/trail counts drive the Temporal Dependency Graph
+//! Cuts (Table XIV) and the event-range presolve.
+
+use crate::request::Request;
+use tvnep_graph::{dag_longest_paths, is_acyclic, DiGraph, NodeId};
+
+/// Tolerance for the strict-precedence test when building `G_dep`.
+pub const DEP_EPS: f64 = 1e-9;
+
+/// Identifies the start or end point of a request in `G_dep`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepNode {
+    /// `(R, start)`.
+    Start(usize),
+    /// `(R, end)`.
+    End(usize),
+}
+
+impl DepNode {
+    fn index(self) -> usize {
+        match self {
+            DepNode::Start(r) => 2 * r,
+            DepNode::End(r) => 2 * r + 1,
+        }
+    }
+
+    fn from_index(i: usize) -> Self {
+        if i % 2 == 0 { DepNode::Start(i / 2) } else { DepNode::End(i / 2) }
+    }
+
+    /// The request this point belongs to.
+    pub fn request(self) -> usize {
+        match self {
+            DepNode::Start(r) | DepNode::End(r) => r,
+        }
+    }
+
+    /// True for start points.
+    pub fn is_start(self) -> bool {
+        matches!(self, DepNode::Start(_))
+    }
+}
+
+/// Earliest possible time of a dependency-graph node (paper's `earliest`).
+pub fn earliest(requests: &[Request], v: DepNode) -> f64 {
+    match v {
+        DepNode::Start(r) => requests[r].earliest_start,
+        DepNode::End(r) => requests[r].earliest_start + requests[r].duration,
+    }
+}
+
+/// Latest possible time of a dependency-graph node (paper's `latest`).
+pub fn latest(requests: &[Request], v: DepNode) -> f64 {
+    match v {
+        DepNode::Start(r) => requests[r].latest_end - requests[r].duration,
+        DepNode::End(r) => requests[r].latest_end,
+    }
+}
+
+/// The computed dependency graph with all distances the cuts need.
+#[derive(Debug, Clone)]
+pub struct DependencyGraph {
+    num_requests: usize,
+    graph: DiGraph,
+    /// Longest-path distances (weight 1 on start-out edges); `None` when
+    /// unreachable. Indexed `[v.index()][w.index()]`.
+    dist: Vec<Vec<Option<i64>>>,
+    /// `dist⁺_max(v)`: number of *start* nodes that must occur strictly
+    /// before `v` — `v` cannot be mapped on the first `lead[v]` events.
+    lead: Vec<usize>,
+    /// `dist⁻_max(v)`: number of start nodes strictly after `v`, plus one if
+    /// `v` is itself a start (its own end must follow) — `v` cannot be mapped
+    /// on the last `trail[v]` of the `|R|+1` events.
+    trail: Vec<usize>,
+    /// Variant for the 2|R|-event Δ/Σ models where *every* dependency node
+    /// consumes an event point: number of nodes (starts and ends) strictly
+    /// before `v`.
+    lead_all: Vec<usize>,
+    /// Nodes strictly after `v` in the 2|R|-event models, plus one if `v` is
+    /// a start (its own end must follow).
+    trail_all: Vec<usize>,
+}
+
+impl DependencyGraph {
+    /// Builds `G_dep` for the given requests.
+    pub fn new(requests: &[Request]) -> Self {
+        let k = requests.len();
+        let n = 2 * k;
+        let mut graph = DiGraph::with_nodes(n);
+        for vi in 0..n {
+            let v = DepNode::from_index(vi);
+            for wi in 0..n {
+                if vi == wi {
+                    continue;
+                }
+                let w = DepNode::from_index(wi);
+                // Strict precedence with a small tolerance: `latest(v)` is
+                // computed as `t^e − d` in floating point and can land an ulp
+                // below an exactly-equal `earliest(w)`; a dust-induced edge
+                // would wrongly force a strict event order between
+                // simultaneous points and make the model infeasible.
+                if latest(requests, v) + DEP_EPS < earliest(requests, w) {
+                    graph.add_edge(NodeId(vi), NodeId(wi));
+                }
+            }
+        }
+        debug_assert!(is_acyclic(&graph), "G_dep must be acyclic");
+        // Edge weight 1 iff the edge leaves a start node.
+        let weights: Vec<i64> = graph
+            .edge_ids()
+            .map(|e| if graph.source(e).0 % 2 == 0 { 1 } else { 0 })
+            .collect();
+        let dist = dag_longest_paths(&graph, |e| weights[e.0]);
+
+        let mut lead = vec![0usize; n];
+        let mut trail = vec![0usize; n];
+        let mut lead_all = vec![0usize; n];
+        let mut trail_all = vec![0usize; n];
+        for vi in 0..n {
+            let mut before = 0;
+            let mut after = 0;
+            let mut before_all = 0;
+            let mut after_all = 0;
+            for wi in 0..n {
+                if wi == vi {
+                    continue;
+                }
+                let w_is_start = wi % 2 == 0;
+                if dist[wi][vi].is_some() {
+                    before_all += 1;
+                    if w_is_start {
+                        before += 1;
+                    }
+                }
+                if dist[vi][wi].is_some() {
+                    after_all += 1;
+                    if w_is_start {
+                        after += 1;
+                    }
+                }
+            }
+            lead[vi] = before;
+            trail[vi] = after + usize::from(vi % 2 == 0);
+            lead_all[vi] = before_all;
+            // A start's own end must follow it, but only add it when the
+            // dependency edge Start(r) -> End(r) did not already count it.
+            let own_end_counted = vi % 2 == 0 && dist[vi][vi + 1].is_some();
+            trail_all[vi] = after_all + usize::from(vi % 2 == 0 && !own_end_counted);
+        }
+        Self { num_requests: k, graph, dist, lead, trail, lead_all, trail_all }
+    }
+
+    /// The underlying DAG (2 nodes per request: `2r` start, `2r+1` end).
+    pub fn graph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// Number of requests.
+    pub fn num_requests(&self) -> usize {
+        self.num_requests
+    }
+
+    /// Maximal weighted distance from `v` to `w`; 0 when `w` is unreachable
+    /// from `v` (the paper's convention for Constraint (20)).
+    pub fn dist_max(&self, v: DepNode, w: DepNode) -> usize {
+        self.dist[v.index()][w.index()].map_or(0, |d| d.max(0) as usize)
+    }
+
+    /// True if `v` must occur strictly before `w`.
+    pub fn precedes(&self, v: DepNode, w: DepNode) -> bool {
+        v != w && self.dist[v.index()][w.index()].is_some()
+    }
+
+    /// `dist⁺_max(v)`: leading events forbidden for `v`.
+    pub fn lead(&self, v: DepNode) -> usize {
+        self.lead[v.index()]
+    }
+
+    /// `dist⁻_max(v)`: trailing events (of the `|R|+1` cΣ events) forbidden
+    /// for `v`.
+    pub fn trail(&self, v: DepNode) -> usize {
+        self.trail[v.index()]
+    }
+
+    /// Feasible cΣ event range for `v` per Constraint (19): 1-based inclusive
+    /// `[lead+1, |R|+1−trail]`, further clipped to the structural ranges
+    /// (starts live on events `1..=|R|`, ends on `2..=|R|+1`).
+    pub fn event_range(&self, v: DepNode) -> (usize, usize) {
+        let k = self.num_requests;
+        let lo = self.lead(v) + 1;
+        let hi = k + 1 - self.trail(v);
+        match v {
+            DepNode::Start(_) => (lo.max(1), hi.min(k)),
+            DepNode::End(_) => (lo.max(2), hi.min(k + 1)),
+        }
+    }
+
+    /// All dependency nodes.
+    pub fn dep_nodes(&self) -> impl Iterator<Item = DepNode> + '_ {
+        (0..2 * self.num_requests).map(DepNode::from_index)
+    }
+
+    /// Feasible event range for `v` in the 2|R|-event Δ/Σ models (1-based
+    /// inclusive): every dependency node consumes one event point there.
+    pub fn event_range_full(&self, v: DepNode) -> (usize, usize) {
+        let n = 2 * self.num_requests;
+        (self.lead_all[v.index()] + 1, n - self.trail_all[v.index()])
+    }
+
+    /// Longest-path distance where *every* edge counts 1 (Δ/Σ variant of
+    /// Constraint (20)); 0 when unreachable.
+    pub fn dist_max_full(&self, v: DepNode, w: DepNode) -> usize {
+        if v == w || self.dist[v.index()][w.index()].is_none() {
+            return 0;
+        }
+        // Recompute on the hop metric: longest path in hops. The stored
+        // distances weight only start-out edges, so derive hops separately.
+        self.hop_dist(v, w)
+    }
+
+    fn hop_dist(&self, v: DepNode, w: DepNode) -> usize {
+        // Longest path in edge count from v to w via DFS with memo would be
+        // cleaner; the graphs are tiny (2|R| nodes), so a Bellman-style DP
+        // over a topological order suffices.
+        use tvnep_graph::topological_sort;
+        let order = topological_sort(&self.graph).expect("G_dep is a DAG");
+        let n = self.graph.num_nodes();
+        let mut best = vec![i64::MIN; n];
+        best[v.index()] = 0;
+        for &u in &order {
+            if best[u.0] == i64::MIN {
+                continue;
+            }
+            for &e in self.graph.out_edges(u) {
+                let t = self.graph.target(e);
+                best[t.0] = best[t.0].max(best[u.0] + 1);
+            }
+        }
+        best[w.index()].max(0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tvnep_graph::DiGraph as G;
+
+    fn req(ts: f64, te: f64, d: f64) -> Request {
+        Request::new("r", G::with_nodes(1), vec![1.0], vec![], ts, te, d)
+    }
+
+    #[test]
+    fn disjoint_windows_create_edges() {
+        // R0 in [0,2], R1 in [5,8]: everything of R0 before everything of R1.
+        let rs = vec![req(0.0, 2.0, 2.0), req(5.0, 8.0, 3.0)];
+        let g = DependencyGraph::new(&rs);
+        assert!(g.precedes(DepNode::Start(0), DepNode::Start(1)));
+        assert!(g.precedes(DepNode::End(0), DepNode::End(1)));
+        assert!(g.precedes(DepNode::Start(0), DepNode::End(0))); // rigid: latest start 0 < earliest end 2
+        assert!(!g.precedes(DepNode::Start(1), DepNode::Start(0)));
+    }
+
+    #[test]
+    fn flexible_same_window_no_edges() {
+        // Two requests with lots of slack in the same window: no forced order
+        // between different requests.
+        let rs = vec![req(0.0, 10.0, 2.0), req(0.0, 10.0, 2.0)];
+        let g = DependencyGraph::new(&rs);
+        assert!(!g.precedes(DepNode::Start(0), DepNode::Start(1)));
+        assert!(!g.precedes(DepNode::Start(0), DepNode::End(0))); // latest start 8 > earliest end 2
+    }
+
+    #[test]
+    fn lead_trail_rigid_chain() {
+        // Three rigid back-to-back-with-gap requests: [0,1], [2,3], [4,5].
+        let rs = vec![req(0.0, 1.0, 1.0), req(2.0, 3.0, 1.0), req(4.0, 5.0, 1.0)];
+        let g = DependencyGraph::new(&rs);
+        // Start of R2 is preceded by starts of R0 and R1.
+        assert_eq!(g.lead(DepNode::Start(2)), 2);
+        // Start of R0 is followed by starts of R1, R2 plus its own end.
+        assert_eq!(g.trail(DepNode::Start(0)), 3);
+        // End of R2: nothing after it.
+        assert_eq!(g.trail(DepNode::End(2)), 0);
+        // Event ranges (|R| = 3, events 1..=4): start of R0 only on e1.
+        assert_eq!(g.event_range(DepNode::Start(0)), (1, 1));
+        assert_eq!(g.event_range(DepNode::Start(2)), (3, 3));
+        assert_eq!(g.event_range(DepNode::End(2)), (4, 4));
+    }
+
+    #[test]
+    fn symmetric_flexible_full_ranges() {
+        let rs = vec![req(0.0, 10.0, 2.0), req(0.0, 10.0, 2.0)];
+        let g = DependencyGraph::new(&rs);
+        // Starts can be on e1..e2, ends on e2..e3.
+        assert_eq!(g.event_range(DepNode::Start(0)), (1, 2));
+        assert_eq!(g.event_range(DepNode::End(0)), (2, 3));
+    }
+
+    #[test]
+    fn dist_max_counts_start_weights() {
+        let rs = vec![req(0.0, 1.0, 1.0), req(2.0, 3.0, 1.0), req(4.0, 5.0, 1.0)];
+        let g = DependencyGraph::new(&rs);
+        // start0 -> start1 -> start2: two weight-1 hops.
+        assert_eq!(g.dist_max(DepNode::Start(0), DepNode::Start(2)), 2);
+        // end2 unreachable from... start2 -> end2 distance 1.
+        assert_eq!(g.dist_max(DepNode::Start(2), DepNode::End(2)), 1);
+        // Unreachable pairs yield 0.
+        assert_eq!(g.dist_max(DepNode::End(2), DepNode::Start(0)), 0);
+    }
+
+    #[test]
+    fn full_event_ranges_for_rigid_chain() {
+        // Rigid chain: [0,1], [2,3], [4,5]; 2|R| = 6 events, strict order
+        // s0 e0 s1 e1 s2 e2.
+        let rs = vec![req(0.0, 1.0, 1.0), req(2.0, 3.0, 1.0), req(4.0, 5.0, 1.0)];
+        let g = DependencyGraph::new(&rs);
+        assert_eq!(g.event_range_full(DepNode::Start(0)), (1, 1));
+        assert_eq!(g.event_range_full(DepNode::End(0)), (2, 2));
+        assert_eq!(g.event_range_full(DepNode::Start(2)), (5, 5));
+        assert_eq!(g.event_range_full(DepNode::End(2)), (6, 6));
+        // Hop distances: s0 -> e2 path has 5 hops.
+        assert_eq!(g.dist_max_full(DepNode::Start(0), DepNode::End(2)), 5);
+        assert_eq!(g.dist_max_full(DepNode::End(2), DepNode::Start(0)), 0);
+    }
+
+    #[test]
+    fn paper_symmetry_example_forces_start_first_order() {
+        // Section IV-D: k requests of duration > half the window in [0, 2]:
+        // all starts must precede all ends, but starts are mutually unordered.
+        let rs: Vec<Request> =
+            (0..4).map(|i| req(0.0, 2.0, 1.0 + 1.0 / f64::powi(2.0, i + 1))).collect();
+        let g = DependencyGraph::new(&rs);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(
+                    g.precedes(DepNode::Start(i), DepNode::End(j)),
+                    "start {i} must precede end {j}"
+                );
+                if i != j {
+                    assert!(!g.precedes(DepNode::Start(i), DepNode::Start(j)));
+                }
+            }
+        }
+    }
+}

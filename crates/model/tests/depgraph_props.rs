@@ -1,0 +1,153 @@
+//! Property tests for the temporal dependency graph: its precedence relation
+//! must be sound (every feasible schedule respects it) and the event ranges
+//! must contain every realizable event assignment.
+
+use proptest::prelude::*;
+use tvnep_graph::DiGraph;
+use tvnep_model::{earliest, latest, DepNode, DependencyGraph, Request};
+
+fn requests_from(windows: &[(f64, f64, f64)]) -> Vec<Request> {
+    windows
+        .iter()
+        .enumerate()
+        .map(|(i, &(ts, slack, d))| {
+            Request::new(
+                format!("r{i}"),
+                DiGraph::with_nodes(1),
+                vec![1.0],
+                vec![],
+                ts,
+                ts + d + slack,
+                d,
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Soundness: if the graph says `v` precedes `w`, then for *every*
+    /// in-window schedule, time(v) < time(w).
+    #[test]
+    fn precedence_is_sound(
+        windows in prop::collection::vec((0.0f64..10.0, 0.0f64..4.0, 0.5f64..3.0), 2..6),
+        // Fractions placing each request inside its window.
+        placement in prop::collection::vec(0.0f64..1.0, 6),
+    ) {
+        let reqs = requests_from(&windows);
+        let dep = DependencyGraph::new(&reqs);
+        // A concrete feasible schedule: start = ts + frac·slack.
+        let times: Vec<(f64, f64)> = reqs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let slack = r.flexibility();
+                let start = r.earliest_start + placement[i % placement.len()] * slack;
+                (start, start + r.duration)
+            })
+            .collect();
+        let time_of = |v: DepNode| match v {
+            DepNode::Start(r) => times[r].0,
+            DepNode::End(r) => times[r].1,
+        };
+        for v in dep.dep_nodes() {
+            for w in dep.dep_nodes() {
+                if v != w && dep.precedes(v, w) {
+                    prop_assert!(
+                        time_of(v) < time_of(w) + 1e-9,
+                        "{:?}@{} must precede {:?}@{}",
+                        v, time_of(v), w, time_of(w)
+                    );
+                }
+            }
+        }
+    }
+
+    /// The earliest/latest bounds bracket every in-window schedule.
+    #[test]
+    fn earliest_latest_bracket_schedules(
+        windows in prop::collection::vec((0.0f64..10.0, 0.0f64..4.0, 0.5f64..3.0), 1..6),
+        placement in prop::collection::vec(0.0f64..1.0, 6),
+    ) {
+        let reqs = requests_from(&windows);
+        for (i, r) in reqs.iter().enumerate() {
+            let start = r.earliest_start + placement[i % placement.len()] * r.flexibility();
+            let end = start + r.duration;
+            prop_assert!(earliest(&reqs, DepNode::Start(i)) <= start + 1e-9);
+            prop_assert!(latest(&reqs, DepNode::Start(i)) >= start - 1e-9);
+            prop_assert!(earliest(&reqs, DepNode::End(i)) <= end + 1e-9);
+            prop_assert!(latest(&reqs, DepNode::End(i)) >= end - 1e-9);
+        }
+    }
+
+    /// Event ranges are consistent: non-empty, inside the structural bounds,
+    /// and dist_max never exceeds what the ranges permit.
+    #[test]
+    fn event_ranges_consistent(
+        windows in prop::collection::vec((0.0f64..10.0, 0.0f64..4.0, 0.5f64..3.0), 1..7),
+    ) {
+        let reqs = requests_from(&windows);
+        let k = reqs.len();
+        let dep = DependencyGraph::new(&reqs);
+        for v in dep.dep_nodes() {
+            let (lo, hi) = dep.event_range(v);
+            prop_assert!(lo <= hi, "{v:?}: empty range [{lo}, {hi}]");
+            match v {
+                DepNode::Start(_) => {
+                    prop_assert!(lo >= 1 && hi <= k);
+                }
+                DepNode::End(_) => {
+                    prop_assert!(lo >= 2 && hi <= k + 1);
+                }
+            }
+            let (flo, fhi) = dep.event_range_full(v);
+            prop_assert!(flo <= fhi && flo >= 1 && fhi <= 2 * k, "{v:?} full [{flo},{fhi}]");
+        }
+        // dist_max is compatible with the lead counts: a longest path into w
+        // carrying d start-weights means at least d−1 starts strictly
+        // precede w beyond the path's own endpoints.
+        for v in dep.dep_nodes() {
+            for w in dep.dep_nodes() {
+                if v == w {
+                    continue;
+                }
+                let d = dep.dist_max(v, w);
+                if d > 0 {
+                    prop_assert!(
+                        dep.lead(w) >= d.saturating_sub(1),
+                        "{v:?} -> {w:?}: dist {d} but lead({w:?}) = {}",
+                        dep.lead(w)
+                    );
+                }
+            }
+        }
+    }
+
+    /// G_dep is invariant under request reordering (up to relabeling).
+    #[test]
+    fn depgraph_is_order_invariant(
+        windows in prop::collection::vec((0.0f64..10.0, 0.0f64..4.0, 0.5f64..3.0), 2..6),
+    ) {
+        let reqs = requests_from(&windows);
+        let dep = DependencyGraph::new(&reqs);
+        let mut rev = reqs.clone();
+        rev.reverse();
+        let dep_rev = DependencyGraph::new(&rev);
+        let k = reqs.len();
+        let flip = |v: DepNode| match v {
+            DepNode::Start(r) => DepNode::Start(k - 1 - r),
+            DepNode::End(r) => DepNode::End(k - 1 - r),
+        };
+        for v in dep.dep_nodes() {
+            for w in dep.dep_nodes() {
+                if v != w {
+                    prop_assert_eq!(
+                        dep.precedes(v, w),
+                        dep_rev.precedes(flip(v), flip(w))
+                    );
+                }
+            }
+        }
+    }
+}

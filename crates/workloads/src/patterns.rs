@@ -1,0 +1,148 @@
+//! Additional workload patterns beyond the paper's star-on-grid scenario.
+//!
+//! These exercise the same public API on other topologies the VNE literature
+//! cares about: pipelines (chain VNets, e.g. stream processing stages) and
+//! full-mesh virtual clusters (SecondNet-style per-VM-pair guarantees), plus
+//! a "batch night" scenario where all requests share one large window —
+//! the setting in which temporal flexibility matters most.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Uniform};
+use tvnep_graph::{grid, DiGraph, NodeId};
+use tvnep_model::{Instance, Request, Substrate};
+
+/// A directed chain `0 → 1 → … → n−1` (pipeline VNet).
+pub fn chain_topology(n: usize) -> DiGraph {
+    assert!(n >= 2);
+    let mut g = DiGraph::with_nodes(n);
+    for i in 0..n - 1 {
+        g.add_edge(NodeId(i), NodeId(i + 1));
+    }
+    g
+}
+
+/// A bidirected full mesh on `n` nodes (virtual-cluster VNet with per-pair
+/// guarantees).
+pub fn mesh_topology(n: usize) -> DiGraph {
+    let mut g = DiGraph::with_nodes(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v {
+                g.add_edge(NodeId(u), NodeId(v));
+            }
+        }
+    }
+    g
+}
+
+/// Configuration of the batch-window scenario.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Grid substrate dimensions.
+    pub grid_rows: usize,
+    /// Grid substrate dimensions.
+    pub grid_cols: usize,
+    /// Node capacity.
+    pub node_capacity: f64,
+    /// Link capacity.
+    pub edge_capacity: f64,
+    /// Number of batch jobs.
+    pub num_requests: usize,
+    /// Virtual nodes per pipeline job.
+    pub chain_length: usize,
+    /// Duration range (uniform) in hours.
+    pub duration_range: (f64, f64),
+    /// Demand range (uniform).
+    pub demand_range: (f64, f64),
+    /// The shared execution window `[0, window]` (the "night").
+    pub window: f64,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            grid_rows: 3,
+            grid_cols: 3,
+            node_capacity: 3.5,
+            edge_capacity: 5.0,
+            num_requests: 5,
+            chain_length: 3,
+            duration_range: (1.0, 3.0),
+            demand_range: (1.0, 2.0),
+            window: 10.0,
+        }
+    }
+}
+
+/// All jobs arrive at time 0 and must finish by `window` — maximal temporal
+/// flexibility, minimal spatial freedom (random fixed mappings). This is the
+/// regime where scheduling, not embedding, decides feasibility.
+pub fn batch_night(config: &BatchConfig, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let substrate = Substrate::uniform(
+        grid(config.grid_rows, config.grid_cols),
+        config.node_capacity,
+        config.edge_capacity,
+    );
+    let nn = substrate.num_nodes();
+    let dur = Uniform::new_inclusive(config.duration_range.0, config.duration_range.1);
+    let dem = Uniform::new_inclusive(config.demand_range.0, config.demand_range.1);
+    let mut requests = Vec::new();
+    let mut mappings = Vec::new();
+    for i in 0..config.num_requests {
+        let g = chain_topology(config.chain_length);
+        let node_demand: Vec<f64> = (0..g.num_nodes()).map(|_| dem.sample(&mut rng)).collect();
+        let edge_demand: Vec<f64> = (0..g.num_edges()).map(|_| dem.sample(&mut rng)).collect();
+        let duration = dur.sample(&mut rng).min(config.window);
+        let mapping: Vec<NodeId> =
+            (0..g.num_nodes()).map(|_| NodeId(rng.gen_range(0..nn))).collect();
+        requests.push(Request::new(
+            format!("batch{i}"),
+            g,
+            node_demand,
+            edge_demand,
+            0.0,
+            config.window,
+            duration,
+        ));
+        mappings.push(mapping);
+    }
+    Instance::new(substrate, requests, config.window, Some(mappings))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_shape() {
+        let g = chain_topology(4);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn mesh_shape() {
+        let g = mesh_topology(3);
+        assert_eq!(g.num_edges(), 6);
+    }
+
+    #[test]
+    fn batch_night_all_flexible() {
+        let inst = batch_night(&BatchConfig::default(), 5);
+        assert_eq!(inst.num_requests(), 5);
+        for r in &inst.requests {
+            assert!(r.flexibility() > 0.0);
+            assert_eq!(r.earliest_start, 0.0);
+        }
+        assert!(inst.fixed_node_mappings.is_some());
+    }
+
+    #[test]
+    fn batch_night_deterministic() {
+        let a = batch_night(&BatchConfig::default(), 9);
+        let b = batch_night(&BatchConfig::default(), 9);
+        assert_eq!(a.requests[0].duration, b.requests[0].duration);
+    }
+}

@@ -1,0 +1,70 @@
+//! Batch-night scheduling: pipeline (chain) VNets that all arrive at dusk
+//! and must finish by dawn — maximal temporal flexibility, fixed placements.
+//! Minimizes the makespan so the cluster frees up as early as possible,
+//! then compares against the earliness objective.
+//!
+//! ```text
+//! cargo run --release --example batch_night
+//! ```
+
+use std::time::Duration;
+use tvnep::prelude::*;
+use tvnep::workloads::patterns::{batch_night, BatchConfig};
+
+fn main() {
+    let cfg = BatchConfig { num_requests: 4, window: 9.0, ..BatchConfig::default() };
+    let instance = batch_night(&cfg, 11);
+    println!(
+        "{} pipeline jobs, shared window [0, {:.1}] h, durations: {:?}",
+        instance.num_requests(),
+        cfg.window,
+        instance
+            .requests
+            .iter()
+            .map(|r| (r.duration * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
+
+    for (name, objective) in [
+        ("min-makespan", Objective::MinMakespan),
+        ("max-earliness", Objective::MaxEarliness),
+    ] {
+        let outcome = solve_tvnep(
+            &instance,
+            Formulation::CSigma,
+            objective,
+            BuildOptions::default_for(Formulation::CSigma),
+            &MipOptions::with_time_limit(Duration::from_secs(60)),
+        );
+        let Some(solution) = outcome.solution else {
+            println!("{name}: no schedule within the budget ({:?})", outcome.mip.status);
+            continue;
+        };
+        assert!(is_feasible(&instance, &solution), "verifier must accept");
+        println!(
+            "\n{name}: status {:?}, objective {:?}",
+            outcome.mip.status, outcome.mip.objective
+        );
+        let mut order: Vec<usize> = (0..solution.scheduled.len()).collect();
+        order.sort_by(|&a, &b| {
+            solution.scheduled[a]
+                .start
+                .partial_cmp(&solution.scheduled[b].start)
+                .expect("finite")
+        });
+        for i in order {
+            let s = &solution.scheduled[i];
+            let bar_start = (s.start * 4.0).round() as usize;
+            let bar_len = (((s.end - s.start) * 4.0).round() as usize).max(1);
+            println!(
+                "  {:<7} {}{} [{:.2}, {:.2}]",
+                instance.requests[i].name,
+                " ".repeat(bar_start),
+                "#".repeat(bar_len),
+                s.start,
+                s.end
+            );
+        }
+        println!("  makespan: {:.2} h", solution.makespan());
+    }
+}

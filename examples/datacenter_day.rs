@@ -1,0 +1,75 @@
+//! The paper's motivating scenario: how much does temporal flexibility help
+//! a data-center operator? Sweeps the flexibility of a fixed workload and
+//! reports accepted revenue for the greedy cΣᴳ_A (seconds) and — where it
+//! finishes — the exact cΣ-Model.
+//!
+//! ```text
+//! cargo run --release --example datacenter_day
+//! ```
+
+use std::time::Duration;
+use tvnep::prelude::*;
+
+fn main() {
+    let config = WorkloadConfig::small();
+    let seed = 7;
+    println!("flex_h | greedy_rev acc |  exact_rev acc  status");
+    println!("-------+----------------+-----------------------");
+    let mut base_greedy = None;
+    for flex_h in [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0] {
+        let instance = generate(&config, seed).with_flexibility_after(flex_h);
+
+        // Greedy: always fast.
+        let greedy = greedy_csigma(
+            &instance,
+            &GreedyOptions {
+                subproblem: MipOptions::with_time_limit(Duration::from_secs(5)),
+            },
+        );
+        assert!(is_feasible(&instance, &greedy.solution));
+        let greedy_rev = greedy.solution.revenue(&instance);
+        base_greedy.get_or_insert(greedy_rev);
+
+        // Exact: bounded budget, seeded with the greedy as cutoff.
+        let mut opts = MipOptions::with_time_limit(Duration::from_secs(20));
+        opts.cutoff = Some(greedy_rev - 1e-6);
+        let exact = solve_tvnep(
+            &instance,
+            Formulation::CSigma,
+            Objective::AccessControl,
+            BuildOptions::default_for(Formulation::CSigma),
+            &opts,
+        );
+        let (exact_rev, exact_acc, status) = match (exact.mip.status, &exact.solution) {
+            (MipStatus::NoBetterThanCutoff, _) => {
+                (greedy_rev, greedy.solution.accepted_count(), "Optimal*")
+            }
+            (st, Some(sol)) => {
+                assert!(is_feasible(&instance, sol));
+                (
+                    exact.mip.objective.unwrap_or(greedy_rev).max(greedy_rev),
+                    sol.accepted_count(),
+                    if st == MipStatus::Optimal { "Optimal" } else { "TimeLimit" },
+                )
+            }
+            _ => (greedy_rev, greedy.solution.accepted_count(), "TimeLimit"),
+        };
+
+        println!(
+            "{:>6.1} | {:>10.2} {:>3} | {:>10.2} {:>3}  {}",
+            flex_h,
+            greedy_rev,
+            greedy.solution.accepted_count(),
+            exact_rev,
+            exact_acc,
+            status
+        );
+    }
+    println!(
+        "\n(`Optimal*` = branch and bound proved nothing beats the greedy's schedule)"
+    );
+    println!(
+        "Takeaway (paper §VI): already little temporal flexibility lets the provider \
+         accept noticeably more revenue on the same substrate."
+    );
+}

@@ -1,0 +1,96 @@
+//! Renders the abstract event-point model of Figures 1–2 for a concrete
+//! solved instance: the 2|R|-event view of the Δ/Σ-Models versus the
+//! compactified |R|+1-event view of the cΣ-Model.
+//!
+//! ```text
+//! cargo run --release --example event_points
+//! ```
+
+use std::time::Duration;
+use tvnep::core::{build_model, BuildOptions, Formulation, Objective};
+use tvnep::prelude::*;
+use tvnep_mip::solve_with;
+
+fn main() {
+    let config = WorkloadConfig::tiny();
+    let instance = generate(&config, 2).with_flexibility_after(1.0);
+    let k = instance.num_requests();
+    println!("{k} requests:");
+    for r in &instance.requests {
+        println!(
+            "  {}: window [{:.2}, {:.2}], duration {:.2}",
+            r.name, r.earliest_start, r.latest_end, r.duration
+        );
+    }
+
+    for (title, formulation) in [
+        ("Σ-Model: 2|R| events, starts ∪ ends bijective (Figure 1)", Formulation::Sigma),
+        ("cΣ-Model: |R|+1 events, ends share events (Figure 2)", Formulation::CSigma),
+    ] {
+        let built = build_model(
+            &instance,
+            formulation,
+            Objective::AccessControl,
+            BuildOptions::default_for(formulation),
+        );
+        let result = solve_with(
+            &built.mip,
+            &MipOptions::with_time_limit(Duration::from_secs(120)),
+        );
+        println!("\n=== {title} ===");
+        println!(
+            "model: {} vars / {} rows / {} binaries — solved {:?}",
+            built.mip.num_vars(),
+            built.mip.num_rows(),
+            built.mip.num_integers(),
+            result.status
+        );
+        let Some(x) = &result.x else { continue };
+        let events = &built.events;
+        let times: Vec<f64> = events.t_event.iter().map(|v| x[v.0]).collect();
+        print!("events:");
+        for (i, t) in times.iter().enumerate() {
+            print!("  e{}@{:.2}", i + 1, t);
+        }
+        println!();
+        for r in 0..k {
+            let start_ev = events.chi_start[r]
+                .iter()
+                .find(|(_, &v)| x[v.0] > 0.5)
+                .map(|(&e, _)| e);
+            let end_ev = events.chi_end[r]
+                .iter()
+                .find(|(_, &v)| x[v.0] > 0.5)
+                .map(|(&e, _)| e);
+            let accepted = x[built.emb.x_r[r].0] > 0.5;
+            println!(
+                "  {}: start→e{:?} end→e{:?} t=[{:.2},{:.2}] {}",
+                instance.requests[r].name,
+                start_ev.unwrap_or(0),
+                end_ev.unwrap_or(0),
+                x[events.t_plus[r].0],
+                x[events.t_minus[r].0],
+                if accepted { "accepted" } else { "rejected" }
+            );
+        }
+        // Render the timeline per event point.
+        let width = 60usize;
+        let horizon = times.last().copied().unwrap_or(1.0).max(1.0);
+        println!("  timeline (one row per request, '|' = event point):");
+        for r in 0..k {
+            let s = x[events.t_plus[r].0] / horizon;
+            let e = x[events.t_minus[r].0] / horizon;
+            let mut row: Vec<char> = vec![' '; width + 1];
+            for t in &times {
+                let pos = ((t / horizon) * width as f64).round() as usize;
+                row[pos.min(width)] = '|';
+            }
+            let sp = ((s * width as f64).round() as usize).min(width);
+            let ep = ((e * width as f64).round() as usize).min(width);
+            for c in row.iter_mut().take(ep.max(sp + 1)).skip(sp) {
+                *c = if *c == '|' { '+' } else { '#' };
+            }
+            println!("  {:<4} {}", instance.requests[r].name, row.iter().collect::<String>());
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Quickstart: generate a small day-of-work scenario, solve the temporal
+//! VNet embedding problem with the cΣ-Model, and print the schedule.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::time::Duration;
+use tvnep::prelude::*;
+
+fn main() {
+    // A 2×3 grid substrate with five 5-node star requests arriving over a
+    // few hours (the paper's §VI-A workload, scaled down), each given one
+    // hour of temporal flexibility.
+    let config = WorkloadConfig::small();
+    let instance = generate(&config, 42).with_flexibility_after(1.0);
+
+    println!(
+        "substrate: {} nodes / {} links; {} requests; horizon {:.1} h",
+        instance.substrate.num_nodes(),
+        instance.substrate.num_edges(),
+        instance.num_requests(),
+        instance.horizon
+    );
+    for r in &instance.requests {
+        println!(
+            "  {}: window [{:.2}, {:.2}] h, duration {:.2} h, revenue {:.2}",
+            r.name,
+            r.earliest_start,
+            r.latest_end,
+            r.duration,
+            r.revenue()
+        );
+    }
+
+    // Solve access control (which requests to accept, where to route their
+    // virtual links, and when to run them) to optimality with the cΣ-Model.
+    let outcome = solve_tvnep(
+        &instance,
+        Formulation::CSigma,
+        Objective::AccessControl,
+        BuildOptions::default_for(Formulation::CSigma),
+        &MipOptions::with_time_limit(Duration::from_secs(60)),
+    );
+
+    println!(
+        "\nsolver: {:?} in {} nodes, objective {:?}, bound {:.2}",
+        outcome.mip.status, outcome.mip.nodes, outcome.mip.objective, outcome.mip.best_bound
+    );
+    let solution = outcome.solution.expect("a feasible schedule exists");
+    assert!(is_feasible(&instance, &solution), "verifier must agree");
+
+    println!("\nschedule:");
+    for (req, sched) in instance.requests.iter().zip(&solution.scheduled) {
+        if sched.accepted {
+            let emb = sched.embedding.as_ref().expect("accepted ⇒ embedded");
+            let hosts: Vec<String> =
+                emb.node_map.iter().map(|n| format!("s{}", n.0)).collect();
+            println!(
+                "  {} ACCEPTED  [{:.2}, {:.2}] h on nodes {}",
+                req.name,
+                sched.start,
+                sched.end,
+                hosts.join(",")
+            );
+        } else {
+            println!("  {} rejected", req.name);
+        }
+    }
+    println!(
+        "\naccepted {}/{} requests, revenue {:.2} (of max {:.2})",
+        solution.accepted_count(),
+        instance.num_requests(),
+        solution.revenue(&instance),
+        instance.total_revenue()
+    );
+}

@@ -1,0 +1,61 @@
+//! # tvnep — Optimal Virtual Network Embeddings under Temporal Flexibilities
+//!
+//! A from-scratch Rust reproduction of Rost, Schmid & Feldmann, *"It's About
+//! Time: On Optimal Virtual Network Embeddings under Temporal Flexibilities"*
+//! (IPDPS 2014): the temporal VNet embedding problem (TVNEP), its Δ/Σ/cΣ
+//! continuous-time MIP formulations, the greedy algorithm cΣᴳ_A, and the
+//! full solver substrate (bounded-variable simplex + branch and bound) the
+//! paper delegated to Gurobi.
+//!
+//! ## Crate map
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`lp`] | `tvnep-lp` | revised primal/dual simplex with variable bounds |
+//! | [`mip`] | `tvnep-mip` | branch-and-bound MIP solver |
+//! | [`graph`] | `tvnep-graph` | digraphs, grid/star builders, DAG longest paths |
+//! | [`model`] | `tvnep-model` | instances, solutions, Definition-2.1 verifier |
+//! | [`core`] | `tvnep-core` | Δ/Σ/cΣ formulations, objectives, greedy |
+//! | [`workloads`] | `tvnep-workloads` | the §VI-A scenario generator |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tvnep::prelude::*;
+//! use std::time::Duration;
+//!
+//! // A small day-of-work scenario with 1 hour of temporal flexibility.
+//! let cfg = WorkloadConfig::tiny();
+//! let instance = generate(&cfg, 42).with_flexibility_after(1.0);
+//!
+//! // Solve access control with the cΣ-Model.
+//! let out = solve_tvnep(
+//!     &instance,
+//!     Formulation::CSigma,
+//!     Objective::AccessControl,
+//!     BuildOptions::default_for(Formulation::CSigma),
+//!     &MipOptions::with_time_limit(Duration::from_secs(30)),
+//! );
+//! let solution = out.solution.expect("found a schedule");
+//! assert!(tvnep::model::is_feasible(&instance, &solution));
+//! ```
+
+pub use tvnep_core as core;
+pub use tvnep_graph as graph;
+pub use tvnep_lp as lp;
+pub use tvnep_mip as mip;
+pub use tvnep_model as model;
+pub use tvnep_workloads as workloads;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use tvnep_core::{
+        build_model, greedy_csigma, solve_tvnep, BuildOptions, Formulation, GreedyOptions,
+        Objective,
+    };
+    pub use tvnep_mip::{MipOptions, MipStatus};
+    pub use tvnep_model::{
+        is_feasible, verify, Instance, Request, Substrate, TemporalSolution,
+    };
+    pub use tvnep_workloads::{generate, paper_flexibilities, sweep, WorkloadConfig};
+}

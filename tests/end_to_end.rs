@@ -1,0 +1,201 @@
+//! Workspace-level integration tests: generator → formulation → MIP solver →
+//! LP engine → extraction → independent verifier, exercised through the
+//! public facade crate only.
+
+use std::time::Duration;
+use tvnep::prelude::*;
+use tvnep::core::EventOptions;
+use tvnep::graph::NodeId;
+use tvnep::model::{ScheduledRequest, Violation};
+
+fn budget(secs: u64) -> MipOptions {
+    MipOptions::with_time_limit(Duration::from_secs(secs))
+}
+
+#[test]
+fn pipeline_generate_solve_verify() {
+    let cfg = WorkloadConfig::tiny();
+    for seed in [0, 1] {
+        for flex in [0.0, 1.0] {
+            let inst = generate(&cfg, seed).with_flexibility_after(flex);
+            let out = solve_tvnep(
+                &inst,
+                Formulation::CSigma,
+                Objective::AccessControl,
+                BuildOptions::default_for(Formulation::CSigma),
+                &budget(60),
+            );
+            assert_eq!(out.mip.status, MipStatus::Optimal, "seed {seed} flex {flex}");
+            let sol = out.solution.unwrap();
+            assert!(is_feasible(&inst, &sol), "{:?}", verify(&inst, &sol));
+            // The reported objective equals the recomputed revenue.
+            assert!(
+                (out.mip.objective.unwrap() - sol.revenue(&inst)).abs() < 1e-5,
+                "objective mismatch"
+            );
+        }
+    }
+}
+
+#[test]
+fn greedy_vs_exact_gap_is_bounded_on_tiny_instances() {
+    // Fig 7's qualitative claim at unit scale: greedy is within a modest
+    // factor of optimal (here: never below 50% on tiny instances, usually
+    // equal).
+    let cfg = WorkloadConfig::tiny();
+    for seed in 0..6u64 {
+        let inst = generate(&cfg, seed).with_flexibility_after(1.0);
+        let g = greedy_csigma(&inst, &GreedyOptions::default());
+        let e = solve_tvnep(
+            &inst,
+            Formulation::CSigma,
+            Objective::AccessControl,
+            BuildOptions::default_for(Formulation::CSigma),
+            &budget(60),
+        );
+        assert_eq!(e.mip.status, MipStatus::Optimal);
+        let opt = e.mip.objective.unwrap();
+        let grev = g.solution.revenue(&inst);
+        assert!(grev <= opt + 1e-5);
+        if opt > 1e-9 {
+            assert!(grev / opt > 0.5, "seed {seed}: greedy {grev} vs optimal {opt}");
+        }
+    }
+}
+
+#[test]
+fn tampered_solutions_are_rejected_by_the_verifier() {
+    let cfg = WorkloadConfig::tiny();
+    let inst = generate(&cfg, 1).with_flexibility_after(1.0);
+    let out = solve_tvnep(
+        &inst,
+        Formulation::CSigma,
+        Objective::AccessControl,
+        BuildOptions::default_for(Formulation::CSigma),
+        &budget(60),
+    );
+    let sol = out.solution.unwrap();
+    assert!(is_feasible(&inst, &sol));
+
+    // Shift an accepted request outside its window.
+    if let Some(idx) = sol.scheduled.iter().position(|s| s.accepted) {
+        let mut bad = sol.clone();
+        bad.scheduled[idx].start = inst.requests[idx].earliest_start - 5.0;
+        bad.scheduled[idx].end = bad.scheduled[idx].start + inst.requests[idx].duration;
+        let v = verify(&inst, &bad);
+        assert!(!v.is_empty(), "window violation must be caught");
+
+        // Break the duration.
+        let mut bad = sol.clone();
+        bad.scheduled[idx].end += 1.0;
+        assert!(verify(&inst, &bad)
+            .iter()
+            .any(|x| matches!(x, Violation::WrongDuration { .. })));
+
+        // Strip the embedding.
+        let mut bad = sol.clone();
+        bad.scheduled[idx].embedding = None;
+        assert!(verify(&inst, &bad)
+            .iter()
+            .any(|x| matches!(x, Violation::MissingEmbedding { .. })));
+    }
+}
+
+#[test]
+fn overloaded_schedule_is_rejected() {
+    // Construct an obviously overloaded schedule by accepting everything at
+    // the same instant on the same node.
+    let cfg = WorkloadConfig::tiny();
+    let inst = generate(&cfg, 2);
+    let everything_now: Vec<ScheduledRequest> = inst
+        .requests
+        .iter()
+        .enumerate()
+        .map(|(_r, req)| ScheduledRequest {
+            accepted: true,
+            start: req.earliest_start,
+            end: req.earliest_start + req.duration,
+            embedding: Some(tvnep::model::Embedding {
+                node_map: vec![NodeId(0); req.num_nodes()],
+                edge_flows: vec![vec![]; req.num_edges()],
+            }),
+        })
+        .collect();
+    let bad = TemporalSolution { scheduled: everything_now, reported_objective: None };
+    // Either node capacity breaks or the pinned mapping is violated.
+    assert!(!verify(&inst, &bad).is_empty());
+}
+
+#[test]
+fn paper_scale_model_builds() {
+    // The full §VI-A configuration must *build* (solving it is the
+    // figure harness's 1-hour-per-cell job, not a unit test's).
+    let inst = generate(&WorkloadConfig::paper(), 1).with_flexibility_after(3.0);
+    let built = tvnep::core::build_model(
+        &inst,
+        Formulation::CSigma,
+        Objective::AccessControl,
+        BuildOptions::default_for(Formulation::CSigma),
+    );
+    assert_eq!(inst.num_requests(), 20);
+    assert!(built.mip.num_vars() > 5_000, "full-scale model is substantial");
+    assert!(built.mip.num_integers() >= 20);
+    // The Σ variant is strictly larger (2|R| events, no presolve).
+    let sigma = tvnep::core::build_model(
+        &inst,
+        Formulation::Sigma,
+        Objective::AccessControl,
+        BuildOptions::default_for(Formulation::Sigma),
+    );
+    assert!(sigma.mip.num_rows() > built.mip.num_rows());
+}
+
+#[test]
+fn build_options_toggle_model_size() {
+    let inst = generate(&WorkloadConfig::small(), 1).with_flexibility_after(1.0);
+    let strong = tvnep::core::build_model(
+        &inst,
+        Formulation::CSigma,
+        Objective::AccessControl,
+        BuildOptions::default_for(Formulation::CSigma),
+    );
+    let plain = tvnep::core::build_model(
+        &inst,
+        Formulation::CSigma,
+        Objective::AccessControl,
+        BuildOptions {
+            event: EventOptions {
+                dependency_ranges: false,
+                pairwise_cuts: false,
+                ordering_cuts: false,
+            },
+            flow_mode: Default::default(),
+        },
+    );
+    // The event-range presolve must shrink the variable count.
+    assert!(
+        strong.mip.num_vars() < plain.mip.num_vars(),
+        "presolve: {} vs plain {}",
+        strong.mip.num_vars(),
+        plain.mip.num_vars()
+    );
+}
+
+#[test]
+fn batch_pattern_end_to_end() {
+    use tvnep::workloads::patterns::{batch_night, BatchConfig};
+    let inst = batch_night(&BatchConfig { num_requests: 3, ..Default::default() }, 3);
+    let out = solve_tvnep(
+        &inst,
+        Formulation::CSigma,
+        Objective::MinMakespan,
+        BuildOptions::default_for(Formulation::CSigma),
+        &budget(60),
+    );
+    if let Some(sol) = &out.solution {
+        assert!(is_feasible(&inst, sol), "{:?}", verify(&inst, sol));
+        assert!(sol.makespan() <= inst.horizon + 1e-6);
+    } else {
+        panic!("batch night with 3 jobs must yield a schedule, got {:?}", out.mip.status);
+    }
+}
