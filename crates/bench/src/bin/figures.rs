@@ -10,11 +10,11 @@
 
 use std::time::Duration;
 
+use tvnep_bench::HarnessConfig as HC;
 use tvnep_bench::{
     print_csv, run_greedy_sweep, run_objective_sweep, run_sweep, CellResult, HarnessConfig,
     CSV_HEADER,
 };
-use tvnep_bench::HarnessConfig as HC;
 use tvnep_core::{
     build_discrete, build_model, discretization_gap, solve_tvnep, BuildOptions, EventOptions,
     Formulation, Objective,
@@ -52,22 +52,49 @@ fn ablation(cfg: &HC) {
     for &seed in cfg.seeds.iter().take(2) {
         let inst = generate(&cfg.workload, seed).with_flexibility_after(1.0);
         for (name, ev) in [
-            ("full_cuts", EventOptions { dependency_ranges: true, pairwise_cuts: true, ordering_cuts: true }),
-            ("ranges_only", EventOptions { dependency_ranges: true, pairwise_cuts: false, ordering_cuts: false }),
-            ("plain", EventOptions { dependency_ranges: false, pairwise_cuts: false, ordering_cuts: false }),
+            (
+                "full_cuts",
+                EventOptions {
+                    dependency_ranges: true,
+                    pairwise_cuts: true,
+                    ordering_cuts: true,
+                },
+            ),
+            (
+                "ranges_only",
+                EventOptions {
+                    dependency_ranges: true,
+                    pairwise_cuts: false,
+                    ordering_cuts: false,
+                },
+            ),
+            (
+                "plain",
+                EventOptions {
+                    dependency_ranges: false,
+                    pairwise_cuts: false,
+                    ordering_cuts: false,
+                },
+            ),
         ] {
             let built = build_model(
                 &inst,
                 Formulation::CSigma,
                 Objective::AccessControl,
-                BuildOptions { event: ev, flow_mode: Default::default() },
+                BuildOptions {
+                    event: ev,
+                    flow_mode: Default::default(),
+                },
             );
             let t0 = std::time::Instant::now();
             let run = solve_tvnep(
                 &inst,
                 Formulation::CSigma,
                 Objective::AccessControl,
-                BuildOptions { event: ev, flow_mode: Default::default() },
+                BuildOptions {
+                    event: ev,
+                    flow_mode: Default::default(),
+                },
                 &opts,
             );
             println!(
@@ -139,9 +166,10 @@ fn main() {
         csigma_rows = Some(rows);
     }
     if want("fig3") || want("fig4") {
-        for (label, f) in
-            [("sigma_access", Formulation::Sigma), ("delta_access", Formulation::Delta)]
-        {
+        for (label, f) in [
+            ("sigma_access", Formulation::Sigma),
+            ("delta_access", Formulation::Delta),
+        ] {
             eprintln!("[figures] formulation sweep: {label}");
             let rows = run_sweep(&cfg, f);
             print_csv(label, &rows);
@@ -150,7 +178,10 @@ fn main() {
     if want("fig5") || want("fig6") {
         for (label, o) in [
             ("csigma_earliness", Objective::MaxEarliness),
-            ("csigma_nodeload", Objective::BalanceNodeLoad { fraction: 0.5 }),
+            (
+                "csigma_nodeload",
+                Objective::BalanceNodeLoad { fraction: 0.5 },
+            ),
             ("csigma_disable", Objective::DisableLinks),
             ("csigma_makespan", Objective::MinMakespan),
         ] {
@@ -203,7 +234,11 @@ fn main() {
                             seed,
                             r.flex,
                             o,
-                            if base > 1e-9 { o / base - 1.0 } else { f64::NAN }
+                            if base > 1e-9 {
+                                o / base - 1.0
+                            } else {
+                                f64::NAN
+                            }
                         );
                     }
                 }

@@ -1,0 +1,254 @@
+//! Dependency-free micro-benchmarks for the solver substrate, replacing the
+//! earlier criterion harness. One group per layer:
+//!
+//! * `lp`      — simplex solve time on generated LP relaxations;
+//! * `mip`     — full branch-and-bound on small instances;
+//! * `build`   — model *construction* cost per formulation (ablation for the
+//!   state-space reduction of Section IV-C);
+//! * `greedy`  — the cΣᴳ_A heuristic (Section V; "seconds" claim);
+//! * `depgraph`— dependency-graph + cuts precomputation;
+//! * `verify`  — the Definition-2.1 feasibility verifier.
+//!
+//! ```text
+//! microbench [lp|mip|build|greedy|depgraph|verify|all] [--metrics-out FILE]
+//! ```
+//!
+//! Each case is warmed once, then run repeatedly until ~2 s of samples (at
+//! least 5) are collected; min/median/mean are printed. With
+//! `--metrics-out`, a JSON snapshot of every case's statistics is written.
+
+use std::time::{Duration, Instant};
+
+use tvnep_core::{
+    build_model, greedy_csigma, solve_tvnep, BuildOptions, Formulation, GreedyOptions, Objective,
+};
+use tvnep_lp::Simplex;
+use tvnep_mip::MipOptions;
+use tvnep_model::{verify, DependencyGraph};
+use tvnep_telemetry::Json;
+use tvnep_workloads::{generate, WorkloadConfig};
+
+/// Timing statistics of one benchmark case.
+struct CaseResult {
+    group: &'static str,
+    name: String,
+    samples: usize,
+    min: Duration,
+    median: Duration,
+    mean: Duration,
+}
+
+/// Runs `f` repeatedly until the time budget is spent (min 5 samples) and
+/// reports order statistics. The closure's return value is consumed with a
+/// volatile read so the optimizer cannot delete the work.
+fn bench<T>(group: &'static str, name: &str, mut f: impl FnMut() -> T) -> CaseResult {
+    const BUDGET: Duration = Duration::from_secs(2);
+    const MIN_SAMPLES: usize = 5;
+    const MAX_SAMPLES: usize = 1000;
+    // Warm-up (populates caches, first-touch allocations).
+    std::hint::black_box(f());
+    let mut times = Vec::new();
+    let start = Instant::now();
+    while times.len() < MIN_SAMPLES || (start.elapsed() < BUDGET && times.len() < MAX_SAMPLES) {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        times.push(t0.elapsed());
+    }
+    times.sort();
+    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    let result = CaseResult {
+        group,
+        name: name.to_string(),
+        samples: times.len(),
+        min: times[0],
+        median: times[times.len() / 2],
+        mean,
+    };
+    eprintln!(
+        "{:>9}/{:<28} n={:<5} min {:>12.6?} median {:>12.6?} mean {:>12.6?}",
+        result.group, result.name, result.samples, result.min, result.median, result.mean
+    );
+    result
+}
+
+fn bench_lp(out: &mut Vec<CaseResult>) {
+    for flex in [0.0, 1.0] {
+        let inst = generate(&WorkloadConfig::tiny(), 1).with_flexibility_after(flex);
+        let built = build_model(
+            &inst,
+            Formulation::CSigma,
+            Objective::AccessControl,
+            BuildOptions::default_for(Formulation::CSigma),
+        );
+        let lp = built.mip.relaxation_min();
+        out.push(bench(
+            "lp",
+            &format!("csigma_root_relaxation/{flex}"),
+            || {
+                let mut s = Simplex::new(&lp);
+                s.solve()
+            },
+        ));
+    }
+}
+
+fn bench_mip(out: &mut Vec<CaseResult>) {
+    for f in [Formulation::CSigma, Formulation::Sigma] {
+        let inst = generate(&WorkloadConfig::tiny(), 1).with_flexibility_after(0.5);
+        out.push(bench("mip", &format!("access_control_tiny/{f:?}"), || {
+            solve_tvnep(
+                &inst,
+                f,
+                Objective::AccessControl,
+                BuildOptions::default_for(f),
+                &MipOptions::with_time_limit(Duration::from_secs(30)),
+            )
+            .mip
+            .nodes
+        }));
+    }
+}
+
+fn bench_build(out: &mut Vec<CaseResult>) {
+    let inst = generate(&WorkloadConfig::small(), 1).with_flexibility_after(2.0);
+    for f in [Formulation::Delta, Formulation::Sigma, Formulation::CSigma] {
+        out.push(bench("build", &format!("formulation/{f:?}"), || {
+            build_model(
+                &inst,
+                f,
+                Objective::AccessControl,
+                BuildOptions::default_for(f),
+            )
+            .mip
+            .num_rows()
+        }));
+    }
+    // Ablation: cΣ with and without the Section IV-C machinery.
+    for (name, opts) in [
+        (
+            "ablation/csigma_with_cuts",
+            BuildOptions::default_for(Formulation::CSigma),
+        ),
+        (
+            "ablation/csigma_plain",
+            BuildOptions {
+                event: tvnep_core::EventOptions {
+                    dependency_ranges: false,
+                    pairwise_cuts: false,
+                    ordering_cuts: false,
+                },
+                flow_mode: Default::default(),
+            },
+        ),
+    ] {
+        out.push(bench("build", name, || {
+            build_model(&inst, Formulation::CSigma, Objective::AccessControl, opts)
+                .mip
+                .num_rows()
+        }));
+    }
+}
+
+fn bench_greedy(out: &mut Vec<CaseResult>) {
+    for flex in [0.0, 2.0] {
+        let inst = generate(&WorkloadConfig::small(), 1).with_flexibility_after(flex);
+        out.push(bench("greedy", &format!("csigma_greedy/{flex}"), || {
+            greedy_csigma(
+                &inst,
+                &GreedyOptions {
+                    subproblem: MipOptions::with_time_limit(Duration::from_secs(10)),
+                },
+            )
+            .solution
+            .accepted_count()
+        }));
+    }
+}
+
+fn bench_depgraph(out: &mut Vec<CaseResult>) {
+    for n in [5usize, 20, 50] {
+        let mut cfg = WorkloadConfig::paper();
+        cfg.num_requests = n;
+        let inst = generate(&cfg, 1).with_flexibility_after(2.0);
+        out.push(bench("depgraph", &format!("build/{n}"), || {
+            DependencyGraph::new(&inst.requests).num_requests()
+        }));
+    }
+}
+
+fn bench_verify(out: &mut Vec<CaseResult>) {
+    let inst = generate(&WorkloadConfig::tiny(), 1).with_flexibility_after(1.0);
+    let run = solve_tvnep(
+        &inst,
+        Formulation::CSigma,
+        Objective::AccessControl,
+        BuildOptions::default_for(Formulation::CSigma),
+        &MipOptions::with_time_limit(Duration::from_secs(30)),
+    );
+    let sol = run.solution.expect("solved");
+    out.push(bench("verify", "definition_2_1", || {
+        verify(&inst, &sol).len()
+    }));
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "all".to_string();
+    let mut metrics_out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--metrics-out" => {
+                i += 1;
+                metrics_out = Some(args.get(i).expect("--metrics-out FILE").clone());
+            }
+            other if !other.starts_with("--") => which = other.to_string(),
+            other => panic!("unknown flag {other}"),
+        }
+        i += 1;
+    }
+    let want = |g: &str| which == "all" || which == g;
+
+    let mut results = Vec::new();
+    if want("lp") {
+        bench_lp(&mut results);
+    }
+    if want("mip") {
+        bench_mip(&mut results);
+    }
+    if want("build") {
+        bench_build(&mut results);
+    }
+    if want("greedy") {
+        bench_greedy(&mut results);
+    }
+    if want("depgraph") {
+        bench_depgraph(&mut results);
+    }
+    if want("verify") {
+        bench_verify(&mut results);
+    }
+
+    if let Some(path) = metrics_out {
+        let doc = Json::Obj(vec![(
+            "benchmarks".into(),
+            Json::Arr(
+                results
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("group".into(), Json::from(r.group)),
+                            ("name".into(), Json::from(r.name.as_str())),
+                            ("samples".into(), Json::from(r.samples)),
+                            ("min_s".into(), Json::from(r.min.as_secs_f64())),
+                            ("median_s".into(), Json::from(r.median.as_secs_f64())),
+                            ("mean_s".into(), Json::from(r.mean.as_secs_f64())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )]);
+        std::fs::write(&path, doc.pretty()).expect("write metrics");
+        eprintln!("[microbench] wrote {path}");
+    }
+}

@@ -15,11 +15,10 @@
 
 use std::time::{Duration, Instant};
 
-use tvnep_core::{
-    greedy_csigma, solve_tvnep, BuildOptions, Formulation, GreedyOptions, Objective,
-};
+use tvnep_core::{greedy_csigma, solve_tvnep, BuildOptions, Formulation, GreedyOptions, Objective};
 use tvnep_mip::{MipOptions, MipStatus};
 use tvnep_model::{is_feasible, Instance};
+use tvnep_telemetry::Telemetry;
 use tvnep_workloads::{generate, WorkloadConfig};
 
 /// One solver run's record.
@@ -43,6 +42,9 @@ pub struct CellResult {
     pub accepted: Option<usize>,
     /// Branch-and-bound nodes.
     pub nodes: u64,
+    /// Simplex iterations across all LP relaxations of the run (from the
+    /// per-run telemetry snapshot).
+    pub lp_iterations: u64,
     /// Whether the extracted solution passed the independent verifier.
     pub verified: Option<bool>,
 }
@@ -101,7 +103,9 @@ pub fn run_sweep(cfg: &HarnessConfig, formulation: Formulation) -> Vec<CellResul
     for &seed in &cfg.seeds {
         for &flex in &cfg.flexibilities {
             let inst = instance_for(cfg, seed, flex);
+            let telemetry = Telemetry::metrics_only();
             let mut opts = MipOptions::with_time_limit(cfg.time_limit);
+            opts.telemetry = telemetry.clone();
             let mut greedy_obj = None;
             let mut greedy_acc = None;
             if cfg.greedy_cutoff {
@@ -140,13 +144,16 @@ pub fn run_sweep(cfg: &HarnessConfig, formulation: Formulation) -> Vec<CellResul
                     (st, best)
                 }
             };
-            let gap = objective.map(|o| {
-                ((run.mip.best_bound - o).abs() / o.abs().max(1e-10)).max(0.0)
-            });
+            let gap =
+                objective.map(|o| ((run.mip.best_bound - o).abs() / o.abs().max(1e-10)).max(0.0));
             let verified = run.solution.as_ref().map(|s| is_feasible(&inst, s));
             // When branch and bound holds the incumbent, count from it;
             // otherwise the greedy cutoff solution is the incumbent.
-            let accepted = run.solution.as_ref().map(|s| s.accepted_count()).or(greedy_acc);
+            let accepted = run
+                .solution
+                .as_ref()
+                .map(|s| s.accepted_count())
+                .or(greedy_acc);
             out.push(CellResult {
                 seed,
                 flex,
@@ -160,6 +167,7 @@ pub fn run_sweep(cfg: &HarnessConfig, formulation: Formulation) -> Vec<CellResul
                 },
                 accepted,
                 nodes: run.mip.nodes,
+                lp_iterations: telemetry.snapshot().counter("lp.iterations"),
                 verified,
             });
         }
@@ -182,19 +190,25 @@ pub fn run_objective_sweep(cfg: &HarnessConfig, objective: Objective) -> Vec<Cel
                     subproblem: MipOptions::with_time_limit(cfg.time_limit / 4),
                 },
             );
-            let keep: Vec<usize> =
-                (0..inst.num_requests()).filter(|&r| g.accepted[r]).collect();
+            let keep: Vec<usize> = (0..inst.num_requests())
+                .filter(|&r| g.accepted[r])
+                .collect();
             if keep.is_empty() {
                 continue;
             }
-            let maps = inst.fixed_node_mappings.as_ref().expect("generator pins mappings");
+            let maps = inst
+                .fixed_node_mappings
+                .as_ref()
+                .expect("generator pins mappings");
             let sub = Instance::new(
                 inst.substrate.clone(),
                 keep.iter().map(|&r| inst.requests[r].clone()).collect(),
                 inst.horizon,
                 Some(keep.iter().map(|&r| maps[r].clone()).collect()),
             );
-            let opts = MipOptions::with_time_limit(cfg.time_limit);
+            let telemetry = Telemetry::metrics_only();
+            let mut opts = MipOptions::with_time_limit(cfg.time_limit);
+            opts.telemetry = telemetry.clone();
             let t0 = Instant::now();
             let run = solve_tvnep(
                 &sub,
@@ -215,6 +229,7 @@ pub fn run_objective_sweep(cfg: &HarnessConfig, objective: Objective) -> Vec<Cel
                 gap: run.mip.gap,
                 accepted: Some(keep.len()),
                 nodes: run.mip.nodes,
+                lp_iterations: telemetry.snapshot().counter("lp.iterations"),
                 verified,
             });
         }
@@ -229,13 +244,11 @@ pub fn run_greedy_sweep(cfg: &HarnessConfig) -> Vec<CellResult> {
     for &seed in &cfg.seeds {
         for &flex in &cfg.flexibilities {
             let inst = instance_for(cfg, seed, flex);
+            let telemetry = Telemetry::metrics_only();
+            let mut subproblem = MipOptions::with_time_limit(cfg.time_limit / 4);
+            subproblem.telemetry = telemetry.clone();
             let t0 = Instant::now();
-            let g = greedy_csigma(
-                &inst,
-                &GreedyOptions {
-                    subproblem: MipOptions::with_time_limit(cfg.time_limit / 4),
-                },
-            );
+            let g = greedy_csigma(&inst, &GreedyOptions { subproblem });
             let runtime = t0.elapsed();
             let rev = g.solution.revenue(&inst);
             let ok = is_feasible(&inst, &g.solution);
@@ -249,6 +262,7 @@ pub fn run_greedy_sweep(cfg: &HarnessConfig) -> Vec<CellResult> {
                 gap: None,
                 accepted: Some(g.solution.accepted_count()),
                 nodes: g.total_nodes,
+                lp_iterations: telemetry.snapshot().counter("lp.iterations"),
                 verified: Some(ok),
             });
         }
@@ -260,7 +274,7 @@ pub fn run_greedy_sweep(cfg: &HarnessConfig) -> Vec<CellResult> {
 pub fn print_csv(label: &str, rows: &[CellResult]) {
     for r in rows {
         println!(
-            "{label},{},{},{:.3},{:?},{},{:.4},{},{},{},{}",
+            "{label},{},{},{:.3},{:?},{},{:.4},{},{},{},{},{}",
             r.seed,
             r.flex,
             r.runtime.as_secs_f64(),
@@ -270,6 +284,7 @@ pub fn print_csv(label: &str, rows: &[CellResult]) {
             r.gap.map_or("inf".into(), |g| format!("{g:.4}")),
             r.accepted.map_or("NA".into(), |a| a.to_string()),
             r.nodes,
+            r.lp_iterations,
             r.verified.map_or("NA".into(), |v| v.to_string()),
         );
     }
@@ -277,4 +292,4 @@ pub fn print_csv(label: &str, rows: &[CellResult]) {
 
 /// CSV header matching [`print_csv`].
 pub const CSV_HEADER: &str =
-    "label,seed,flex_h,runtime_s,status,objective,best_bound,gap,accepted,nodes,verified";
+    "label,seed,flex_h,runtime_s,status,objective,best_bound,gap,accepted,nodes,lp_iters,verified";

@@ -4,16 +4,15 @@
 //! so the core crates stay serde-free. The format mirrors the paper's
 //! tables: substrate (Table I), requests with demands and temporal
 //! parameters (Tables II and VI), optional pinned node mappings, and
-//! solutions per Definition 2.1.
+//! solutions per Definition 2.1. Serialization runs on the self-contained
+//! [`Json`] value type from `tvnep-telemetry`.
 
-use serde::{Deserialize, Serialize};
 use tvnep_graph::{DiGraph, EdgeId, NodeId};
-use tvnep_model::{
-    Embedding, Instance, Request, ScheduledRequest, Substrate, TemporalSolution,
-};
+use tvnep_model::{Embedding, Instance, Request, ScheduledRequest, Substrate, TemporalSolution};
+use tvnep_telemetry::{Json, TimedEvent};
 
 /// Top-level instance document.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct InstanceDoc {
     /// The physical network.
     pub substrate: SubstrateDoc,
@@ -23,12 +22,11 @@ pub struct InstanceDoc {
     pub requests: Vec<RequestDoc>,
     /// Optional a-priori node mappings: `mappings[r][v]` = substrate node
     /// index hosting virtual node `v` of request `r`.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub fixed_node_mappings: Option<Vec<Vec<usize>>>,
 }
 
 /// Substrate network (Table I).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SubstrateDoc {
     /// Number of nodes.
     pub num_nodes: usize,
@@ -41,7 +39,7 @@ pub struct SubstrateDoc {
 }
 
 /// One VNet request (Tables II + VI).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RequestDoc {
     /// Identifier used in reports.
     pub name: String,
@@ -62,17 +60,16 @@ pub struct RequestDoc {
 }
 
 /// Solution document (Definition 2.1 output).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SolutionDoc {
     /// Objective value reported by the producing algorithm.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub objective: Option<f64>,
     /// Per-request schedule, aligned with the instance's requests.
     pub scheduled: Vec<ScheduledDoc>,
 }
 
 /// Schedule + embedding of one request.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScheduledDoc {
     /// Whether the request is embedded.
     pub accepted: bool,
@@ -81,10 +78,8 @@ pub struct ScheduledDoc {
     /// `t⁻`.
     pub end: f64,
     /// Virtual node → substrate node (accepted requests only).
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub node_map: Option<Vec<usize>>,
     /// Per virtual link: `[substrate_edge_index, fraction]` flow terms.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub edge_flows: Option<Vec<Vec<(usize, f64)>>>,
 }
 
@@ -99,6 +94,87 @@ impl std::fmt::Display for FormatError {
 }
 
 impl std::error::Error for FormatError {}
+
+// ---------------------------------------------------------------------------
+// Json extraction helpers.
+
+fn want<'a>(j: &'a Json, key: &str) -> Result<&'a Json, FormatError> {
+    j.get(key)
+        .ok_or_else(|| FormatError(format!("missing field `{key}`")))
+}
+
+fn want_f64(j: &Json, key: &str) -> Result<f64, FormatError> {
+    want(j, key)?
+        .as_f64()
+        .ok_or_else(|| FormatError(format!("field `{key}` must be a number")))
+}
+
+fn want_usize(j: &Json, key: &str) -> Result<usize, FormatError> {
+    want(j, key)?
+        .as_usize()
+        .ok_or_else(|| FormatError(format!("field `{key}` must be a non-negative integer")))
+}
+
+fn want_bool(j: &Json, key: &str) -> Result<bool, FormatError> {
+    want(j, key)?
+        .as_bool()
+        .ok_or_else(|| FormatError(format!("field `{key}` must be a boolean")))
+}
+
+fn want_str(j: &Json, key: &str) -> Result<String, FormatError> {
+    Ok(want(j, key)?
+        .as_str()
+        .ok_or_else(|| FormatError(format!("field `{key}` must be a string")))?
+        .to_string())
+}
+
+fn want_array<'a>(j: &'a Json, key: &str) -> Result<&'a [Json], FormatError> {
+    want(j, key)?
+        .as_array()
+        .ok_or_else(|| FormatError(format!("field `{key}` must be an array")))
+}
+
+fn f64_array(j: &Json, key: &str) -> Result<Vec<f64>, FormatError> {
+    want_array(j, key)?
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .ok_or_else(|| FormatError(format!("field `{key}`: expected numbers")))
+        })
+        .collect()
+}
+
+fn pair_array(j: &Json, key: &str) -> Result<Vec<[usize; 2]>, FormatError> {
+    want_array(j, key)?
+        .iter()
+        .map(|v| {
+            let arr = v
+                .as_array()
+                .filter(|a| a.len() == 2)
+                .ok_or_else(|| FormatError(format!("field `{key}`: expected [a, b] pairs")))?;
+            let a = arr[0]
+                .as_usize()
+                .ok_or_else(|| FormatError(format!("field `{key}`: indices must be integers")))?;
+            let b = arr[1]
+                .as_usize()
+                .ok_or_else(|| FormatError(format!("field `{key}`: indices must be integers")))?;
+            Ok([a, b])
+        })
+        .collect()
+}
+
+fn pairs_to_json(pairs: &[[usize; 2]]) -> Json {
+    Json::Arr(
+        pairs
+            .iter()
+            .map(|&[a, b]| Json::Arr(vec![Json::from(a), Json::from(b)]))
+            .collect(),
+    )
+}
+
+fn f64s_to_json(vals: &[f64]) -> Json {
+    Json::Arr(vals.iter().map(|&v| Json::from(v)).collect())
+}
 
 fn build_graph(num_nodes: usize, edges: &[[usize; 2]]) -> Result<DiGraph, FormatError> {
     let mut g = DiGraph::with_nodes(num_nodes);
@@ -115,6 +191,109 @@ fn build_graph(num_nodes: usize, edges: &[[usize; 2]]) -> Result<DiGraph, Format
 }
 
 impl InstanceDoc {
+    /// Serializes into a [`Json`] value.
+    pub fn to_json(&self) -> Json {
+        let substrate = Json::Obj(vec![
+            ("num_nodes".into(), Json::from(self.substrate.num_nodes)),
+            ("edges".into(), pairs_to_json(&self.substrate.edges)),
+            (
+                "node_capacities".into(),
+                f64s_to_json(&self.substrate.node_capacities),
+            ),
+            (
+                "edge_capacities".into(),
+                f64s_to_json(&self.substrate.edge_capacities),
+            ),
+        ]);
+        let requests = Json::Arr(
+            self.requests
+                .iter()
+                .map(|r| {
+                    Json::Obj(vec![
+                        ("name".into(), Json::from(r.name.as_str())),
+                        ("num_nodes".into(), Json::from(r.num_nodes)),
+                        ("edges".into(), pairs_to_json(&r.edges)),
+                        ("node_demands".into(), f64s_to_json(&r.node_demands)),
+                        ("edge_demands".into(), f64s_to_json(&r.edge_demands)),
+                        ("earliest_start".into(), Json::from(r.earliest_start)),
+                        ("latest_end".into(), Json::from(r.latest_end)),
+                        ("duration".into(), Json::from(r.duration)),
+                    ])
+                })
+                .collect(),
+        );
+        let mut fields = vec![
+            ("substrate".into(), substrate),
+            ("horizon".into(), Json::from(self.horizon)),
+            ("requests".into(), requests),
+        ];
+        if let Some(maps) = &self.fixed_node_mappings {
+            fields.push((
+                "fixed_node_mappings".into(),
+                Json::Arr(
+                    maps.iter()
+                        .map(|m| Json::Arr(m.iter().map(|&n| Json::from(n)).collect()))
+                        .collect(),
+                ),
+            ));
+        }
+        Json::Obj(fields)
+    }
+
+    /// Parses from a [`Json`] value.
+    pub fn from_json(j: &Json) -> Result<Self, FormatError> {
+        let s = want(j, "substrate")?;
+        let substrate = SubstrateDoc {
+            num_nodes: want_usize(s, "num_nodes")?,
+            edges: pair_array(s, "edges")?,
+            node_capacities: f64_array(s, "node_capacities")?,
+            edge_capacities: f64_array(s, "edge_capacities")?,
+        };
+        let requests = want_array(j, "requests")?
+            .iter()
+            .map(|r| {
+                Ok(RequestDoc {
+                    name: want_str(r, "name")?,
+                    num_nodes: want_usize(r, "num_nodes")?,
+                    edges: pair_array(r, "edges")?,
+                    node_demands: f64_array(r, "node_demands")?,
+                    edge_demands: f64_array(r, "edge_demands")?,
+                    earliest_start: want_f64(r, "earliest_start")?,
+                    latest_end: want_f64(r, "latest_end")?,
+                    duration: want_f64(r, "duration")?,
+                })
+            })
+            .collect::<Result<Vec<_>, FormatError>>()?;
+        let fixed_node_mappings = match j.get("fixed_node_mappings") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_array()
+                    .ok_or_else(|| FormatError("fixed_node_mappings must be an array".into()))?
+                    .iter()
+                    .map(|m| {
+                        m.as_array()
+                            .ok_or_else(|| {
+                                FormatError("fixed_node_mappings rows must be arrays".into())
+                            })?
+                            .iter()
+                            .map(|n| {
+                                n.as_usize().ok_or_else(|| {
+                                    FormatError("mapping entries must be node indices".into())
+                                })
+                            })
+                            .collect::<Result<Vec<_>, _>>()
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+        };
+        Ok(Self {
+            substrate,
+            horizon: want_f64(j, "horizon")?,
+            requests,
+            fixed_node_mappings,
+        })
+    }
+
     /// Validates and converts into a domain [`Instance`].
     pub fn into_instance(self) -> Result<Instance, FormatError> {
         let sg = build_graph(self.substrate.num_nodes, &self.substrate.edges)?;
@@ -132,7 +311,10 @@ impl InstanceDoc {
         for r in &self.requests {
             let g = build_graph(r.num_nodes, &r.edges)?;
             if r.node_demands.len() != r.num_nodes || r.edge_demands.len() != r.edges.len() {
-                return Err(FormatError(format!("request {}: demand lengths mismatch", r.name)));
+                return Err(FormatError(format!(
+                    "request {}: demand lengths mismatch",
+                    r.name
+                )));
             }
             requests.push(Request::new(
                 r.name.clone(),
@@ -144,13 +326,11 @@ impl InstanceDoc {
                 r.duration,
             ));
         }
-        let mappings = self
-            .fixed_node_mappings
-            .map(|maps| {
-                maps.into_iter()
-                    .map(|m| m.into_iter().map(NodeId).collect())
-                    .collect()
-            });
+        let mappings = self.fixed_node_mappings.map(|maps| {
+            maps.into_iter()
+                .map(|m| m.into_iter().map(NodeId).collect())
+                .collect()
+        });
         Ok(Instance::new(substrate, requests, self.horizon, mappings))
     }
 
@@ -196,17 +376,136 @@ impl InstanceDoc {
                     duration: r.duration,
                 })
                 .collect(),
-            fixed_node_mappings: inst
-                .fixed_node_mappings
-                .as_ref()
-                .map(|maps| {
-                    maps.iter().map(|m| m.iter().map(|n| n.0).collect()).collect()
-                }),
+            fixed_node_mappings: inst.fixed_node_mappings.as_ref().map(|maps| {
+                maps.iter()
+                    .map(|m| m.iter().map(|n| n.0).collect())
+                    .collect()
+            }),
         }
     }
 }
 
 impl SolutionDoc {
+    /// Serializes into a [`Json`] value.
+    pub fn to_json(&self) -> Json {
+        let scheduled = Json::Arr(
+            self.scheduled
+                .iter()
+                .map(|s| {
+                    let mut fields = vec![
+                        ("accepted".into(), Json::from(s.accepted)),
+                        ("start".into(), Json::from(s.start)),
+                        ("end".into(), Json::from(s.end)),
+                    ];
+                    if let Some(nm) = &s.node_map {
+                        fields.push((
+                            "node_map".into(),
+                            Json::Arr(nm.iter().map(|&n| Json::from(n)).collect()),
+                        ));
+                    }
+                    if let Some(ef) = &s.edge_flows {
+                        fields.push((
+                            "edge_flows".into(),
+                            Json::Arr(
+                                ef.iter()
+                                    .map(|fl| {
+                                        Json::Arr(
+                                            fl.iter()
+                                                .map(|&(e, f)| {
+                                                    Json::Arr(vec![Json::from(e), Json::from(f)])
+                                                })
+                                                .collect(),
+                                        )
+                                    })
+                                    .collect(),
+                            ),
+                        ));
+                    }
+                    Json::Obj(fields)
+                })
+                .collect(),
+        );
+        let mut fields = Vec::new();
+        if let Some(obj) = self.objective {
+            fields.push(("objective".into(), Json::from(obj)));
+        }
+        fields.push(("scheduled".into(), scheduled));
+        Json::Obj(fields)
+    }
+
+    /// Parses from a [`Json`] value.
+    pub fn from_json(j: &Json) -> Result<Self, FormatError> {
+        let scheduled = want_array(j, "scheduled")?
+            .iter()
+            .map(|s| {
+                let node_map = match s.get("node_map") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(
+                        v.as_array()
+                            .ok_or_else(|| FormatError("node_map must be an array".into()))?
+                            .iter()
+                            .map(|n| {
+                                n.as_usize().ok_or_else(|| {
+                                    FormatError("node_map entries must be indices".into())
+                                })
+                            })
+                            .collect::<Result<Vec<_>, _>>()?,
+                    ),
+                };
+                let edge_flows = match s.get("edge_flows") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(
+                        v.as_array()
+                            .ok_or_else(|| FormatError("edge_flows must be an array".into()))?
+                            .iter()
+                            .map(|fl| {
+                                fl.as_array()
+                                    .ok_or_else(|| {
+                                        FormatError("edge_flows rows must be arrays".into())
+                                    })?
+                                    .iter()
+                                    .map(|term| {
+                                        let arr = term.as_array().filter(|a| a.len() == 2);
+                                        let arr = arr.ok_or_else(|| {
+                                            FormatError(
+                                                "edge_flows terms must be [edge, frac]".into(),
+                                            )
+                                        })?;
+                                        let e = arr[0].as_usize().ok_or_else(|| {
+                                            FormatError("edge index must be an integer".into())
+                                        })?;
+                                        let f = arr[1].as_f64().ok_or_else(|| {
+                                            FormatError("flow fraction must be a number".into())
+                                        })?;
+                                        Ok((e, f))
+                                    })
+                                    .collect::<Result<Vec<_>, FormatError>>()
+                            })
+                            .collect::<Result<Vec<_>, _>>()?,
+                    ),
+                };
+                Ok(ScheduledDoc {
+                    accepted: want_bool(s, "accepted")?,
+                    start: want_f64(s, "start")?,
+                    end: want_f64(s, "end")?,
+                    node_map,
+                    edge_flows,
+                })
+            })
+            .collect::<Result<Vec<_>, FormatError>>()?;
+        let objective = match j.get("objective") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_f64()
+                    .ok_or_else(|| FormatError("objective must be a number".into()))?,
+            ),
+        };
+        Ok(Self {
+            objective,
+            scheduled,
+        })
+    }
+
     /// Converts a domain solution into a document.
     pub fn from_solution(sol: &TemporalSolution) -> Self {
         Self {
@@ -250,16 +549,47 @@ impl SolutionDoc {
                     (None, None) => None,
                     _ => {
                         return Err(FormatError(
-                            "node_map and edge_flows must be both present or both absent"
-                                .into(),
+                            "node_map and edge_flows must be both present or both absent".into(),
                         ))
                     }
                 };
-                Ok(ScheduledRequest { accepted: s.accepted, start: s.start, end: s.end, embedding })
+                Ok(ScheduledRequest {
+                    accepted: s.accepted,
+                    start: s.start,
+                    end: s.end,
+                    embedding,
+                })
             })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(TemporalSolution { scheduled, reported_objective: self.objective })
+        Ok(TemporalSolution {
+            scheduled,
+            reported_objective: self.objective,
+        })
     }
+}
+
+/// Renders a solve timeline as one human-readable line per event:
+/// `[  0.004321s] lp_solve_end iters=17 status=optimal obj=3.5`.
+pub fn render_trace(events: &[TimedEvent]) -> String {
+    let mut out = String::new();
+    for te in events {
+        let j = te.to_json();
+        out.push_str(&format!(
+            "[{:>12.6}s] {}",
+            te.at.as_secs_f64(),
+            te.event.name()
+        ));
+        if let Some(fields) = j.as_object() {
+            for (k, v) in fields {
+                if k == "t_us" || k == "event" {
+                    continue;
+                }
+                out.push_str(&format!(" {k}={v}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
 }
 
 #[cfg(test)]
@@ -271,8 +601,8 @@ mod tests {
     fn instance_roundtrip() {
         let inst = generate(&WorkloadConfig::tiny(), 3);
         let doc = InstanceDoc::from_instance(&inst);
-        let json = serde_json::to_string_pretty(&doc).unwrap();
-        let back: InstanceDoc = serde_json::from_str(&json).unwrap();
+        let json = doc.to_json().pretty();
+        let back = InstanceDoc::from_json(&Json::parse(&json).unwrap()).unwrap();
         let inst2 = back.into_instance().unwrap();
         assert_eq!(inst.num_requests(), inst2.num_requests());
         assert_eq!(inst.substrate.num_edges(), inst2.substrate.num_edges());
@@ -314,5 +644,54 @@ mod tests {
             }],
         };
         assert!(doc.into_solution().is_err());
+    }
+
+    #[test]
+    fn solution_roundtrip_preserves_flows() {
+        let doc = SolutionDoc {
+            objective: Some(4.25),
+            scheduled: vec![ScheduledDoc {
+                accepted: true,
+                start: 0.5,
+                end: 2.0,
+                node_map: Some(vec![1, 0]),
+                edge_flows: Some(vec![vec![(0, 0.5), (2, 0.5)]]),
+            }],
+        };
+        let text = doc.to_json().pretty();
+        let back = SolutionDoc::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.objective, Some(4.25));
+        assert_eq!(
+            back.scheduled[0].edge_flows.as_ref().unwrap()[0],
+            vec![(0, 0.5), (2, 0.5)]
+        );
+        assert!(back.into_solution().is_ok());
+    }
+
+    #[test]
+    fn trace_renders_one_line_per_event() {
+        use std::time::Duration;
+        use tvnep_telemetry::Event;
+        let events = vec![
+            TimedEvent {
+                at: Duration::from_micros(10),
+                event: Event::SolveStart { what: "mip".into() },
+            },
+            TimedEvent {
+                at: Duration::from_micros(250),
+                event: Event::LpSolveEnd {
+                    iters: 17,
+                    status: "optimal".into(),
+                    obj: 3.5,
+                },
+            },
+        ];
+        let text = render_trace(&events);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("solve_start"));
+        assert!(lines[0].contains("what=\"mip\""));
+        assert!(lines[1].contains("iters=17"));
+        assert!(lines[1].contains("status=\"optimal\""));
     }
 }

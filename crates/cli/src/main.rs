@@ -3,8 +3,8 @@
 //! ```text
 //! tvnep-cli generate --preset small --seed 1 --flex 2.0 -o instance.json
 //! tvnep-cli solve instance.json --formulation csigma --objective access \
-//!           --time-limit 30 -o solution.json
-//! tvnep-cli greedy instance.json -o solution.json
+//!           --time-limit 30 -o solution.json --metrics-out metrics.json --trace
+//! tvnep-cli greedy instance.json -o solution.json --metrics-out metrics.json
 //! tvnep-cli verify instance.json solution.json
 //! tvnep-cli info instance.json
 //! ```
@@ -17,20 +17,23 @@ mod format;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use format::{InstanceDoc, SolutionDoc};
+use format::{render_trace, InstanceDoc, SolutionDoc};
 use tvnep_core::{
-    greedy_csigma, solve_tvnep, BuildOptions, Formulation, GreedyOptions, Objective,
+    greedy_csigma, solve_tvnep, BuildOptions, Formulation, GreedyOptions, GreedyOutcome, Objective,
 };
 use tvnep_mip::MipOptions;
 use tvnep_model::{verify, Instance};
+use tvnep_telemetry::{Json, Telemetry};
 use tvnep_workloads::{generate, WorkloadConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  tvnep-cli generate [--preset tiny|small|medium|paper] [--seed N] \
          [--flex H] [-o FILE]\n  tvnep-cli solve INSTANCE [--formulation delta|sigma|csigma] \
-         [--objective access|earliness|load|links|makespan] [--time-limit SECS] [-o FILE]\n  \
-         tvnep-cli greedy INSTANCE [--time-limit SECS] [-o FILE]\n  \
+         [--objective access|earliness|load|links|makespan] [--time-limit SECS] [-o FILE] \
+         [--metrics-out FILE] [--trace]\n  \
+         tvnep-cli greedy INSTANCE [--time-limit SECS] [-o FILE] [--metrics-out FILE] \
+         [--trace]\n  \
          tvnep-cli verify INSTANCE SOLUTION\n  tvnep-cli info INSTANCE"
     );
     ExitCode::from(1)
@@ -38,13 +41,13 @@ fn usage() -> ExitCode {
 
 fn read_instance(path: &str) -> Result<Instance, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    let doc: InstanceDoc =
-        serde_json::from_str(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let doc = InstanceDoc::from_json(&json).map_err(|e| format!("parse {path}: {e}"))?;
     doc.into_instance().map_err(|e| e.to_string())
 }
 
-fn write_or_print<T: serde::Serialize>(value: &T, out: Option<&str>) -> Result<(), String> {
-    let json = serde_json::to_string_pretty(value).map_err(|e| e.to_string())?;
+fn write_or_print(value: &Json, out: Option<&str>) -> Result<(), String> {
+    let json = value.pretty();
     match out {
         Some(path) => std::fs::write(path, json).map_err(|e| format!("write {path}: {e}")),
         None => {
@@ -59,6 +62,9 @@ struct Args {
     flags: std::collections::HashMap<String, String>,
 }
 
+/// Flags that take no value; everything else consumes the next token.
+const BOOL_FLAGS: &[&str] = &["trace"];
+
 fn parse_args(raw: &[String]) -> Args {
     let mut positional = Vec::new();
     let mut flags = std::collections::HashMap::new();
@@ -66,9 +72,14 @@ fn parse_args(raw: &[String]) -> Args {
     while i < raw.len() {
         let a = &raw[i];
         if let Some(name) = a.strip_prefix("--") {
-            let value = raw.get(i + 1).cloned().unwrap_or_default();
-            flags.insert(name.to_string(), value);
-            i += 2;
+            if BOOL_FLAGS.contains(&name) {
+                flags.insert(name.to_string(), "true".to_string());
+                i += 1;
+            } else {
+                let value = raw.get(i + 1).cloned().unwrap_or_default();
+                flags.insert(name.to_string(), value);
+                i += 2;
+            }
         } else if a == "-o" {
             let value = raw.get(i + 1).cloned().unwrap_or_default();
             flags.insert("output".to_string(), value);
@@ -79,6 +90,74 @@ fn parse_args(raw: &[String]) -> Args {
         }
     }
     Args { positional, flags }
+}
+
+/// Builds the telemetry handle requested by `--metrics-out` / `--trace`.
+/// A timeline is only kept when something will consume it.
+fn telemetry_for(args: &Args) -> Telemetry {
+    let trace = args.flags.contains_key("trace");
+    let metrics = args.flags.contains_key("metrics-out");
+    if trace {
+        Telemetry::with_timeline()
+    } else if metrics {
+        Telemetry::metrics_only()
+    } else {
+        Telemetry::disabled()
+    }
+}
+
+/// Writes the metrics snapshot (and prints the trace) after a run.
+/// `extra` appends command-specific sections to the exported object.
+fn finish_telemetry(
+    args: &Args,
+    telemetry: &Telemetry,
+    extra: Vec<(String, Json)>,
+) -> Result<(), String> {
+    if args.flags.contains_key("trace") {
+        eprint!("{}", render_trace(&telemetry.events()));
+    }
+    if let Some(path) = args.flags.get("metrics-out") {
+        let mut doc = telemetry.export_json();
+        if let Json::Obj(fields) = &mut doc {
+            fields.extend(extra);
+        }
+        std::fs::write(path, doc.pretty()).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    Ok(())
+}
+
+fn greedy_section(outcome: &GreedyOutcome) -> Json {
+    Json::Obj(vec![
+        ("iterations".into(), Json::from(outcome.iterations)),
+        (
+            "accepted".into(),
+            Json::from(outcome.accepted.iter().filter(|&&a| a).count()),
+        ),
+        ("total_nodes".into(), Json::from(outcome.total_nodes)),
+        (
+            "runtime_s".into(),
+            Json::from(outcome.runtime.as_secs_f64()),
+        ),
+        (
+            "per_iteration".into(),
+            Json::Arr(
+                outcome
+                    .per_iteration
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("request".into(), Json::from(r.request)),
+                            ("accepted".into(), Json::from(r.accepted)),
+                            ("model_rows".into(), Json::from(r.model_rows)),
+                            ("model_cols".into(), Json::from(r.model_cols)),
+                            ("nodes".into(), Json::from(r.nodes)),
+                            ("runtime_s".into(), Json::from(r.runtime.as_secs_f64())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 fn main() -> ExitCode {
@@ -100,7 +179,11 @@ fn main() -> ExitCode {
 fn run(cmd: &str, args: &Args) -> Result<ExitCode, String> {
     match cmd {
         "generate" => {
-            let preset = args.flags.get("preset").map(String::as_str).unwrap_or("small");
+            let preset = args
+                .flags
+                .get("preset")
+                .map(String::as_str)
+                .unwrap_or("small");
             let cfg = match preset {
                 "tiny" => WorkloadConfig::tiny(),
                 "small" => WorkloadConfig::small(),
@@ -122,7 +205,7 @@ fn run(cmd: &str, args: &Args) -> Result<ExitCode, String> {
                 .unwrap_or(0.0);
             let inst = generate(&cfg, seed).with_flexibility_after(flex);
             write_or_print(
-                &InstanceDoc::from_instance(&inst),
+                &InstanceDoc::from_instance(&inst).to_json(),
                 args.flags.get("output").map(String::as_str),
             )?;
             Ok(ExitCode::SUCCESS)
@@ -160,23 +243,43 @@ fn run(cmd: &str, args: &Args) -> Result<ExitCode, String> {
                 .map(|s| s.parse().map_err(|e| format!("--time-limit: {e}")))
                 .transpose()?
                 .unwrap_or(60);
+            let telemetry = telemetry_for(args);
+            let mut mip_opts = MipOptions::with_time_limit(Duration::from_secs(secs));
+            mip_opts.telemetry = telemetry.clone();
             let out = solve_tvnep(
                 &inst,
                 formulation,
                 objective,
                 BuildOptions::default_for(formulation),
-                &MipOptions::with_time_limit(Duration::from_secs(secs)),
+                &mip_opts,
             );
             eprintln!(
                 "status: {:?}; objective: {:?}; bound: {:.4}; nodes: {}; time: {:?}",
-                out.mip.status, out.mip.objective, out.mip.best_bound, out.mip.nodes,
+                out.mip.status,
+                out.mip.objective,
+                out.mip.best_bound,
+                out.mip.nodes,
                 out.mip.runtime
             );
+            let result_section = Json::Obj(vec![
+                ("status".into(), Json::from(out.mip.status.as_str())),
+                (
+                    "objective".into(),
+                    out.mip.objective.map(Json::from).unwrap_or(Json::Null),
+                ),
+                ("best_bound".into(), Json::from(out.mip.best_bound)),
+                ("nodes".into(), Json::from(out.mip.nodes)),
+                (
+                    "runtime_s".into(),
+                    Json::from(out.mip.runtime.as_secs_f64()),
+                ),
+            ]);
+            finish_telemetry(args, &telemetry, vec![("result".into(), result_section)])?;
             match out.solution {
                 Some(mut sol) => {
                     sol.reported_objective = out.mip.objective;
                     write_or_print(
-                        &SolutionDoc::from_solution(&sol),
+                        &SolutionDoc::from_solution(&sol).to_json(),
                         args.flags.get("output").map(String::as_str),
                     )?;
                     Ok(ExitCode::SUCCESS)
@@ -196,9 +299,10 @@ fn run(cmd: &str, args: &Args) -> Result<ExitCode, String> {
                 .map(|s| s.parse().map_err(|e| format!("--time-limit: {e}")))
                 .transpose()?
                 .unwrap_or(30);
-            let opts = GreedyOptions {
-                subproblem: MipOptions::with_time_limit(Duration::from_secs(secs)),
-            };
+            let telemetry = telemetry_for(args);
+            let mut subproblem = MipOptions::with_time_limit(Duration::from_secs(secs));
+            subproblem.telemetry = telemetry.clone();
+            let opts = GreedyOptions { subproblem };
             let outcome = if inst.fixed_node_mappings.is_some() {
                 greedy_csigma(&inst, &opts)
             } else {
@@ -211,8 +315,13 @@ fn run(cmd: &str, args: &Args) -> Result<ExitCode, String> {
                 outcome.runtime,
                 outcome.total_nodes
             );
+            finish_telemetry(
+                args,
+                &telemetry,
+                vec![("greedy".into(), greedy_section(&outcome))],
+            )?;
             write_or_print(
-                &SolutionDoc::from_solution(&outcome.solution),
+                &SolutionDoc::from_solution(&outcome.solution).to_json(),
                 args.flags.get("output").map(String::as_str),
             )?;
             Ok(ExitCode::SUCCESS)
@@ -221,10 +330,9 @@ fn run(cmd: &str, args: &Args) -> Result<ExitCode, String> {
             let ipath = args.positional.first().ok_or("missing INSTANCE path")?;
             let spath = args.positional.get(1).ok_or("missing SOLUTION path")?;
             let inst = read_instance(ipath)?;
-            let text =
-                std::fs::read_to_string(spath).map_err(|e| format!("read {spath}: {e}"))?;
-            let doc: SolutionDoc =
-                serde_json::from_str(&text).map_err(|e| format!("parse {spath}: {e}"))?;
+            let text = std::fs::read_to_string(spath).map_err(|e| format!("read {spath}: {e}"))?;
+            let json = Json::parse(&text).map_err(|e| format!("parse {spath}: {e}"))?;
+            let doc = SolutionDoc::from_json(&json).map_err(|e| format!("parse {spath}: {e}"))?;
             let sol = doc.into_solution().map_err(|e| e.to_string())?;
             let violations = verify(&inst, &sol);
             if violations.is_empty() {
@@ -266,7 +374,11 @@ fn run(cmd: &str, args: &Args) -> Result<ExitCode, String> {
             }
             println!(
                 "node mappings: {}",
-                if inst.fixed_node_mappings.is_some() { "pinned" } else { "free" }
+                if inst.fixed_node_mappings.is_some() {
+                    "pinned"
+                } else {
+                    "free"
+                }
             );
             Ok(ExitCode::SUCCESS)
         }

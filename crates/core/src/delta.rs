@@ -39,8 +39,7 @@ pub fn build_delta_states(
         .collect();
     let mut delta: Vec<Vec<VarId>> = Vec::with_capacity(num_events);
     for _i in 0..num_events {
-        let row: Vec<VarId> =
-            caps.iter().map(|&c| m.add_continuous(-c, c, 0.0)).collect();
+        let row: Vec<VarId> = caps.iter().map(|&c| m.add_continuous(-c, c, 0.0)).collect();
         delta.push(row);
     }
 
@@ -99,8 +98,7 @@ pub fn build_delta_states(
     let mut node_loads: Vec<Vec<Vec<(VarId, f64)>>> = vec![vec![Vec::new(); nn]; num_states];
     for i in 1..=num_states {
         for (res, &cap) in caps.iter().enumerate() {
-            let terms: Vec<(VarId, f64)> =
-                (1..=i).map(|j| (delta[j - 1][res], 1.0)).collect();
+            let terms: Vec<(VarId, f64)> = (1..=i).map(|j| (delta[j - 1][res], 1.0)).collect();
             m.add_row(0.0, cap, &terms);
             if res < nn {
                 node_loads[i - 1][res] = terms;

@@ -113,10 +113,7 @@ pub fn build_discrete(instance: &Instance, num_slots: usize) -> DiscreteModel {
                     crate::embedding::NodeMapVars::Fixed(_) => {
                         // alloc = c·x_R and activity ≤ x_R, so allocation in
                         // slot t is c·act: push c per active start var.
-                        let c = alloc
-                            .iter()
-                            .map(|&(_, coef)| coef)
-                            .sum::<f64>();
+                        let c = alloc.iter().map(|&(_, coef)| coef).sum::<f64>();
                         for &(v, _) in &active {
                             row.push((v, c));
                         }
@@ -158,8 +155,9 @@ pub fn build_discrete(instance: &Instance, num_slots: usize) -> DiscreteModel {
                 if active.is_empty() {
                     continue;
                 }
-                let bound: f64 =
-                    (0..req.num_edges()).map(|l| req.edge_demand(EdgeId(l))).sum();
+                let bound: f64 = (0..req.num_edges())
+                    .map(|l| req.edge_demand(EdgeId(l)))
+                    .sum();
                 let big_m = cap.min(bound);
                 let a = m.add_continuous(0.0, big_m, 0.0);
                 let mut terms = vec![(a, 1.0)];
@@ -178,7 +176,13 @@ pub fn build_discrete(instance: &Instance, num_slots: usize) -> DiscreteModel {
         }
     }
 
-    DiscreteModel { mip: m, emb, slot_width: w, start_vars, slots_needed }
+    DiscreteModel {
+        mip: m,
+        emb,
+        slot_width: w,
+        start_vars,
+        slots_needed,
+    }
 }
 
 impl DiscreteModel {
@@ -227,12 +231,23 @@ impl DiscreteModel {
                                 .collect()
                         })
                         .collect();
-                    Embedding { node_map, edge_flows }
+                    Embedding {
+                        node_map,
+                        edge_flows,
+                    }
                 });
-                ScheduledRequest { accepted, start, end: start + req.duration, embedding }
+                ScheduledRequest {
+                    accepted,
+                    start,
+                    end: start + req.duration,
+                    embedding,
+                }
             })
             .collect();
-        TemporalSolution { scheduled, reported_objective: None }
+        TemporalSolution {
+            scheduled,
+            reported_objective: None,
+        }
     }
 }
 
@@ -244,18 +259,17 @@ pub fn solve_discrete(
 ) -> (MipResult, Option<TemporalSolution>) {
     let model = build_discrete(instance, num_slots);
     let result = tvnep_mip::solve_with(&model.mip, opts);
-    let solution = result.x.as_ref().map(|x| model.extract_solution(instance, x));
+    let solution = result
+        .x
+        .as_ref()
+        .map(|x| model.extract_solution(instance, x));
     (result, solution)
 }
 
 /// The *discretization gap*: continuous-optimal revenue minus
 /// discrete-optimal revenue (≥ 0 up to solver tolerance, shrinking as
 /// `num_slots` grows) — the quantity behind the paper's Section III claim.
-pub fn discretization_gap(
-    instance: &Instance,
-    num_slots: usize,
-    opts: &MipOptions,
-) -> Option<f64> {
+pub fn discretization_gap(instance: &Instance, num_slots: usize, opts: &MipOptions) -> Option<f64> {
     let continuous = crate::formulation::solve_tvnep(
         instance,
         crate::formulation::Formulation::CSigma,

@@ -50,12 +50,7 @@ pub struct EmbeddingVars {
 
 impl EmbeddingVars {
     /// Linear terms of the allocation macro `alloc_V(R, n)` (Table V).
-    pub fn node_alloc_terms(
-        &self,
-        instance: &Instance,
-        r: usize,
-        n: NodeId,
-    ) -> Vec<(VarId, f64)> {
+    pub fn node_alloc_terms(&self, instance: &Instance, r: usize, n: NodeId) -> Vec<(VarId, f64)> {
         let req = &instance.requests[r];
         match &self.node_maps[r] {
             NodeMapVars::Fixed(map) => {
@@ -65,7 +60,11 @@ impl EmbeddingVars {
                     .filter(|&(_, &host)| host == n)
                     .map(|(v, _)| req.node_demand(NodeId(v)))
                     .sum();
-                if total > 0.0 { vec![(self.x_r[r], total)] } else { vec![] }
+                if total > 0.0 {
+                    vec![(self.x_r[r], total)]
+                } else {
+                    vec![]
+                }
             }
             NodeMapVars::Free(vars) => (0..req.num_nodes())
                 .filter(|&v| req.node_demand(NodeId(v)) > 0.0)
@@ -75,12 +74,7 @@ impl EmbeddingVars {
     }
 
     /// Linear terms of the allocation macro `alloc_E(R, e)` (Table V).
-    pub fn edge_alloc_terms(
-        &self,
-        instance: &Instance,
-        r: usize,
-        e: EdgeId,
-    ) -> Vec<(VarId, f64)> {
+    pub fn edge_alloc_terms(&self, instance: &Instance, r: usize, e: EdgeId) -> Vec<(VarId, f64)> {
         let req = &instance.requests[r];
         (0..req.num_edges())
             .filter(|&l| req.edge_demand(EdgeId(l)) > 0.0)
@@ -136,11 +130,9 @@ pub fn build_embedding_with(
             None => {
                 let mut rows = Vec::with_capacity(req.num_nodes());
                 for _v in 0..req.num_nodes() {
-                    let vars: Vec<VarId> =
-                        (0..sg.num_nodes()).map(|_| m.add_binary(0.0)).collect();
+                    let vars: Vec<VarId> = (0..sg.num_nodes()).map(|_| m.add_binary(0.0)).collect();
                     // Constraint (1): Σ_n x_V(v, n) = x_R.
-                    let mut terms: Vec<(VarId, f64)> =
-                        vars.iter().map(|&v| (v, 1.0)).collect();
+                    let mut terms: Vec<(VarId, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
                     terms.push((xr, -1.0));
                     m.add_eq(&terms, 0.0);
                     rows.push(vars);
@@ -163,6 +155,7 @@ pub fn build_embedding_with(
 
         // Constraint (2): flow conservation per virtual link and substrate
         // node.
+        #[allow(clippy::needless_range_loop)] // `l` is a virtual-link id
         for l in 0..req.num_edges() {
             let (va, vb) = req.graph().endpoints(EdgeId(l));
             for n in sg.nodes() {
@@ -193,5 +186,9 @@ pub fn build_embedding_with(
         x_e.push(links);
     }
 
-    EmbeddingVars { x_r, node_maps, x_e }
+    EmbeddingVars {
+        x_r,
+        node_maps,
+        x_e,
+    }
 }

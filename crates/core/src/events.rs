@@ -89,8 +89,9 @@ impl EventVars {
         };
 
         // Event times with weak monotonic order (Constraint (13)).
-        let t_event: Vec<VarId> =
-            (0..num_events).map(|_| m.add_continuous(0.0, horizon, 0.0)).collect();
+        let t_event: Vec<VarId> = (0..num_events)
+            .map(|_| m.add_continuous(0.0, horizon, 0.0))
+            .collect();
         for w in t_event.windows(2) {
             m.add_le(&[(w[0], 1.0), (w[1], -1.0)], 0.0);
         }
@@ -117,7 +118,11 @@ impl EventVars {
         let structural = |is_start: bool| match scheme {
             EventScheme::Full => (1, num_events),
             EventScheme::Compact => {
-                if is_start { (1, k) } else { (2, k + 1) }
+                if is_start {
+                    (1, k)
+                } else {
+                    (2, k + 1)
+                }
             }
         };
         let mut start_range = Vec::with_capacity(k);
@@ -139,7 +144,10 @@ impl EventVars {
                 elo = elo.max(delo);
                 ehi = ehi.min(dehi);
             }
-            assert!(slo <= shi && elo <= ehi, "empty event range for request {r}");
+            assert!(
+                slo <= shi && elo <= ehi,
+                "empty event range for request {r}"
+            );
             start_range.push((slo, shi));
             end_range.push((elo, ehi));
         }
@@ -148,10 +156,12 @@ impl EventVars {
         let mut chi_start: Vec<BTreeMap<usize, VarId>> = Vec::with_capacity(k);
         let mut chi_end: Vec<BTreeMap<usize, VarId>> = Vec::with_capacity(k);
         for r in 0..k {
-            let s: BTreeMap<usize, VarId> =
-                (start_range[r].0..=start_range[r].1).map(|i| (i, m.add_binary(0.0))).collect();
-            let e: BTreeMap<usize, VarId> =
-                (end_range[r].0..=end_range[r].1).map(|i| (i, m.add_binary(0.0))).collect();
+            let s: BTreeMap<usize, VarId> = (start_range[r].0..=start_range[r].1)
+                .map(|i| (i, m.add_binary(0.0)))
+                .collect();
+            let e: BTreeMap<usize, VarId> = (end_range[r].0..=end_range[r].1)
+                .map(|i| (i, m.add_binary(0.0)))
+                .collect();
             chi_start.push(s);
             chi_end.push(e);
         }
@@ -254,8 +264,7 @@ impl EventVars {
                     EventScheme::Compact => {
                         // (17): t⁻ ≥ t_{e_{i−1}} − (1 − Σ_{j≥i} χ⁻(e_j))·T —
                         // ends lie in (t_{e_{i−1}}, t_{e_i}].
-                        let mut terms =
-                            vec![(self.t_minus[r], 1.0), (self.t_event[i - 2], -1.0)];
+                        let mut terms = vec![(self.t_minus[r], 1.0), (self.t_event[i - 2], -1.0)];
                         for (&j, &v) in &self.chi_end[r] {
                             if j >= i {
                                 terms.push((v, -horizon));
@@ -265,8 +274,7 @@ impl EventVars {
                     }
                     EventScheme::Full => {
                         // Ends map exactly: t⁻ ≥ t_{e_i} − (1 − Σ_{j≥i} χ⁻)·T.
-                        let mut terms =
-                            vec![(self.t_minus[r], 1.0), (self.t_event[i - 1], -1.0)];
+                        let mut terms = vec![(self.t_minus[r], 1.0), (self.t_event[i - 1], -1.0)];
                         for (&j, &v) in &self.chi_end[r] {
                             if j >= i {
                                 terms.push((v, -horizon));

@@ -2,13 +2,12 @@
 //! and converts MIP solutions back into [`TemporalSolution`]s.
 
 use crate::embedding::{EmbeddingVars, NodeMapVars};
-use crate::events::{EventOptions, EventScheme, EventVars};
+use crate::events::{EventOptions, EventScheme, EventVars, SigmaClass};
 use crate::states::{build_state_allocations, StateLoads};
 use tvnep_graph::{EdgeId, NodeId};
 use tvnep_mip::{MipModel, MipOptions, MipResult, Sense, VarId};
-use tvnep_model::{
-    DependencyGraph, Embedding, Instance, ScheduledRequest, TemporalSolution,
-};
+use tvnep_model::{DependencyGraph, Embedding, Instance, ScheduledRequest, TemporalSolution};
+use tvnep_telemetry::Event;
 
 /// The three continuous-time MIP formulations of the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,6 +18,17 @@ pub enum Formulation {
     Sigma,
     /// cΣ-Model: |R|+1 events, state-space/symmetry reduction + cuts.
     CSigma,
+}
+
+impl Formulation {
+    /// Lower-case name used in telemetry and CLI output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Formulation::Delta => "delta",
+            Formulation::Sigma => "sigma",
+            Formulation::CSigma => "csigma",
+        }
+    }
 }
 
 /// Objective functions of Section IV-E (plus the makespan objective the
@@ -101,6 +111,33 @@ pub struct AuxVars {
     pub t_max: Option<VarId>,
 }
 
+/// Model-size and reduction statistics recorded while building (the
+/// quantities Section IV-C's presolve argument is about).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuildStats {
+    /// Constraint rows in the final MIP.
+    pub rows: usize,
+    /// Columns (variables) in the final MIP.
+    pub cols: usize,
+    /// Integer/binary columns.
+    pub ints: usize,
+    /// `(R, s_i)` cells with Σ statically 0 — no allocation rows emitted.
+    pub static_zero_states: usize,
+    /// `(R, s_i)` cells with Σ statically 1 — demand folded into constants.
+    pub static_one_states: usize,
+    /// `(R, s_i)` cells that still need a Σ expression.
+    pub dynamic_states: usize,
+    /// Events the compact scheme saved versus the full `2|R|` scheme.
+    pub events_removed: usize,
+}
+
+impl BuildStats {
+    /// Cells removed from the dynamic state grid by the classification.
+    pub fn states_removed(&self) -> usize {
+        self.static_zero_states + self.static_one_states
+    }
+}
+
 /// A fully-built TVNEP model ready for the MIP solver.
 pub struct BuiltModel {
     /// The mixed-integer program.
@@ -117,6 +154,8 @@ pub struct BuiltModel {
     pub formulation: Formulation,
     /// The objective used.
     pub objective: Objective,
+    /// Size and reduction statistics of the build.
+    pub stats: BuildStats,
 }
 
 /// Builds the MIP for `instance` under the given formulation and objective.
@@ -188,8 +227,7 @@ pub fn build_model(
         Objective::DisableLinks => {
             fix_all_requests(&mut m, &emb);
             let sub = &instance.substrate;
-            let total_vlinks: usize =
-                instance.requests.iter().map(|r| r.num_edges()).sum();
+            let total_vlinks: usize = instance.requests.iter().map(|r| r.num_edges()).sum();
             for e in sub.graph().edge_ids() {
                 let d_var = m.add_binary(1.0);
                 aux.d_links.push(d_var);
@@ -215,7 +253,37 @@ pub fn build_model(
         }
     }
 
-    BuiltModel { mip: m, emb, events, loads, aux, formulation, objective }
+    // Reduction statistics over the request × state grid (Section IV-C):
+    // how much of the Σ grid the classification resolved statically, and how
+    // many events the compact scheme dropped relative to the full 2|R| one.
+    let k = instance.num_requests();
+    let mut stats = BuildStats {
+        rows: m.num_rows(),
+        cols: m.num_vars(),
+        ints: m.num_integers(),
+        events_removed: (2 * k).saturating_sub(events.num_events),
+        ..BuildStats::default()
+    };
+    for i in 1..=events.num_states() {
+        for r in 0..k {
+            match events.sigma_class(r, i) {
+                SigmaClass::StaticZero => stats.static_zero_states += 1,
+                SigmaClass::StaticOne => stats.static_one_states += 1,
+                SigmaClass::Dynamic => stats.dynamic_states += 1,
+            }
+        }
+    }
+
+    BuiltModel {
+        mip: m,
+        emb,
+        events,
+        loads,
+        aux,
+        formulation,
+        objective,
+        stats,
+    }
 }
 
 fn fix_all_requests(m: &mut MipModel, emb: &EmbeddingVars) {
@@ -241,9 +309,7 @@ impl BuiltModel {
                             let (best, _) = per_node
                                 .iter()
                                 .enumerate()
-                                .max_by(|a, b| {
-                                    x[a.1 .0].partial_cmp(&x[b.1 .0]).expect("finite")
-                                })
+                                .max_by(|a, b| x[a.1 .0].partial_cmp(&x[b.1 .0]).expect("finite"))
                                 .expect("substrate non-empty");
                             NodeId(best)
                         })
@@ -260,11 +326,22 @@ impl BuiltModel {
                             .collect()
                     })
                     .collect();
-                Embedding { node_map, edge_flows }
+                Embedding {
+                    node_map,
+                    edge_flows,
+                }
             });
-            scheduled.push(ScheduledRequest { accepted, start, end, embedding });
+            scheduled.push(ScheduledRequest {
+                accepted,
+                start,
+                end,
+                embedding,
+            });
         }
-        TemporalSolution { scheduled, reported_objective: None }
+        TemporalSolution {
+            scheduled,
+            reported_objective: None,
+        }
     }
 }
 
@@ -276,6 +353,35 @@ pub struct TvnepOutcome {
     pub solution: Option<TemporalSolution>,
 }
 
+/// Records a finished model build on a telemetry handle: timeline events plus
+/// gauges, so the sizes are visible in metrics-only mode too.
+pub(crate) fn emit_build_stats(
+    telemetry: &tvnep_telemetry::Telemetry,
+    stats: &BuildStats,
+    formulation: Formulation,
+) {
+    if !telemetry.is_enabled() {
+        return;
+    }
+    telemetry.event_with(|| Event::ModelBuilt {
+        formulation: formulation.as_str().into(),
+        rows: stats.rows,
+        cols: stats.cols,
+        ints: stats.ints,
+    });
+    telemetry.event_with(|| Event::PresolveReduction {
+        events_removed: stats.events_removed,
+        states_removed: stats.states_removed(),
+        dynamic_states: stats.dynamic_states,
+    });
+    telemetry.gauge_set("model.rows", stats.rows as f64);
+    telemetry.gauge_set("model.cols", stats.cols as f64);
+    telemetry.gauge_set("model.ints", stats.ints as f64);
+    telemetry.gauge_set("model.events_removed", stats.events_removed as f64);
+    telemetry.gauge_set("model.states_removed", stats.states_removed() as f64);
+    telemetry.gauge_set("model.dynamic_states", stats.dynamic_states as f64);
+}
+
 /// Builds and solves `instance` under the given configuration.
 pub fn solve_tvnep(
     instance: &Instance,
@@ -285,11 +391,15 @@ pub fn solve_tvnep(
     mip_opts: &MipOptions,
 ) -> TvnepOutcome {
     let built = build_model(instance, formulation, objective, build_opts);
+    emit_build_stats(&mip_opts.telemetry, &built.stats, formulation);
     let result = tvnep_mip::solve_with(&built.mip, mip_opts);
     let solution = result.x.as_ref().map(|x| {
         let mut s = built.extract_solution(instance, x);
         s.reported_objective = result.objective;
         s
     });
-    TvnepOutcome { mip: result, solution }
+    TvnepOutcome {
+        mip: result,
+        solution,
+    }
 }

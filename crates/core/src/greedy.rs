@@ -10,18 +10,30 @@ use std::time::{Duration, Instant};
 use crate::formulation::{build_model, BuildOptions, Formulation, Objective};
 use tvnep_mip::{solve_with, MipOptions, MipStatus};
 use tvnep_model::{Instance, ScheduledRequest, TemporalSolution};
+use tvnep_telemetry::Event;
 
 /// Options for the greedy run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct GreedyOptions {
     /// MIP options applied to every per-iteration subproblem.
     pub subproblem: MipOptions,
 }
 
-impl Default for GreedyOptions {
-    fn default() -> Self {
-        Self { subproblem: MipOptions::default() }
-    }
+/// One admission decision of the greedy loop, in decision order.
+#[derive(Debug, Clone)]
+pub struct GreedyIterationRecord {
+    /// Original request index decided in this iteration.
+    pub request: usize,
+    /// Whether the request was admitted.
+    pub accepted: bool,
+    /// Constraint rows of the per-iteration cΣ subproblem.
+    pub model_rows: usize,
+    /// Columns of the per-iteration cΣ subproblem.
+    pub model_cols: usize,
+    /// Branch-and-bound nodes spent on this subproblem.
+    pub nodes: u64,
+    /// Wall-clock time of this subproblem solve (including the build).
+    pub runtime: Duration,
 }
 
 /// Result of the greedy algorithm.
@@ -36,6 +48,8 @@ pub struct GreedyOutcome {
     pub runtime: Duration,
     /// Total branch-and-bound nodes over all subproblems.
     pub total_nodes: u64,
+    /// Per-iteration admission records, in decision (earliest-start) order.
+    pub per_iteration: Vec<GreedyIterationRecord>,
 }
 
 /// Runs cΣᴳ_A on `instance`.
@@ -51,8 +65,15 @@ pub fn greedy_csigma(instance: &Instance, opts: &GreedyOptions) -> GreedyOutcome
         "greedy cΣᴳ_A requires a-priori node mappings"
     );
     let start_clock = Instant::now();
+    let telemetry = opts.subproblem.telemetry.clone();
+    telemetry.event_with(|| Event::SolveStart {
+        what: "greedy".into(),
+    });
     let k = instance.num_requests();
-    let maps = instance.fixed_node_mappings.as_ref().expect("checked above");
+    let maps = instance
+        .fixed_node_mappings
+        .as_ref()
+        .expect("checked above");
 
     // L: requests ordered by earliest start (stable on ties).
     let mut order: Vec<usize> = (0..k).collect();
@@ -65,13 +86,17 @@ pub fn greedy_csigma(instance: &Instance, opts: &GreedyOptions) -> GreedyOutcome
     });
 
     // Working copies, windows pinned as decisions are made.
-    let mut working: Vec<tvnep_model::Request> =
-        order.iter().map(|&i| instance.requests[i].clone()).collect();
+    let mut working: Vec<tvnep_model::Request> = order
+        .iter()
+        .map(|&i| instance.requests[i].clone())
+        .collect();
     let mut decided: Vec<Option<bool>> = vec![None; k];
     let mut total_nodes = 0u64;
     let mut last_solution: Option<TemporalSolution> = None;
+    let mut per_iteration: Vec<GreedyIterationRecord> = Vec::with_capacity(k);
 
     for i in 0..k {
+        let iter_clock = Instant::now();
         let sub_requests: Vec<_> = working[..=i].to_vec();
         let sub_maps: Vec<_> = order[..=i].iter().map(|&oi| maps[oi].clone()).collect();
         let sub = Instance::new(
@@ -89,6 +114,7 @@ pub fn greedy_csigma(instance: &Instance, opts: &GreedyOptions) -> GreedyOutcome
             Objective::AccessControl,
             BuildOptions::default_for(Formulation::CSigma),
         );
+        #[allow(clippy::needless_range_loop)] // `r` is a request id
         for r in 0..=i {
             built.mip.set_obj(built.emb.x_r[r], 0.0);
             match decided[r] {
@@ -100,6 +126,7 @@ pub fn greedy_csigma(instance: &Instance, opts: &GreedyOptions) -> GreedyOutcome
         built.mip.set_obj(built.emb.x_r[i], instance.horizon);
         built.mip.set_obj(built.events.t_minus[i], -1.0);
         built.mip.set_obj_offset(instance.horizon);
+        crate::formulation::emit_build_stats(&telemetry, &built.stats, Formulation::CSigma);
 
         let result = solve_with(&built.mip, &opts.subproblem);
         total_nodes += result.nodes;
@@ -127,6 +154,26 @@ pub fn greedy_csigma(instance: &Instance, opts: &GreedyOptions) -> GreedyOutcome
         if let Some(s) = sol {
             last_solution = Some(s);
         }
+
+        let record = GreedyIterationRecord {
+            request: order[i],
+            accepted: accept,
+            model_rows: built.mip.num_rows(),
+            model_cols: built.mip.num_vars(),
+            nodes: result.nodes,
+            runtime: iter_clock.elapsed(),
+        };
+        telemetry.event_with(|| Event::GreedyIteration {
+            request: record.request,
+            accepted: record.accepted,
+            model_rows: record.model_rows,
+            model_cols: record.model_cols,
+        });
+        telemetry.counter_add("greedy.iterations", 1);
+        if accept {
+            telemetry.counter_add("greedy.accepted", 1);
+        }
+        per_iteration.push(record);
     }
 
     // Map the final iteration's solution back to original request order. If
@@ -150,7 +197,10 @@ pub fn greedy_csigma(instance: &Instance, opts: &GreedyOptions) -> GreedyOutcome
         scheduled[orig] = Some(scheduled_sorted[pos].clone());
     }
     let solution = TemporalSolution {
-        scheduled: scheduled.into_iter().map(|s| s.expect("all filled")).collect(),
+        scheduled: scheduled
+            .into_iter()
+            .map(|s| s.expect("all filled"))
+            .collect(),
         reported_objective: None,
     };
     let mut accepted = vec![false; k];
@@ -160,11 +210,19 @@ pub fn greedy_csigma(instance: &Instance, opts: &GreedyOptions) -> GreedyOutcome
     let mut solution = solution;
     solution.reported_objective = Some(solution.revenue(instance));
 
+    telemetry.event_with(|| Event::SolveEnd {
+        what: "greedy".into(),
+        status: "done".into(),
+    });
+    telemetry.gauge_set("greedy.runtime_s", start_clock.elapsed().as_secs_f64());
+    telemetry.counter_add("greedy.total_nodes", total_nodes);
+
     GreedyOutcome {
         solution,
         accepted,
         iterations: k,
         runtime: start_clock.elapsed(),
         total_nodes,
+        per_iteration,
     }
 }

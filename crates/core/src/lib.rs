@@ -31,9 +31,9 @@ pub use discrete::{build_discrete, discretization_gap, solve_discrete, DiscreteM
 pub use embedding::{build_embedding, build_embedding_with, EmbeddingVars, FlowMode, NodeMapVars};
 pub use events::{EventOptions, EventScheme, EventVars, SigmaClass};
 pub use formulation::{
-    build_model, solve_tvnep, AuxVars, BuildOptions, BuiltModel, Formulation, Objective,
-    TvnepOutcome,
+    build_model, solve_tvnep, AuxVars, BuildOptions, BuildStats, BuiltModel, Formulation,
+    Objective, TvnepOutcome,
 };
-pub use greedy::{greedy_csigma, GreedyOptions, GreedyOutcome};
+pub use greedy::{greedy_csigma, GreedyIterationRecord, GreedyOptions, GreedyOutcome};
 pub use mapping::{greedy_with_lp_mappings, lp_rounding_mappings, random_mappings};
 pub use states::{build_state_allocations, StateLoads};

@@ -54,10 +54,10 @@ pub fn lp_rounding_mappings(instance: &Instance) -> Vec<NodeMapping> {
         .collect()
 }
 
-fn lp_round_one(
-    instance: &Instance,
-    req: &tvnep_model::Request,
-) -> Option<NodeMapping> {
+// Indices here are virtual-node / substrate-node / link ids; range loops
+// keep the correspondence with the paper's constraint sums readable.
+#[allow(clippy::needless_range_loop)]
+fn lp_round_one(instance: &Instance, req: &tvnep_model::Request) -> Option<NodeMapping> {
     let sub = &instance.substrate;
     let sg = sub.graph();
     let (nv, ns) = (req.num_nodes(), sub.num_nodes());
@@ -82,8 +82,9 @@ fn lp_round_one(
     }
     // Node capacities (static, single request).
     for n in 0..ns {
-        let terms: Vec<_> =
-            (0..nv).map(|v| (xv[v][n], req.node_demand(NodeId(v)))).collect();
+        let terms: Vec<_> = (0..nv)
+            .map(|v| (xv[v][n], req.node_demand(NodeId(v))))
+            .collect();
         lp.add_le(&terms, sub.node_capacity(NodeId(n)));
     }
     // (2): fractional flow conservation per virtual link.
@@ -213,7 +214,7 @@ mod tests {
         let inst = star_instance();
         let maps = lp_rounding_mappings(&inst);
         let m = &maps[0];
-        let mut load = vec![0.0f64; 4];
+        let mut load = [0.0f64; 4];
         for (v, host) in m.iter().enumerate() {
             load[host.0] += inst.requests[0].node_demand(NodeId(v));
         }

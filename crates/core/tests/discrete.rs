@@ -4,9 +4,9 @@
 
 use std::time::Duration;
 use tvnep_core::*;
+use tvnep_graph::{grid, DiGraph, NodeId};
 use tvnep_mip::{MipOptions, MipStatus};
 use tvnep_model::{is_feasible, verify, Instance, Request, Substrate};
-use tvnep_graph::{grid, DiGraph, NodeId};
 use tvnep_workloads::{generate, WorkloadConfig};
 
 fn opts() -> MipOptions {
@@ -51,12 +51,20 @@ fn coarse_slots_lose_the_knife_edge_schedule() {
     // 3 slots of width 1: durations round up to 2 slots each -> only one fits.
     let (res, sol) = solve_discrete(&inst, 3, &opts());
     assert_eq!(res.status, MipStatus::Optimal);
-    assert_eq!(sol.unwrap().accepted_count(), 1, "coarse discretization must lose one");
+    assert_eq!(
+        sol.unwrap().accepted_count(),
+        1,
+        "coarse discretization must lose one"
+    );
 
     // 4 slots of width 0.75: durations round to 2 slots = 1.5 exactly -> both fit.
     let (res, sol) = solve_discrete(&inst, 4, &opts());
     assert_eq!(res.status, MipStatus::Optimal);
-    assert_eq!(sol.unwrap().accepted_count(), 2, "aligned discretization recovers both");
+    assert_eq!(
+        sol.unwrap().accepted_count(),
+        2,
+        "aligned discretization recovers both"
+    );
 }
 
 #[test]
@@ -66,7 +74,10 @@ fn discrete_never_beats_continuous() {
         for slots in [4, 8, 16] {
             let gap = discretization_gap(&inst, slots, &opts())
                 .expect("both models solve tiny instances");
-            assert!(gap >= -1e-5, "seed {seed} slots {slots}: discrete beat continuous by {gap}");
+            assert!(
+                gap >= -1e-5,
+                "seed {seed} slots {slots}: discrete beat continuous by {gap}"
+            );
         }
     }
 }
@@ -78,8 +89,14 @@ fn discretization_gap_shrinks_with_resolution() {
     // to 2 slots); 4 slots of width 0.75 align exactly.
     let coarse = discretization_gap(&inst, 3, &opts()).unwrap();
     let fine = discretization_gap(&inst, 4, &opts()).unwrap();
-    assert!(coarse > 0.5, "3 misaligned slots must lose a request (gap {coarse})");
-    assert!(fine < 1e-5, "4 aligned slots recover the optimum (gap {fine})");
+    assert!(
+        coarse > 0.5,
+        "3 misaligned slots must lose a request (gap {coarse})"
+    );
+    assert!(
+        fine < 1e-5,
+        "4 aligned slots recover the optimum (gap {fine})"
+    );
 }
 
 #[test]
@@ -89,7 +106,11 @@ fn discrete_solutions_pass_the_verifier() {
         let (res, sol) = solve_discrete(&inst, 12, &opts());
         assert_eq!(res.status, MipStatus::Optimal, "seed {seed}");
         let sol = sol.unwrap();
-        assert!(is_feasible(&inst, &sol), "seed {seed}: {:?}", verify(&inst, &sol));
+        assert!(
+            is_feasible(&inst, &sol),
+            "seed {seed}: {:?}",
+            verify(&inst, &sol)
+        );
     }
 }
 

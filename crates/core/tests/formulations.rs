@@ -2,13 +2,12 @@
 //! every produced solution must pass the independent Definition-2.1
 //! verifier, and the relaxation-strength ordering of Section III must hold.
 
-use proptest::prelude::*;
 use std::time::Duration;
 use tvnep_core::*;
+use tvnep_graph::{grid, DiGraph, NodeId};
 use tvnep_lp::Simplex;
 use tvnep_mip::{MipOptions, MipStatus};
 use tvnep_model::{is_feasible, verify, Instance, Request, Substrate};
-use tvnep_graph::{grid, DiGraph, NodeId};
 use tvnep_workloads::{generate, WorkloadConfig};
 
 const ALL: [Formulation; 3] = [Formulation::Delta, Formulation::Sigma, Formulation::CSigma];
@@ -42,9 +41,12 @@ fn serial_instance(n: usize, window: f64, d: f64) -> Instance {
 #[test]
 fn serialization_counts_match_window_capacity() {
     // Window w, duration d: exactly floor(w/d) unit requests fit.
-    for (n, window, d, expect) in
-        [(3, 2.0, 1.0, 2), (3, 3.0, 1.0, 3), (4, 2.5, 1.0, 2), (2, 1.0, 1.0, 1)]
-    {
+    for (n, window, d, expect) in [
+        (3, 2.0, 1.0, 2),
+        (3, 3.0, 1.0, 3),
+        (4, 2.5, 1.0, 2),
+        (2, 1.0, 1.0, 1),
+    ] {
         let inst = serial_instance(n, window, d);
         let out = solve_tvnep(
             &inst,
@@ -91,8 +93,12 @@ fn relaxation_strength_ordering() {
         let inst = generate(&WorkloadConfig::tiny(), seed).with_flexibility_after(1.0);
         let mut bounds = Vec::new();
         for f in ALL {
-            let built =
-                build_model(&inst, f, Objective::AccessControl, BuildOptions::default_for(f));
+            let built = build_model(
+                &inst,
+                f,
+                Objective::AccessControl,
+                BuildOptions::default_for(f),
+            );
             let lp = built.mip.relaxation_min();
             let mut s = Simplex::new(&lp);
             let status = s.solve();
@@ -100,8 +106,14 @@ fn relaxation_strength_ordering() {
             bounds.push(-s.objective_value()); // maximize-sense bound
         }
         let (delta, sigma, csigma) = (bounds[0], bounds[1], bounds[2]);
-        assert!(delta >= sigma - 1e-6, "seed {seed}: Δ bound {delta} < Σ bound {sigma}");
-        assert!(sigma >= csigma - 1e-6, "seed {seed}: Σ bound {sigma} < cΣ bound {csigma}");
+        assert!(
+            delta >= sigma - 1e-6,
+            "seed {seed}: Δ bound {delta} < Σ bound {sigma}"
+        );
+        assert!(
+            sigma >= csigma - 1e-6,
+            "seed {seed}: Σ bound {sigma} < cΣ bound {csigma}"
+        );
     }
 }
 
@@ -130,7 +142,11 @@ fn cuts_do_not_change_the_optimum() {
     // them must not change the optimal value, only the solve behavior.
     let inst = generate(&WorkloadConfig::tiny(), 5).with_flexibility_after(1.5);
     let mut objs = Vec::new();
-    for (dr, pc, oc) in [(false, false, false), (true, false, false), (true, true, true)] {
+    for (dr, pc, oc) in [
+        (false, false, false),
+        (true, false, false),
+        (true, true, true),
+    ] {
         let out = solve_tvnep(
             &inst,
             Formulation::CSigma,
@@ -175,8 +191,12 @@ fn rejected_requests_occupy_no_resources() {
         4.0,
         2.0,
     );
-    let inst =
-        Instance::new(s, vec![big, small], 10.0, Some(vec![vec![NodeId(0)], vec![NodeId(0)]]));
+    let inst = Instance::new(
+        s,
+        vec![big, small],
+        10.0,
+        Some(vec![vec![NodeId(0)], vec![NodeId(0)]]),
+    );
     let out = solve_tvnep(
         &inst,
         Formulation::CSigma,
@@ -217,7 +237,10 @@ fn link_capacity_forces_serialization() {
     assert!(is_feasible(&inst, &sol), "{:?}", verify(&inst, &sol));
     assert_eq!(sol.accepted_count(), 2, "both fit by serializing");
     let (a, b) = (&sol.scheduled[0], &sol.scheduled[1]);
-    assert!(a.end <= b.start + 1e-5 || b.end <= a.start + 1e-5, "must not overlap");
+    assert!(
+        a.end <= b.start + 1e-5 || b.end <= a.start + 1e-5,
+        "must not overlap"
+    );
 }
 
 #[test]
@@ -242,37 +265,70 @@ fn free_node_mappings_are_supported() {
     assert!(is_feasible(&inst, &sol), "{:?}", verify(&inst, &sol));
     assert_eq!(sol.accepted_count(), 1);
     let emb = sol.scheduled[0].embedding.as_ref().unwrap();
-    assert_ne!(emb.node_map[0], emb.node_map[1], "demands 2+2 exceed one node");
+    assert_ne!(
+        emb.node_map[0], emb.node_map[1],
+        "demands 2+2 exceed one node"
+    );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// Random tiny workloads: every formulation that finishes within its
-    /// budget must agree on the optimal access-control revenue, and every
-    /// produced solution must verify. (Δ and Σ are *expected* to time out on
-    /// some instances — that is the paper's headline result — so a timeout
-    /// skips the value comparison but still checks feasibility.)
-    #[test]
-    fn formulations_agree_on_random_tiny_workloads(seed in 0u64..200, flex in 0.0f64..1.5) {
+/// Random tiny workloads: every formulation that finishes within its
+/// budget must agree on the optimal access-control revenue, and every
+/// produced solution must verify. (Δ and Σ are *expected* to time out on
+/// some instances — that is the paper's headline result — so a timeout
+/// skips the value comparison but still checks feasibility.)
+///
+/// Deterministic sweep; the first case (seed 32, flex 0.0) is a historical
+/// regression.
+#[test]
+fn formulations_agree_on_random_tiny_workloads() {
+    let cases: [(u64, f64); 8] = [
+        (32, 0.0), // regression: Δ/Σ disagreed with cΣ here once
+        (7, 0.25),
+        (19, 0.5),
+        (58, 0.75),
+        (91, 1.0),
+        (113, 1.25),
+        (151, 1.4),
+        (197, 0.1),
+    ];
+    for (seed, flex) in cases {
         let inst = generate(&WorkloadConfig::tiny(), seed).with_flexibility_after(flex);
         let budget = MipOptions::with_time_limit(Duration::from_secs(20));
         let mut optimum: Option<f64> = None;
         for f in [Formulation::CSigma, Formulation::Sigma, Formulation::Delta] {
-            let out = solve_tvnep(&inst, f, Objective::AccessControl,
-                BuildOptions::default_for(f), &budget);
+            let out = solve_tvnep(
+                &inst,
+                f,
+                Objective::AccessControl,
+                BuildOptions::default_for(f),
+                &budget,
+            );
             if let Some(sol) = &out.solution {
-                prop_assert!(is_feasible(&inst, sol), "{:?}: {:?}", f, verify(&inst, sol));
+                assert!(
+                    is_feasible(&inst, sol),
+                    "seed {seed} flex {flex} {:?}: {:?}",
+                    f,
+                    verify(&inst, sol)
+                );
             }
             if f == Formulation::CSigma {
                 // The compact model must close these tiny instances.
-                prop_assert_eq!(out.mip.status, MipStatus::Optimal, "cΣ timed out");
+                assert_eq!(
+                    out.mip.status,
+                    MipStatus::Optimal,
+                    "cΣ timed out on seed {seed}"
+                );
             }
             if out.mip.status == MipStatus::Optimal {
                 let o = out.mip.objective.unwrap();
                 if let Some(prev) = optimum {
-                    prop_assert!((o - prev).abs() < 1e-4,
-                        "{:?} found {} but another formulation found {}", f, o, prev);
+                    assert!(
+                        (o - prev).abs() < 1e-4,
+                        "seed {seed} flex {flex}: {:?} found {} but another formulation found {}",
+                        f,
+                        o,
+                        prev
+                    );
                 } else {
                     optimum = Some(o);
                 }

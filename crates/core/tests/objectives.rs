@@ -2,9 +2,9 @@
 
 use std::time::Duration;
 use tvnep_core::*;
+use tvnep_graph::{grid, DiGraph, NodeId};
 use tvnep_mip::{MipOptions, MipStatus};
 use tvnep_model::{is_feasible, verify, Instance, Request, Substrate};
-use tvnep_graph::{grid, DiGraph, NodeId};
 use tvnep_workloads::{generate, WorkloadConfig};
 
 fn opts() -> MipOptions {
@@ -22,7 +22,15 @@ fn solve_c(inst: &Instance, obj: Objective) -> TvnepOutcome {
 }
 
 fn single_node_request(name: &str, ts: f64, te: f64, d: f64, demand: f64) -> Request {
-    Request::new(name, DiGraph::with_nodes(1), vec![demand], vec![], ts, te, d)
+    Request::new(
+        name,
+        DiGraph::with_nodes(1),
+        vec![demand],
+        vec![],
+        ts,
+        te,
+        d,
+    )
 }
 
 #[test]
@@ -32,8 +40,12 @@ fn earliness_schedules_everything_as_early_as_possible() {
     let s = Substrate::uniform(grid(1, 2), 1.0, 1.0);
     let a = single_node_request("a", 0.0, 8.0, 2.0, 1.0);
     let b = single_node_request("b", 1.0, 9.0, 3.0, 1.0);
-    let inst =
-        Instance::new(s, vec![a, b], 10.0, Some(vec![vec![NodeId(0)], vec![NodeId(1)]]));
+    let inst = Instance::new(
+        s,
+        vec![a, b],
+        10.0,
+        Some(vec![vec![NodeId(0)], vec![NodeId(1)]]),
+    );
     let out = solve_c(&inst, Objective::MaxEarliness);
     assert_eq!(out.mip.status, MipStatus::Optimal);
     assert!((out.mip.objective.unwrap() - 5.0).abs() < 1e-5);
@@ -53,11 +65,19 @@ fn earliness_trades_contention_correctly() {
     let s = Substrate::uniform(grid(1, 2), 1.0, 1.0);
     let a = single_node_request("a", 0.0, 4.0, 2.0, 1.0);
     let b = single_node_request("b", 0.0, 4.0, 2.0, 1.0);
-    let inst =
-        Instance::new(s, vec![a, b], 10.0, Some(vec![vec![NodeId(0)], vec![NodeId(0)]]));
+    let inst = Instance::new(
+        s,
+        vec![a, b],
+        10.0,
+        Some(vec![vec![NodeId(0)], vec![NodeId(0)]]),
+    );
     let out = solve_c(&inst, Objective::MaxEarliness);
     assert_eq!(out.mip.status, MipStatus::Optimal);
-    assert!((out.mip.objective.unwrap() - 2.0).abs() < 1e-5, "{:?}", out.mip.objective);
+    assert!(
+        (out.mip.objective.unwrap() - 2.0).abs() < 1e-5,
+        "{:?}",
+        out.mip.objective
+    );
     let sol = out.solution.unwrap();
     assert!(is_feasible(&inst, &sol), "{:?}", verify(&inst, &sol));
     let mut starts: Vec<f64> = sol.scheduled.iter().map(|r| r.start).collect();
@@ -72,8 +92,12 @@ fn makespan_minimized_by_parallelism() {
     let s = Substrate::uniform(grid(1, 2), 1.0, 1.0);
     let a = single_node_request("a", 0.0, 10.0, 2.0, 1.0);
     let b = single_node_request("b", 0.0, 10.0, 3.0, 1.0);
-    let inst =
-        Instance::new(s, vec![a, b], 10.0, Some(vec![vec![NodeId(0)], vec![NodeId(1)]]));
+    let inst = Instance::new(
+        s,
+        vec![a, b],
+        10.0,
+        Some(vec![vec![NodeId(0)], vec![NodeId(1)]]),
+    );
     let out = solve_c(&inst, Objective::MinMakespan);
     assert_eq!(out.mip.status, MipStatus::Optimal);
     assert!((out.mip.objective.unwrap() - 3.0).abs() < 1e-5);
@@ -85,8 +109,12 @@ fn makespan_respects_forced_serialization() {
     let s = Substrate::uniform(grid(1, 2), 1.0, 1.0);
     let a = single_node_request("a", 0.0, 10.0, 2.0, 1.0);
     let b = single_node_request("b", 0.0, 10.0, 3.0, 1.0);
-    let inst =
-        Instance::new(s, vec![a, b], 10.0, Some(vec![vec![NodeId(0)], vec![NodeId(0)]]));
+    let inst = Instance::new(
+        s,
+        vec![a, b],
+        10.0,
+        Some(vec![vec![NodeId(0)], vec![NodeId(0)]]),
+    );
     let out = solve_c(&inst, Objective::MinMakespan);
     assert_eq!(out.mip.status, MipStatus::Optimal);
     assert!((out.mip.objective.unwrap() - 5.0).abs() < 1e-5);
@@ -119,8 +147,12 @@ fn node_load_balance_uses_flexibility_to_avoid_peaks() {
     let s = Substrate::uniform(grid(1, 2), 2.0, 5.0);
     let a = single_node_request("a", 0.0, 4.0, 2.0, 1.0);
     let b = single_node_request("b", 0.0, 4.0, 2.0, 1.0);
-    let inst =
-        Instance::new(s, vec![a, b], 10.0, Some(vec![vec![NodeId(0)], vec![NodeId(0)]]));
+    let inst = Instance::new(
+        s,
+        vec![a, b],
+        10.0,
+        Some(vec![vec![NodeId(0)], vec![NodeId(0)]]),
+    );
     let out = solve_c(&inst, Objective::BalanceNodeLoad { fraction: 0.5 });
     assert_eq!(out.mip.status, MipStatus::Optimal);
     assert!((out.mip.objective.unwrap() - 2.0).abs() < 1e-5);
@@ -139,7 +171,10 @@ fn disable_links_prefers_colocated_routing() {
     let inst = Instance::new(s, vec![r], 10.0, Some(vec![vec![NodeId(0), NodeId(0)]]));
     let out = solve_c(&inst, Objective::DisableLinks);
     assert_eq!(out.mip.status, MipStatus::Optimal);
-    assert!((out.mip.objective.unwrap() - 2.0).abs() < 1e-5, "both grid links disabled");
+    assert!(
+        (out.mip.objective.unwrap() - 2.0).abs() < 1e-5,
+        "both grid links disabled"
+    );
     let sol = out.solution.unwrap();
     assert_eq!(sol.unused_links(&inst), 2);
 }
@@ -163,12 +198,17 @@ fn greedy_matches_optimal_on_serial_instance() {
     // 3 identical unit requests, window fits exactly 2: greedy accepts 2 —
     // same as the optimum.
     let s = Substrate::uniform(grid(1, 2), 1.0, 1.0);
-    let reqs: Vec<Request> =
-        (0..3).map(|i| single_node_request(&format!("r{i}"), 0.0, 2.0, 1.0, 1.0)).collect();
+    let reqs: Vec<Request> = (0..3)
+        .map(|i| single_node_request(&format!("r{i}"), 0.0, 2.0, 1.0, 1.0))
+        .collect();
     let maps = vec![vec![NodeId(0)]; 3];
     let inst = Instance::new(s, reqs, 10.0, Some(maps));
     let g = greedy_csigma(&inst, &GreedyOptions::default());
-    assert!(is_feasible(&inst, &g.solution), "{:?}", verify(&inst, &g.solution));
+    assert!(
+        is_feasible(&inst, &g.solution),
+        "{:?}",
+        verify(&inst, &g.solution)
+    );
     assert_eq!(g.solution.accepted_count(), 2);
     // Accepted requests start as early as possible (objective (21)).
     let first_start = g
@@ -186,7 +226,11 @@ fn greedy_never_beats_optimal_and_always_verifies() {
     for seed in [0, 1, 2, 7] {
         let inst = generate(&WorkloadConfig::tiny(), seed).with_flexibility_after(1.0);
         let g = greedy_csigma(&inst, &GreedyOptions::default());
-        assert!(is_feasible(&inst, &g.solution), "seed {seed}: {:?}", verify(&inst, &g.solution));
+        assert!(
+            is_feasible(&inst, &g.solution),
+            "seed {seed}: {:?}",
+            verify(&inst, &g.solution)
+        );
         let exact = solve_c(&inst, Objective::AccessControl);
         assert_eq!(exact.mip.status, MipStatus::Optimal, "seed {seed}");
         let opt = exact.mip.objective.unwrap();
@@ -274,5 +318,9 @@ fn greedy_with_lp_mappings_handles_free_instances() {
         free.horizon,
         None,
     );
-    assert!(is_feasible(&unpinned, &out.solution), "{:?}", verify(&unpinned, &out.solution));
+    assert!(
+        is_feasible(&unpinned, &out.solution),
+        "{:?}",
+        verify(&unpinned, &out.solution)
+    );
 }

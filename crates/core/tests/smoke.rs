@@ -1,14 +1,22 @@
 use tvnep_core::*;
+use tvnep_graph::{grid, DiGraph, NodeId};
 use tvnep_mip::MipOptions;
 use tvnep_model::{is_feasible, verify, Instance, Request, Substrate};
-use tvnep_graph::{grid, DiGraph, NodeId};
 
 fn contention_instance(flex: f64) -> Instance {
     // Two single-node requests demanding the full capacity of their (shared)
     // pinned substrate node; they fit iff they can serialize.
     let s = Substrate::uniform(grid(1, 2), 1.0, 1.0);
     let mk = |name: &str| {
-        Request::new(name, DiGraph::with_nodes(1), vec![1.0], vec![], 0.0, 2.0 + flex, 2.0)
+        Request::new(
+            name,
+            DiGraph::with_nodes(1),
+            vec![1.0],
+            vec![],
+            0.0,
+            2.0 + flex,
+            2.0,
+        )
     };
     Instance::new(
         s,
@@ -30,7 +38,10 @@ fn csigma_access_control_serializes_with_flexibility() {
             BuildOptions::default_for(Formulation::CSigma),
             &MipOptions::default(),
         );
-        eprintln!("flex={flex} status={:?} obj={:?} nodes={}", out.mip.status, out.mip.objective, out.mip.nodes);
+        eprintln!(
+            "flex={flex} status={:?} obj={:?} nodes={}",
+            out.mip.status, out.mip.objective, out.mip.nodes
+        );
         let sol = out.solution.expect("has solution");
         assert!(is_feasible(&inst, &sol), "{:?}", verify(&inst, &sol));
         assert_eq!(sol.accepted_count(), expect, "flex={flex}");
@@ -43,14 +54,25 @@ fn all_three_formulations_agree() {
         let inst = contention_instance(flex);
         let mut objs = vec![];
         for f in [Formulation::Delta, Formulation::Sigma, Formulation::CSigma] {
-            let out = solve_tvnep(&inst, f, Objective::AccessControl,
-                BuildOptions::default_for(f), &MipOptions::default());
-            eprintln!("{f:?} flex={flex}: {:?} {:?} nodes={}", out.mip.status, out.mip.objective, out.mip.nodes);
+            let out = solve_tvnep(
+                &inst,
+                f,
+                Objective::AccessControl,
+                BuildOptions::default_for(f),
+                &MipOptions::default(),
+            );
+            eprintln!(
+                "{f:?} flex={flex}: {:?} {:?} nodes={}",
+                out.mip.status, out.mip.objective, out.mip.nodes
+            );
             assert_eq!(out.mip.status, tvnep_mip::MipStatus::Optimal);
             let sol = out.solution.unwrap();
             assert!(is_feasible(&inst, &sol), "{f:?}: {:?}", verify(&inst, &sol));
             objs.push(out.mip.objective.unwrap());
         }
-        assert!((objs[0] - objs[1]).abs() < 1e-5 && (objs[1] - objs[2]).abs() < 1e-5, "{objs:?}");
+        assert!(
+            (objs[0] - objs[1]).abs() < 1e-5 && (objs[1] - objs[2]).abs() < 1e-5,
+            "{objs:?}"
+        );
     }
 }

@@ -56,7 +56,10 @@ pub fn is_acyclic(g: &DiGraph) -> bool {
 /// # Panics
 ///
 /// Panics if the graph contains a cycle (longest paths would be unbounded).
-pub fn dag_longest_paths(g: &DiGraph, weight: impl Fn(crate::EdgeId) -> i64) -> Vec<Vec<Option<i64>>> {
+pub fn dag_longest_paths(
+    g: &DiGraph,
+    weight: impl Fn(crate::EdgeId) -> i64,
+) -> Vec<Vec<Option<i64>>> {
     assert!(is_acyclic(g), "longest paths require a DAG");
     let n = g.num_nodes();
     // dist[u][v] = minimal negated weight = -(maximal weight).
@@ -71,13 +74,16 @@ pub fn dag_longest_paths(g: &DiGraph, weight: impl Fn(crate::EdgeId) -> i64) -> 
         *entry = Some(entry.map_or(w, |cur| cur.min(w)));
     }
     for k in 0..n {
-        for i in 0..n {
-            let Some(dik) = dist[i][k] else { continue };
-            for j in 0..n {
-                let Some(dkj) = dist[k][j] else { continue };
+        // Snapshot row k: dist[k][k] = 0, so the row cannot improve during
+        // its own round and reading the copy is equivalent.
+        let row_k = dist[k].clone();
+        for row_i in dist.iter_mut() {
+            let Some(dik) = row_i[k] else { continue };
+            for (j, dkj) in row_k.iter().enumerate() {
+                let Some(dkj) = *dkj else { continue };
                 let via = dik + dkj;
-                let entry = &mut dist[i][j];
-                if entry.map_or(true, |cur| via < cur) {
+                let entry = &mut row_i[j];
+                if entry.is_none_or(|cur| via < cur) {
                     *entry = Some(via);
                 }
             }
@@ -85,10 +91,8 @@ pub fn dag_longest_paths(g: &DiGraph, weight: impl Fn(crate::EdgeId) -> i64) -> 
     }
     // Negate back to longest-path lengths.
     for row in &mut dist {
-        for d in row.iter_mut() {
-            if let Some(v) = d {
-                *v = -*v;
-            }
+        for d in row.iter_mut().flatten() {
+            *d = -*d;
         }
     }
     dist
@@ -139,7 +143,13 @@ mod tests {
         let e02 = g.add_edge(NodeId(0), NodeId(2));
         let e23 = g.add_edge(NodeId(2), NodeId(3));
         let w = move |e| {
-            if e == e01 || e == e13 || e == e23 { 1 } else if e == e02 { 5 } else { 0 }
+            if e == e01 || e == e13 || e == e23 {
+                1
+            } else if e == e02 {
+                5
+            } else {
+                0
+            }
         };
         let d = dag_longest_paths(&g, w);
         assert_eq!(d[0][3], Some(6)); // via node 2

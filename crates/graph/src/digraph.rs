@@ -38,7 +38,10 @@ impl DiGraph {
 
     /// Adds a directed edge `from -> to`.
     pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> EdgeId {
-        assert!(from.0 < self.num_nodes() && to.0 < self.num_nodes(), "edge endpoint out of range");
+        assert!(
+            from.0 < self.num_nodes() && to.0 < self.num_nodes(),
+            "edge endpoint out of range"
+        );
         assert_ne!(from, to, "self-loops are not supported");
         let id = EdgeId(self.edges.len());
         self.edges.push((from, to));

@@ -1,21 +1,44 @@
-//! Property tests for the graph algorithms against brute-force references.
+//! Property tests for the graph algorithms against brute-force references,
+//! run as deterministic random sweeps (splitmix64 per case).
 
-use proptest::prelude::*;
 use tvnep_graph::{
-    dag_longest_paths, erdos_renyi, grid, is_acyclic, reachable_from, reaches,
-    topological_sort, DiGraph, NodeId,
+    dag_longest_paths, erdos_renyi, grid, is_acyclic, reachable_from, reaches, topological_sort,
+    DiGraph, NodeId,
 };
 
+/// Tiny deterministic generator for the sweeps below.
+struct TestRng(u64);
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
 /// Builds a random DAG by only allowing edges from lower to higher indices.
-fn random_dag(n: usize, edge_bits: &[bool]) -> DiGraph {
+fn random_dag(n: usize, rng: &mut TestRng) -> DiGraph {
     let mut g = DiGraph::with_nodes(n);
-    let mut k = 0;
     for u in 0..n {
         for v in u + 1..n {
-            if edge_bits.get(k).copied().unwrap_or(false) {
+            if rng.bool() {
                 g.add_edge(NodeId(u), NodeId(v));
             }
-            k += 1;
         }
     }
     g
@@ -40,51 +63,52 @@ fn brute_longest(g: &DiGraph, weights: &[i64], from: usize, to: usize) -> Option
     dfs(g, weights, from, to)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn longest_paths_match_brute_force(
-        n in 2usize..8,
-        edge_bits in prop::collection::vec(any::<bool>(), 28),
-        weight_seed in prop::collection::vec(0i64..5, 28),
-    ) {
-        let g = random_dag(n, &edge_bits);
-        let weights: Vec<i64> =
-            (0..g.num_edges()).map(|e| weight_seed[e % weight_seed.len()]).collect();
+#[test]
+fn longest_paths_match_brute_force() {
+    for case in 0..128u64 {
+        let mut rng = TestRng::new(0x1076_0000 + case);
+        let n = 2 + rng.below(6);
+        let g = random_dag(n, &mut rng);
+        let weights: Vec<i64> = (0..g.num_edges()).map(|_| rng.below(5) as i64).collect();
         let d = dag_longest_paths(&g, |e| weights[e.0]);
-        for u in 0..n {
-            for v in 0..n {
-                let brute = if u == v { Some(0) } else { brute_longest(&g, &weights, u, v) };
-                prop_assert_eq!(d[u][v], brute, "pair ({}, {})", u, v);
+        for (u, row) in d.iter().enumerate() {
+            for (v, &got) in row.iter().enumerate() {
+                let brute = if u == v {
+                    Some(0)
+                } else {
+                    brute_longest(&g, &weights, u, v)
+                };
+                assert_eq!(got, brute, "case {case}: pair ({u}, {v})");
             }
         }
     }
+}
 
-    #[test]
-    fn topological_sort_respects_all_edges(
-        n in 1usize..12,
-        edge_bits in prop::collection::vec(any::<bool>(), 66),
-    ) {
-        let g = random_dag(n, &edge_bits);
+#[test]
+fn topological_sort_respects_all_edges() {
+    for case in 0..128u64 {
+        let mut rng = TestRng::new(0x7050_0000 + case);
+        let n = 1 + rng.below(11);
+        let g = random_dag(n, &mut rng);
         let order = topological_sort(&g).expect("random_dag is acyclic");
-        prop_assert_eq!(order.len(), n);
+        assert_eq!(order.len(), n, "case {case}");
         let mut pos = vec![0usize; n];
         for (i, v) in order.iter().enumerate() {
             pos[v.0] = i;
         }
         for e in g.edge_ids() {
             let (u, v) = g.endpoints(e);
-            prop_assert!(pos[u.0] < pos[v.0]);
+            assert!(pos[u.0] < pos[v.0], "case {case}");
         }
     }
+}
 
-    #[test]
-    fn reachability_is_transitive(
-        n in 2usize..10,
-        edge_bits in prop::collection::vec(any::<bool>(), 45),
-    ) {
-        let g = random_dag(n, &edge_bits);
+#[test]
+fn reachability_is_transitive() {
+    for case in 0..128u64 {
+        let mut rng = TestRng::new(0x4eac_0000 + case);
+        let n = 2 + rng.below(8);
+        let g = random_dag(n, &mut rng);
         for a in 0..n {
             let ra = reachable_from(&g, NodeId(a));
             for b in 0..n {
@@ -94,27 +118,37 @@ proptest! {
                 let rb = reachable_from(&g, NodeId(b));
                 for c in 0..n {
                     if rb[c] {
-                        prop_assert!(ra[c], "{a}->{b}->{c} but not {a}->{c}");
+                        assert!(ra[c], "case {case}: {a}->{b}->{c} but not {a}->{c}");
                     }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn cycle_detection_on_random_digraphs(seed in 0u64..500, p in 0.05f64..0.5) {
-        // Erdős–Rényi digraphs: cross-check is_acyclic against a DFS
-        // three-color cycle search.
-        let mut state = seed;
+#[test]
+fn cycle_detection_on_random_digraphs() {
+    // Erdős–Rényi digraphs: cross-check is_acyclic against a DFS
+    // three-color cycle search.
+    for case in 0..128u64 {
+        let mut rng = TestRng::new(0xc7c1_0000 + case);
+        let p = 0.05 + 0.45 * rng.f64();
+        let mut state = rng.next_u64();
         let mut uniform = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         let g = erdos_renyi(8, p, &mut uniform);
         // Reference: DFS cycle detection.
         fn has_cycle(g: &DiGraph) -> bool {
             #[derive(Clone, Copy, PartialEq)]
-            enum C { White, Grey, Black }
+            enum C {
+                White,
+                Grey,
+                Black,
+            }
             fn dfs(g: &DiGraph, u: usize, color: &mut [C]) -> bool {
                 color[u] = C::Grey;
                 for &e in g.out_edges(NodeId(u)) {
@@ -135,7 +169,7 @@ proptest! {
             let mut color = vec![C::White; g.num_nodes()];
             (0..g.num_nodes()).any(|u| color[u] == C::White && dfs(g, u, &mut color))
         }
-        prop_assert_eq!(is_acyclic(&g), !has_cycle(&g));
+        assert_eq!(is_acyclic(&g), !has_cycle(&g), "case {case}");
     }
 }
 

@@ -28,4 +28,4 @@ pub mod simplex;
 pub mod sparse;
 
 pub use problem::{LpProblem, RowId, VarId, INF};
-pub use simplex::{solve, Basis, LpSolution, LpStatus, Params, Simplex, VarStatus};
+pub use simplex::{solve, Basis, LpSolution, LpStatus, Params, Simplex, SolveStats, VarStatus};

@@ -177,8 +177,8 @@ impl LpProblem {
     pub fn max_violation(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.num_vars());
         let mut worst = 0f64;
-        for j in 0..self.num_vars() {
-            worst = worst.max(self.var_lo[j] - x[j]).max(x[j] - self.var_up[j]);
+        for ((&xj, &lo), &up) in x.iter().zip(&self.var_lo).zip(&self.var_up) {
+            worst = worst.max(lo - xj).max(xj - up);
         }
         for (i, row) in self.rows.iter().enumerate() {
             let act: f64 = row.iter().map(|&(j, c)| c * x[j]).sum();

@@ -38,6 +38,7 @@ use std::time::Instant;
 
 use crate::problem::{LpProblem, INF};
 use crate::sparse::CscMatrix;
+use tvnep_telemetry::{Event, Telemetry};
 
 /// Outcome of a simplex run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +55,20 @@ pub enum LpStatus {
     TimeLimit,
     /// Numerical verification failed repeatedly.
     Numerical,
+}
+
+impl LpStatus {
+    /// Stable lower-case name, used in telemetry events.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LpStatus::Optimal => "optimal",
+            LpStatus::Infeasible => "infeasible",
+            LpStatus::Unbounded => "unbounded",
+            LpStatus::IterationLimit => "iteration_limit",
+            LpStatus::TimeLimit => "time_limit",
+            LpStatus::Numerical => "numerical",
+        }
+    }
 }
 
 /// Position of a variable relative to the current basis.
@@ -163,12 +178,17 @@ pub struct Simplex {
     /// Pivots since the last refactorization.
     pivots_since_refactor: usize,
     iterations: usize,
+    /// Iteration count at entry to the current public solve; the
+    /// `max_iters` budget is per solve, not per instance lifetime.
+    iter_base: usize,
     params: Params,
     /// Scratch buffers reused across iterations to avoid allocation.
     scratch_w: Vec<f64>,
     scratch_y: Vec<f64>,
     /// Cumulative counters for performance diagnosis.
     pub stats: SolveStats,
+    /// Observability sink; disabled (free) by default.
+    telemetry: Telemetry,
 }
 
 /// Cumulative solver statistics (updated across all solves of an instance).
@@ -184,6 +204,29 @@ pub struct SolveStats {
     pub dual_iters: usize,
     /// Iterations spent inside the primal phases.
     pub primal_iters: usize,
+    /// Basis-inverse rebuilds (periodic and recovery).
+    pub refactorizations: usize,
+    /// Pivots with (near-)zero step length or dual progress.
+    pub degenerate_pivots: usize,
+    /// Nonbasic bound flips (ratio test won by the entering variable).
+    pub bound_flips: usize,
+}
+
+impl SolveStats {
+    /// Adds every counter to `t` under the `lp.` prefix.
+    pub fn flush_into(&self, t: &Telemetry) {
+        if !t.is_enabled() {
+            return;
+        }
+        t.counter_add("lp.warm_calls", self.warm_calls as u64);
+        t.counter_add("lp.dual_successes", self.dual_successes as u64);
+        t.counter_add("lp.dual_fallbacks", self.dual_fallbacks as u64);
+        t.counter_add("lp.dual_iters", self.dual_iters as u64);
+        t.counter_add("lp.primal_iters", self.primal_iters as u64);
+        t.counter_add("lp.refactorizations", self.refactorizations as u64);
+        t.counter_add("lp.degenerate_pivots", self.degenerate_pivots as u64);
+        t.counter_add("lp.bound_flips", self.bound_flips as u64);
+    }
 }
 
 impl Simplex {
@@ -241,10 +284,12 @@ impl Simplex {
             binv: Vec::new(),
             pivots_since_refactor: 0,
             iterations: 0,
+            iter_base: 0,
             params: Params::default(),
             scratch_w: vec![0.0; m],
             scratch_y: vec![0.0; m],
             stats: SolveStats::default(),
+            telemetry: Telemetry::disabled(),
         };
         s.reset_basis();
         s
@@ -258,6 +303,14 @@ impl Simplex {
     /// Sets only the deadline, keeping other parameters.
     pub fn set_deadline(&mut self, deadline: Option<Instant>) {
         self.params.deadline = deadline;
+    }
+
+    /// Attaches an observability sink. Each top-level [`solve`](Self::solve)
+    /// or [`solve_warm`](Self::solve_warm) emits a balanced
+    /// `LpSolveStart`/`LpSolveEnd` event pair when the sink records a
+    /// timeline; a disabled handle costs one pointer check per solve.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Number of structural variables.
@@ -316,7 +369,10 @@ impl Simplex {
 
     /// Records the current basis for later [`load_basis`](Self::load_basis).
     pub fn save_basis(&self) -> Basis {
-        Basis { basis: self.basis.clone(), status: self.status.clone() }
+        Basis {
+            basis: self.basis.clone(),
+            status: self.status.clone(),
+        }
     }
 
     /// Restores a recorded basis (bounds may have changed since it was saved;
@@ -428,6 +484,7 @@ impl Simplex {
             }
         }
         self.pivots_since_refactor = 0;
+        self.stats.refactorizations += 1;
         true
     }
 
@@ -533,12 +590,42 @@ impl Simplex {
 
     /// Runs phase 1 (if needed) and phase 2 from the current basis.
     pub fn solve(&mut self) -> LpStatus {
+        let before = self.iterations;
+        self.iter_base = before;
+        self.telemetry.event(Event::LpSolveStart { warm: false });
+        let status = self.solve_inner();
+        self.finish_lp_event(before, status);
+        status
+    }
+
+    /// Emits the `LpSolveEnd` half of the event pair and records the
+    /// per-solve iteration count.
+    fn finish_lp_event(&mut self, iters_before: usize, status: LpStatus) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let iters = (self.iterations - iters_before) as u64;
+        self.telemetry.counter_add("lp.solves", 1);
+        self.telemetry.observe("lp.iters_per_solve", iters as f64);
+        let obj = if status == LpStatus::Optimal {
+            self.objective_value()
+        } else {
+            f64::NAN
+        };
+        self.telemetry.event_with(|| Event::LpSolveEnd {
+            iters,
+            status: status.as_str().to_string(),
+            obj,
+        });
+    }
+
+    fn solve_inner(&mut self) -> LpStatus {
         // Bounds may have changed since the basis was recorded.
         self.normalize_nonbasic_statuses();
-        if self.pivots_since_refactor > 0 || self.binv.len() != self.m * self.m {
-            if !self.refactorize() {
-                self.reset_basis();
-            }
+        if (self.pivots_since_refactor > 0 || self.binv.len() != self.m * self.m)
+            && !self.refactorize()
+        {
+            self.reset_basis();
         }
         self.recompute_xb();
 
@@ -584,11 +671,20 @@ impl Simplex {
     /// (dual feasibility survives bound changes), falling back to the primal
     /// phases on any trouble. This is the branch-and-bound workhorse.
     pub fn solve_warm(&mut self) -> LpStatus {
+        let before = self.iterations;
+        self.iter_base = before;
+        self.telemetry.event(Event::LpSolveStart { warm: true });
+        let status = self.solve_warm_inner();
+        self.finish_lp_event(before, status);
+        status
+    }
+
+    fn solve_warm_inner(&mut self) -> LpStatus {
         self.stats.warm_calls += 1;
         self.normalize_nonbasic_statuses();
         if self.binv.len() != self.m * self.m {
             self.stats.dual_fallbacks += 1;
-            return self.solve();
+            return self.solve_inner();
         }
         self.recompute_xb();
         let before = self.iterations;
@@ -615,7 +711,7 @@ impl Simplex {
                     LpStatus::Optimal
                 } else {
                     self.stats.dual_fallbacks += 1;
-                    self.solve()
+                    self.solve_inner()
                 }
             }
             LpStatus::Infeasible => {
@@ -628,7 +724,7 @@ impl Simplex {
             // full primal solve.
             _ => {
                 self.stats.dual_fallbacks += 1;
-                self.solve()
+                self.solve_inner()
             }
         }
     }
@@ -694,15 +790,15 @@ impl Simplex {
             .collect();
         // Verify dual feasibility within a loose tolerance.
         let dtol = self.params.opt_tol * 100.0;
-        for j in 0..self.n_total {
+        for (j, &dj) in d.iter().enumerate() {
             if self.lo[j] == self.up[j] {
                 continue;
             }
             let bad = match self.status[j] {
                 VarStatus::Basic => false,
-                VarStatus::AtLower => d[j] < -dtol,
-                VarStatus::AtUpper => d[j] > dtol,
-                VarStatus::Free => d[j].abs() > dtol,
+                VarStatus::AtLower => dj < -dtol,
+                VarStatus::AtUpper => dj > dtol,
+                VarStatus::Free => dj.abs() > dtol,
             };
             if bad {
                 return LpStatus::Numerical; // caller falls back to primal
@@ -715,10 +811,10 @@ impl Simplex {
         // Deterministic xorshift for the anti-stall row choice.
         let mut rng_state: u64 = 0x9E37_79B9_7F4A_7C15 ^ (self.iterations as u64 + 1);
         loop {
-            if self.iterations >= self.params.max_iters {
+            if self.iterations - self.iter_base >= self.params.max_iters {
                 return LpStatus::IterationLimit;
             }
-            if self.iterations % 64 == 0 && self.deadline_hit() {
+            if self.iterations.is_multiple_of(64) && self.deadline_hit() {
                 return LpStatus::TimeLimit;
             }
             if degen_run > self.params.degen_switch {
@@ -749,7 +845,7 @@ impl Simplex {
                 } else {
                     viol
                 };
-                if r_best.map_or(true, |(_, w, _)| score > w) {
+                if r_best.is_none_or(|(_, w, _)| score > w) {
                     r_best = Some((i, score, below));
                 }
             }
@@ -758,8 +854,8 @@ impl Simplex {
             };
 
             // ρ = row r of B⁻¹; α_j = ρ'A_j for nonbasic j.
-            for j in 0..m {
-                rho[j] = self.binv[j * m + r];
+            for (j, rj) in rho.iter_mut().enumerate() {
+                *rj = self.binv[j * m + r];
             }
             // Dual ratio test: minimize |d_j| / |α_j| over eligible columns.
             let mut best: Option<(usize, f64, f64)> = None; // (var, ratio, |alpha|)
@@ -798,9 +894,7 @@ impl Simplex {
                 };
                 let better = match best {
                     None => true,
-                    Some((_, br, ba)) => {
-                        ratio < br - 1e-12 || (ratio < br + 1e-12 && score > ba)
-                    }
+                    Some((_, br, ba)) => ratio < br - 1e-12 || (ratio < br + 1e-12 && score > ba),
                 };
                 if better {
                     best = Some((j, ratio, score));
@@ -826,7 +920,11 @@ impl Simplex {
                 self.xb[i] -= self.scratch_w[i] * dx_q;
             }
             let entering_value = self.nonbasic_value(q) + dx_q;
-            self.status[jl] = if below { VarStatus::AtLower } else { VarStatus::AtUpper };
+            self.status[jl] = if below {
+                VarStatus::AtLower
+            } else {
+                VarStatus::AtUpper
+            };
             self.basis[r] = q;
             self.status[q] = VarStatus::Basic;
             self.xb[r] = entering_value;
@@ -850,6 +948,7 @@ impl Simplex {
             // (θ = d_q/α_q ≈ 0), even though primal values move.
             if theta.abs() <= 1e-10 {
                 degen_run += 1;
+                self.stats.degenerate_pivots += 1;
             } else {
                 degen_run = 0;
             }
@@ -861,8 +960,8 @@ impl Simplex {
                 // Refresh reduced costs from scratch to bound drift.
                 let cb: Vec<f64> = self.basis.iter().map(|&j| self.obj_pert[j]).collect();
                 self.btran_costs(&cb);
-                for j in 0..self.n_total {
-                    d[j] = if self.status[j] == VarStatus::Basic {
+                for (j, dj) in d.iter_mut().enumerate() {
+                    *dj = if self.status[j] == VarStatus::Basic {
                         0.0
                     } else {
                         self.reduced_cost(j, false, true)
@@ -878,10 +977,10 @@ impl Simplex {
     fn run_phase(&mut self, phase1: bool, pert: bool) -> LpStatus {
         let mut degen_run = 0usize;
         loop {
-            if self.iterations >= self.params.max_iters {
+            if self.iterations - self.iter_base >= self.params.max_iters {
                 return LpStatus::IterationLimit;
             }
-            if self.iterations % 64 == 0 && self.deadline_hit() {
+            if self.iterations.is_multiple_of(64) && self.deadline_hit() {
                 return LpStatus::TimeLimit;
             }
             if phase1 && self.infeasibility() <= self.params.feas_tol {
@@ -910,9 +1009,10 @@ impl Simplex {
                 let (eligible, sigma) = match self.status[j] {
                     VarStatus::AtLower => (d < -self.params.opt_tol, 1.0),
                     VarStatus::AtUpper => (d > self.params.opt_tol, -1.0),
-                    VarStatus::Free => {
-                        (d.abs() > self.params.opt_tol, if d < 0.0 { 1.0 } else { -1.0 })
-                    }
+                    VarStatus::Free => (
+                        d.abs() > self.params.opt_tol,
+                        if d < 0.0 { 1.0 } else { -1.0 },
+                    ),
                     VarStatus::Basic => unreachable!(),
                 };
                 if !eligible {
@@ -924,7 +1024,7 @@ impl Simplex {
                         break;
                     }
                     Pricing::Dantzig => {
-                        if entering.map_or(true, |(_, dbest, _)| d.abs() > dbest.abs()) {
+                        if entering.is_none_or(|(_, dbest, _)| d.abs() > dbest.abs()) {
                             entering = Some((j, d, sigma));
                         }
                     }
@@ -979,8 +1079,8 @@ impl Simplex {
                     }
                     (((v - self.lo[bj]) / -rate).max(0.0), false)
                 };
-                let better = limit < best_t - 1e-12
-                    || (limit < best_t + 1e-12 && w.abs() > best_piv.abs());
+                let better =
+                    limit < best_t - 1e-12 || (limit < best_t + 1e-12 && w.abs() > best_piv.abs());
                 if better {
                     best_t = limit;
                     best_row = Some((i, at_upper));
@@ -990,7 +1090,11 @@ impl Simplex {
 
             if own_limit <= best_t {
                 if own_limit == INF {
-                    return if phase1 { LpStatus::Numerical } else { LpStatus::Unbounded };
+                    return if phase1 {
+                        LpStatus::Numerical
+                    } else {
+                        LpStatus::Unbounded
+                    };
                 }
                 // Bound flip: no basis change.
                 let t = own_limit;
@@ -1003,8 +1107,11 @@ impl Simplex {
                     _ => unreachable!("free variables have no opposite bound"),
                 };
                 self.iterations += 1;
+                self.stats.primal_iters += 1;
+                self.stats.bound_flips += 1;
                 if t <= 1e-10 {
                     degen_run += 1;
+                    self.stats.degenerate_pivots += 1;
                 } else {
                     degen_run = 0;
                 }
@@ -1012,7 +1119,11 @@ impl Simplex {
             }
 
             let Some((r, at_upper)) = best_row else {
-                return if phase1 { LpStatus::Numerical } else { LpStatus::Unbounded };
+                return if phase1 {
+                    LpStatus::Numerical
+                } else {
+                    LpStatus::Unbounded
+                };
             };
             let t = best_t;
             let entering_value = match self.status[q] {
@@ -1025,16 +1136,21 @@ impl Simplex {
                 self.xb[i] -= sigma * t * self.scratch_w[i];
             }
             let leaving = self.basis[r];
-            self.status[leaving] =
-                if at_upper { VarStatus::AtUpper } else { VarStatus::AtLower };
+            self.status[leaving] = if at_upper {
+                VarStatus::AtUpper
+            } else {
+                VarStatus::AtLower
+            };
             self.basis[r] = q;
             self.status[q] = VarStatus::Basic;
             self.xb[r] = entering_value;
 
             self.update_binv(r);
             self.iterations += 1;
+            self.stats.primal_iters += 1;
             if t <= 1e-10 {
                 degen_run += 1;
+                self.stats.degenerate_pivots += 1;
             } else {
                 degen_run = 0;
             }
@@ -1051,7 +1167,11 @@ impl Simplex {
     fn var_value(&self, j: usize) -> f64 {
         match self.status[j] {
             VarStatus::Basic => {
-                let i = self.basis.iter().position(|&b| b == j).expect("basic var in basis");
+                let i = self
+                    .basis
+                    .iter()
+                    .position(|&b| b == j)
+                    .expect("basic var in basis");
                 self.xb[i]
             }
             _ => self.nonbasic_value(j),
@@ -1126,6 +1246,12 @@ impl Simplex {
         }
         let objective =
             self.obj_offset + (0..self.n_struct).map(|j| self.obj[j] * x[j]).sum::<f64>();
-        LpSolution { status, objective, x, row_activity, iterations: self.iterations }
+        LpSolution {
+            status,
+            objective,
+            x,
+            row_activity,
+            iterations: self.iterations,
+        }
     }
 }

@@ -18,12 +18,21 @@ pub struct TripletMatrix {
 impl TripletMatrix {
     /// Creates an empty `nrows × ncols` accumulator.
     pub fn new(nrows: usize, ncols: usize) -> Self {
-        Self { nrows, ncols, rows: Vec::new(), cols: Vec::new(), vals: Vec::new() }
+        Self {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
     }
 
     /// Adds `val` at `(row, col)`. Duplicates are summed during compression.
     pub fn push(&mut self, row: usize, col: usize, val: f64) {
-        assert!(row < self.nrows && col < self.ncols, "triplet out of bounds");
+        assert!(
+            row < self.nrows && col < self.ncols,
+            "triplet out of bounds"
+        );
         if val != 0.0 {
             self.rows.push(row);
             self.cols.push(col);
@@ -62,8 +71,7 @@ impl TripletMatrix {
         let mut out_vals = Vec::with_capacity(self.nnz());
         for c in 0..self.ncols {
             let span = counts[c]..counts[c + 1];
-            let mut entries: Vec<(usize, f64)> =
-                span.map(|k| (row_idx[k], values[k])).collect();
+            let mut entries: Vec<(usize, f64)> = span.map(|k| (row_idx[k], values[k])).collect();
             entries.sort_unstable_by_key(|&(r, _)| r);
             let mut i = 0;
             while i < entries.len() {
@@ -105,7 +113,13 @@ pub struct CscMatrix {
 impl CscMatrix {
     /// An `nrows × 0` matrix, extendable with [`push_column`](Self::push_column).
     pub fn empty(nrows: usize) -> Self {
-        Self { nrows, ncols: 0, col_ptr: vec![0], row_idx: Vec::new(), values: Vec::new() }
+        Self {
+            nrows,
+            ncols: 0,
+            col_ptr: vec![0],
+            row_idx: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Identity-free access to the shape.
@@ -166,9 +180,9 @@ impl CscMatrix {
     pub fn mul_dense(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.ncols);
         let mut out = vec![0.0; self.nrows];
-        for c in 0..self.ncols {
-            if x[c] != 0.0 {
-                self.axpy_column(c, x[c], &mut out);
+        for (c, &xc) in x.iter().enumerate() {
+            if xc != 0.0 {
+                self.axpy_column(c, xc, &mut out);
             }
         }
         out

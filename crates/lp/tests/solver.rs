@@ -1,8 +1,34 @@
 //! Integration tests for the simplex solver: textbook LPs with known optima,
 //! degenerate/edge cases, warm starts, and KKT-certified random instances.
 
-use proptest::prelude::*;
 use tvnep_lp::{solve, LpProblem, LpStatus, Simplex, INF};
+
+/// Tiny deterministic generator (splitmix64) for the randomized sweeps below;
+/// each case index derives an independent stream, so failures reproduce from
+/// the printed case number alone.
+struct TestRng(u64);
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64()
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
 
 fn assert_opt(lp: &LpProblem, expected: f64) {
     let sol = solve(lp);
@@ -97,7 +123,10 @@ fn degenerate_beale_cycle_guard() {
     let x2 = lp.add_var(0.0, INF, 150.0);
     let x3 = lp.add_var(0.0, INF, -0.02);
     let x4 = lp.add_var(0.0, INF, 6.0);
-    lp.add_le(&[(x1, 0.25), (x2, -60.0), (x3, -1.0 / 25.0), (x4, 9.0)], 0.0);
+    lp.add_le(
+        &[(x1, 0.25), (x2, -60.0), (x3, -1.0 / 25.0), (x4, 9.0)],
+        0.0,
+    );
     lp.add_le(&[(x1, 0.5), (x2, -90.0), (x3, -1.0 / 50.0), (x4, 3.0)], 0.0);
     lp.add_le(&[(x3, 1.0)], 1.0);
     assert_opt(&lp, -0.05);
@@ -180,19 +209,23 @@ fn larger_assignment_lp_is_integral() {
     // 6x6 assignment problem relaxation: optimum is a permutation.
     let n = 6;
     let cost: Vec<Vec<f64>> = (0..n)
-        .map(|i| (0..n).map(|j| (((i * 7 + j * 13) % 10) + 1) as f64).collect())
+        .map(|i| {
+            (0..n)
+                .map(|j| (((i * 7 + j * 13) % 10) + 1) as f64)
+                .collect()
+        })
         .collect();
     let mut lp = LpProblem::new();
     let mut vars = vec![vec![]; n];
-    for (i, row) in vars.iter_mut().enumerate() {
-        for j in 0..n {
-            row.push(lp.add_var(0.0, 1.0, cost[i][j]));
+    for (row, cost_row) in vars.iter_mut().zip(&cost) {
+        for &c in cost_row {
+            row.push(lp.add_var(0.0, 1.0, c));
         }
     }
     for i in 0..n {
-        let terms: Vec<_> = (0..n).map(|j| (vars[i][j], 1.0)).collect();
+        let terms: Vec<_> = vars[i].iter().map(|&v| (v, 1.0)).collect();
         lp.add_eq(&terms, 1.0);
-        let terms: Vec<_> = (0..n).map(|j| (vars[j][i], 1.0)).collect();
+        let terms: Vec<_> = vars.iter().map(|row| (row[i], 1.0)).collect();
         lp.add_eq(&terms, 1.0);
     }
     let sol = solve(&lp);
@@ -217,129 +250,136 @@ fn max_flow_as_lp() {
     assert_opt(&lp, -5.0); // min cut = 5
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Random LPs built around a known feasible point: the solver must never
-    /// report infeasible, and any claimed optimum must satisfy the KKT
-    /// conditions (independent certificate) and primal feasibility.
-    #[test]
-    fn random_feasible_lps_are_kkt_optimal(
-        n in 1usize..8,
-        m in 0usize..10,
-        seed_vals in prop::collection::vec(-5.0f64..5.0, 8),
-        coeffs in prop::collection::vec(-3.0f64..3.0, 80),
-        costs in prop::collection::vec(-2.0f64..2.0, 8),
-        slack in 0.0f64..4.0,
-    ) {
+/// Random LPs built around a known feasible point: the solver must never
+/// report infeasible, and any claimed optimum must satisfy the KKT
+/// conditions (independent certificate) and primal feasibility.
+#[test]
+fn random_feasible_lps_are_kkt_optimal() {
+    for case in 0..256u64 {
+        let mut rng = TestRng::new(0xfeed_0000 + case);
+        let n = 1 + rng.below(7);
+        let m = rng.below(10);
+        let x0: Vec<f64> = (0..n).map(|_| rng.range(-5.0, 5.0)).collect();
+        let costs: Vec<f64> = (0..n).map(|_| rng.range(-2.0, 2.0)).collect();
+        let slack = rng.range(0.0, 4.0);
         let mut lp = LpProblem::new();
-        let x0: Vec<f64> = seed_vals.iter().take(n).copied().collect();
         for (j, &v) in x0.iter().enumerate() {
             // Bounds around the seed point, so x0 is always feasible.
             lp.add_var(v - 1.0, v + 1.0 + slack, costs[j]);
         }
-        for i in 0..m {
+        for _ in 0..m {
             let terms: Vec<_> = (0..n)
-                .map(|j| (tvnep_lp::VarId(j), coeffs[(i * n + j) % coeffs.len()]))
+                .map(|j| (tvnep_lp::VarId(j), rng.range(-3.0, 3.0)))
                 .collect();
             let act: f64 = terms.iter().map(|&(v, c)| c * x0[v.0]).sum();
             lp.add_row(act - slack - 1.0, act + 0.5, &terms);
         }
         let mut s = Simplex::new(&lp);
         let status = s.solve();
-        prop_assert_eq!(status, LpStatus::Optimal, "bounded feasible LP must solve");
+        assert_eq!(
+            status,
+            LpStatus::Optimal,
+            "case {case}: bounded feasible LP must solve"
+        );
         let sol = s.extract(status);
-        prop_assert!(lp.max_violation(&sol.x) < 1e-6);
-        prop_assert!(s.kkt_violation() < 1e-5, "KKT violation {}", s.kkt_violation());
+        assert!(lp.max_violation(&sol.x) < 1e-6, "case {case}");
+        assert!(
+            s.kkt_violation() < 1e-5,
+            "case {case}: KKT violation {}",
+            s.kkt_violation()
+        );
         // Optimum must not exceed the seed point's objective.
-        prop_assert!(sol.objective <= lp.eval_objective(&x0) + 1e-6);
+        assert!(
+            sol.objective <= lp.eval_objective(&x0) + 1e-6,
+            "case {case}"
+        );
     }
+}
 
-    /// Dual-simplex warm start (the branch-and-bound path) must agree with a
-    /// cold primal solve after bound tightening, including infeasibility.
-    #[test]
-    fn dual_warm_start_matches_cold_solve(
-        n in 2usize..6,
-        m in 1usize..6,
-        coeffs in prop::collection::vec(-2.0f64..2.0, 36),
-        costs in prop::collection::vec(-2.0f64..2.0, 6),
-        tighten in prop::collection::vec((0usize..6, 0.0f64..1.0), 1..4),
-    ) {
-        let mut lp = LpProblem::new();
-        for j in 0..n {
-            lp.add_var(0.0, 2.0, costs[j]);
-        }
-        for i in 0..m {
-            let terms: Vec<_> = (0..n)
-                .map(|j| (tvnep_lp::VarId(j), coeffs[(i * n + j) % coeffs.len()]))
-                .collect();
-            lp.add_row(-3.0, 3.0, &terms);
-        }
+/// Shared generator for the warm-start agreement sweeps: a box LP with range
+/// rows through the origin (always primal-feasible at x = 0 before rows).
+fn random_box_lp(rng: &mut TestRng) -> (LpProblem, usize) {
+    let n = 2 + rng.below(4);
+    let m = 1 + rng.below(5);
+    let mut lp = LpProblem::new();
+    for _ in 0..n {
+        let c = rng.range(-2.0, 2.0);
+        lp.add_var(0.0, 2.0, c);
+    }
+    for _ in 0..m {
+        let terms: Vec<_> = (0..n)
+            .map(|j| (tvnep_lp::VarId(j), rng.range(-2.0, 2.0)))
+            .collect();
+        lp.add_row(-3.0, 3.0, &terms);
+    }
+    (lp, n)
+}
+
+/// Dual-simplex warm start (the branch-and-bound path) must agree with a
+/// cold primal solve after bound tightening, including infeasibility.
+#[test]
+fn dual_warm_start_matches_cold_solve() {
+    for case in 0..256u64 {
+        let mut rng = TestRng::new(0xd0a1_0000 ^ case);
+        let (lp, n) = random_box_lp(&mut rng);
+        let num_tighten = 1 + rng.below(3);
         let mut s = Simplex::new(&lp);
         if s.solve() != LpStatus::Optimal {
-            return Ok(());
+            continue;
         }
         // Apply a sequence of tightenings, dual-warm-starting each time —
         // exactly the branch-and-bound dive pattern.
         let mut lp2 = lp.clone();
-        for &(var, frac) in &tighten {
-            let j = var % n;
+        for _ in 0..num_tighten {
+            let j = rng.below(n);
+            let frac = rng.f64();
             let (lo, _) = s.var_bounds(j);
             let new_up = lo + (2.0 - lo) * frac;
             s.set_var_bounds(j, lo, new_up);
             lp2.set_var_bounds(tvnep_lp::VarId(j), lo, new_up);
             let warm = s.solve_warm();
             let cold = solve(&lp2);
-            prop_assert_eq!(warm, cold.status, "warm vs cold status");
+            assert_eq!(warm, cold.status, "case {case}: warm vs cold status");
             if warm == LpStatus::Optimal {
-                prop_assert!(
+                assert!(
                     (s.objective_value() - cold.objective).abs() < 1e-5,
-                    "warm {} vs cold {}", s.objective_value(), cold.objective
+                    "case {case}: warm {} vs cold {}",
+                    s.objective_value(),
+                    cold.objective
                 );
-                prop_assert!(s.kkt_violation() < 1e-5);
+                assert!(s.kkt_violation() < 1e-5, "case {case}");
             } else {
                 break; // infeasible: further tightening is moot
             }
         }
     }
+}
 
-    /// Bound tightening then warm-started re-solve must agree with a cold solve.
-    #[test]
-    fn warm_start_matches_cold_solve(
-        n in 2usize..6,
-        m in 1usize..6,
-        coeffs in prop::collection::vec(-2.0f64..2.0, 36),
-        costs in prop::collection::vec(-2.0f64..2.0, 6),
-        tighten_var in 0usize..6,
-        frac in 0.0f64..1.0,
-    ) {
-        let mut lp = LpProblem::new();
-        for j in 0..n {
-            lp.add_var(0.0, 2.0, costs[j]);
-        }
-        for i in 0..m {
-            let terms: Vec<_> = (0..n)
-                .map(|j| (tvnep_lp::VarId(j), coeffs[(i * n + j) % coeffs.len()]))
-                .collect();
-            lp.add_row(-3.0, 3.0, &terms);
-        }
+/// Bound tightening then warm-started re-solve must agree with a cold solve.
+#[test]
+fn warm_start_matches_cold_solve() {
+    for case in 0..256u64 {
+        let mut rng = TestRng::new(0x3a3a_0000 + case);
+        let (lp, n) = random_box_lp(&mut rng);
         let mut s = Simplex::new(&lp);
         if s.solve() != LpStatus::Optimal {
-            return Ok(()); // rows may make the box infeasible; fine
+            continue; // rows may make the box infeasible; fine
         }
-        let j = tighten_var % n;
-        let new_up = 2.0 * frac;
+        let j = rng.below(n);
+        let new_up = 2.0 * rng.f64();
         s.set_var_bounds(j, 0.0, new_up);
         let warm_status = s.solve_warm();
 
         let mut lp2 = lp.clone();
         lp2.set_var_bounds(tvnep_lp::VarId(j), 0.0, new_up);
         let cold = solve(&lp2);
-        prop_assert_eq!(warm_status, cold.status);
+        assert_eq!(warm_status, cold.status, "case {case}");
         if warm_status == LpStatus::Optimal {
-            prop_assert!(
+            assert!(
                 (s.objective_value() - cold.objective).abs() < 1e-5,
-                "warm {} vs cold {}", s.objective_value(), cold.objective
+                "case {case}: warm {} vs cold {}",
+                s.objective_value(),
+                cold.objective
             );
         }
     }

@@ -9,10 +9,12 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::model::{MipModel, Sense, VarKind};
-use tvnep_lp::{LpStatus, Params, Simplex};
+use tvnep_lp::{LpStatus, Params, Simplex, SolveStats};
+use tvnep_telemetry::{Event, Telemetry};
 
 /// Termination status of a MIP solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +36,21 @@ pub enum MipStatus {
     Numerical,
 }
 
+impl MipStatus {
+    /// Stable lower-case name, used in telemetry events and exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MipStatus::Optimal => "optimal",
+            MipStatus::Feasible => "feasible",
+            MipStatus::Infeasible => "infeasible",
+            MipStatus::Unbounded => "unbounded",
+            MipStatus::NoSolution => "no_solution",
+            MipStatus::NoBetterThanCutoff => "no_better_than_cutoff",
+            MipStatus::Numerical => "numerical",
+        }
+    }
+}
+
 /// Branching-variable selection rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Branching {
@@ -43,8 +60,32 @@ pub enum Branching {
     Pseudocost,
 }
 
-/// Solver options.
+/// A progress report handed to the [`ProgressFn`] callback every
+/// [`MipOptions::log_every`] nodes. All objective-like values are in the
+/// user's sense.
 #[derive(Debug, Clone)]
+pub struct MipProgress {
+    /// Nodes processed so far.
+    pub nodes: u64,
+    /// Open nodes on the best-bound queue (excludes the current dive).
+    pub open: usize,
+    /// Incumbent objective, if any.
+    pub incumbent: Option<f64>,
+    /// Current global dual bound.
+    pub bound: f64,
+    /// Wall-clock time since the solve started.
+    pub elapsed: Duration,
+    /// Total simplex iterations so far.
+    pub lp_iterations: usize,
+    /// Cumulative LP engine counters.
+    pub lp_stats: SolveStats,
+}
+
+/// Pluggable progress sink; see [`MipOptions::progress`].
+pub type ProgressFn = Arc<dyn Fn(&MipProgress) + Send + Sync>;
+
+/// Solver options.
+#[derive(Clone)]
 pub struct MipOptions {
     /// Wall-clock limit for the whole solve.
     pub time_limit: Option<Duration>,
@@ -56,8 +97,14 @@ pub struct MipOptions {
     pub int_tol: f64,
     /// Branching rule.
     pub branching: Branching,
-    /// Print a progress line every N nodes (None = silent).
+    /// Report progress every N nodes (None = silent). Reports go to
+    /// [`progress`](Self::progress) when set, else to a default sink that
+    /// prints one line to stderr (the historical behavior).
     pub log_every: Option<u64>,
+    /// Progress callback invoked every [`log_every`](Self::log_every) nodes.
+    pub progress: Option<ProgressFn>,
+    /// Observability sink shared with the LP engine; disabled by default.
+    pub telemetry: Telemetry,
     /// LP engine parameters.
     pub lp_params: Option<Params>,
     /// Objective value (user sense) of a known feasible solution, e.g. from
@@ -65,6 +112,23 @@ pub struct MipOptions {
     /// better solutions are searched for. When the tree is exhausted without
     /// finding one, the status is [`MipStatus::NoBetterThanCutoff`].
     pub cutoff: Option<f64>,
+}
+
+impl std::fmt::Debug for MipOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MipOptions")
+            .field("time_limit", &self.time_limit)
+            .field("node_limit", &self.node_limit)
+            .field("rel_gap", &self.rel_gap)
+            .field("int_tol", &self.int_tol)
+            .field("branching", &self.branching)
+            .field("log_every", &self.log_every)
+            .field("progress", &self.progress.as_ref().map(|_| "<callback>"))
+            .field("telemetry", &self.telemetry)
+            .field("lp_params", &self.lp_params)
+            .field("cutoff", &self.cutoff)
+            .finish()
+    }
 }
 
 impl Default for MipOptions {
@@ -76,6 +140,8 @@ impl Default for MipOptions {
             int_tol: 1e-6,
             branching: Branching::Pseudocost,
             log_every: None,
+            progress: None,
+            telemetry: Telemetry::disabled(),
             lp_params: None,
             cutoff: None,
         }
@@ -85,7 +151,10 @@ impl Default for MipOptions {
 impl MipOptions {
     /// Options with only a time limit set.
     pub fn with_time_limit(limit: Duration) -> Self {
-        Self { time_limit: Some(limit), ..Self::default() }
+        Self {
+            time_limit: Some(limit),
+            ..Self::default()
+        }
     }
 }
 
@@ -224,7 +293,7 @@ fn dive_heuristic(
         for &j in int_vars {
             let v = sol.x[j];
             let dist = (v - v.round()).abs();
-            if dist > int_tol && pick.map_or(true, |(_, _, d)| dist < d) {
+            if dist > int_tol && pick.is_none_or(|(_, _, d)| dist < d) {
                 pick = Some((j, v, dist));
             }
         }
@@ -253,6 +322,9 @@ pub fn solve_with(model: &MipModel, opts: &MipOptions) -> MipResult {
     };
     let lp_min = model.relaxation_min();
     let mut simplex = Simplex::new(&lp_min);
+    let telemetry = opts.telemetry.clone();
+    simplex.set_telemetry(telemetry.clone());
+    telemetry.event_with(|| Event::SolveStart { what: "mip".into() });
     if let Some(p) = &opts.lp_params {
         simplex.set_params(p.clone());
     }
@@ -279,7 +351,7 @@ pub fn solve_with(model: &MipModel, opts: &MipOptions) -> MipResult {
     let mut seq: u64 = 0;
     let mut nodes: u64 = 0;
     let mut incumbent: Option<(f64, Vec<f64>)> = None; // minimize sense
-    // Cutoff in minimize sense: prune anything not strictly better.
+                                                       // Cutoff in minimize sense: prune anything not strictly better.
     let cutoff_min: Option<f64> = opts.cutoff.map(|c| sign * c);
     let mut numerical_failures: u32 = 0;
 
@@ -305,7 +377,7 @@ pub fn solve_with(model: &MipModel, opts: &MipOptions) -> MipResult {
             let b = sign * bound_min;
             ((o - b).abs() / o.abs().max(1e-10)).max(0.0)
         });
-        MipResult {
+        let result = MipResult {
             status,
             objective,
             best_bound: sign * bound_min,
@@ -314,25 +386,42 @@ pub fn solve_with(model: &MipModel, opts: &MipOptions) -> MipResult {
             nodes,
             lp_iterations: simplex.iterations(),
             runtime: start.elapsed(),
+        };
+        if telemetry.is_enabled() {
+            telemetry.counter_add("mip.nodes", result.nodes);
+            telemetry.counter_add("lp.iterations", result.lp_iterations as u64);
+            simplex.stats.flush_into(&telemetry);
+            telemetry.gauge_set("mip.best_bound", result.best_bound);
+            if let Some(obj) = result.objective {
+                telemetry.gauge_set("mip.incumbent_objective", obj);
+            }
+            telemetry.gauge_set("mip.final_gap", result.gap_or_inf());
+            telemetry.gauge_set("mip.runtime_s", result.runtime.as_secs_f64());
+            telemetry.event_with(|| Event::SolveEnd {
+                what: "mip".into(),
+                status: status.as_str().to_string(),
+            });
         }
+        result
     };
 
     // The global dual bound is the min over open-node bounds (lazy: heap
     // contents) and, during a dive, the dive node's own bound.
-    let global_bound = |heap: &BinaryHeap<Node>, dive: Option<f64>, inc: &Option<(f64, Vec<f64>)>| {
-        let mut b = f64::INFINITY;
-        if let Some(top) = heap.peek() {
-            b = b.min(top.bound);
-        }
-        if let Some(d) = dive {
-            b = b.min(d);
-        }
-        if b == f64::INFINITY {
-            // Tree exhausted: bound equals incumbent (or +inf if none).
-            b = inc.as_ref().map_or(f64::INFINITY, |(o, _)| *o);
-        }
-        b
-    };
+    let global_bound =
+        |heap: &BinaryHeap<Node>, dive: Option<f64>, inc: &Option<(f64, Vec<f64>)>| {
+            let mut b = f64::INFINITY;
+            if let Some(top) = heap.peek() {
+                b = b.min(top.bound);
+            }
+            if let Some(d) = dive {
+                b = b.min(d);
+            }
+            if b == f64::INFINITY {
+                // Tree exhausted: bound equals incumbent (or +inf if none).
+                b = inc.as_ref().map_or(f64::INFINITY, |(o, _)| *o);
+            }
+            b
+        };
 
     let mut unbounded_root = false;
     // The value any new solution must strictly beat (minimize sense).
@@ -343,10 +432,29 @@ pub fn solve_with(model: &MipModel, opts: &MipOptions) -> MipResult {
             (None, b) => b,
         }
     };
+    // Exactly one BnbNode event per counted node, emitted as soon as the
+    // node's relaxation outcome is known.
+    let emit_node = |node: u64, depth: u32, bound_min: f64, frac_count: usize| {
+        telemetry.event_with(|| Event::BnbNode {
+            node,
+            depth,
+            bound: sign * bound_min,
+            frac_count,
+        });
+    };
+    let emit_incumbent = |obj_min: f64, bound_min: f64| {
+        telemetry.counter_add("mip.incumbents", 1);
+        telemetry.event_with(|| {
+            let obj = sign * obj_min;
+            let b = sign * bound_min;
+            Event::Incumbent {
+                obj,
+                gap: (obj - b).abs() / obj.abs().max(1e-10),
+            }
+        });
+    };
 
-    'outer: loop {
-        // Pick next node.
-        let Some(node) = heap.pop() else { break };
+    'outer: while let Some(node) = heap.pop() {
         // Prune against incumbent/cutoff.
         if let Some(beat) = must_beat(&incumbent) {
             if node.bound >= beat - prune_eps(beat) {
@@ -383,17 +491,21 @@ pub fn solve_with(model: &MipModel, opts: &MipOptions) -> MipResult {
 
             nodes += 1;
             if let Some(every) = opts.log_every {
-                if nodes % every == 0 {
+                if nodes.is_multiple_of(every) {
                     let b = global_bound(&heap, Some(current.bound), &incumbent);
-                    eprintln!(
-                        "[mip] node {nodes} open {} inc {:?} bound {:.6} t {:?} lp_it {} {:?}",
-                        heap.len(),
-                        incumbent.as_ref().map(|(o, _)| sign * o),
-                        sign * b,
-                        start.elapsed(),
-                        simplex.iterations(),
-                        simplex.stats,
-                    );
+                    let report = MipProgress {
+                        nodes,
+                        open: heap.len(),
+                        incumbent: incumbent.as_ref().map(|(o, _)| sign * o),
+                        bound: sign * b,
+                        elapsed: start.elapsed(),
+                        lp_iterations: simplex.iterations(),
+                        lp_stats: simplex.stats,
+                    };
+                    match &opts.progress {
+                        Some(callback) => callback(&report),
+                        None => default_progress_sink(&report),
+                    }
                 }
             }
 
@@ -402,10 +514,14 @@ pub fn solve_with(model: &MipModel, opts: &MipOptions) -> MipResult {
                 let (lo, up) = current.bounds[k];
                 simplex.set_var_bounds(j, lo, up);
             }
-            let mut status =
-                if first_lp { simplex.solve() } else { simplex.solve_warm() };
+            let mut status = if first_lp {
+                simplex.solve()
+            } else {
+                simplex.solve_warm()
+            };
             first_lp = false;
             if status == LpStatus::TimeLimit {
+                emit_node(nodes, current.depth, current.bound, 0);
                 let b = global_bound(&heap, Some(current.bound), &incumbent);
                 let st = if incumbent.is_some() {
                     MipStatus::Feasible
@@ -419,6 +535,7 @@ pub fn solve_with(model: &MipModel, opts: &MipOptions) -> MipResult {
                 simplex.reset_basis();
                 status = simplex.solve();
                 if status == LpStatus::TimeLimit {
+                    emit_node(nodes, current.depth, current.bound, 0);
                     let b = global_bound(&heap, Some(current.bound), &incumbent);
                     let st = if incumbent.is_some() {
                         MipStatus::Feasible
@@ -430,11 +547,13 @@ pub fn solve_with(model: &MipModel, opts: &MipOptions) -> MipResult {
                 if matches!(status, LpStatus::Numerical | LpStatus::IterationLimit) {
                     numerical_failures += 1;
                     if numerical_failures > 5 {
+                        emit_node(nodes, current.depth, current.bound, 0);
                         let b = global_bound(&heap, Some(current.bound), &incumbent);
                         return finish(MipStatus::Numerical, incumbent, b, nodes, &simplex);
                     }
                     // Treat the node as unresolved: requeue with its parent
                     // bound so it is revisited later (no pruning done).
+                    emit_node(nodes, current.depth, current.bound, 0);
                     current.seq = seq;
                     seq += 1;
                     heap.push(current);
@@ -442,8 +561,12 @@ pub fn solve_with(model: &MipModel, opts: &MipOptions) -> MipResult {
                 }
             }
             match status {
-                LpStatus::Infeasible => break, // prune
+                LpStatus::Infeasible => {
+                    emit_node(nodes, current.depth, current.bound, 0);
+                    break; // prune
+                }
                 LpStatus::Unbounded => {
+                    emit_node(nodes, current.depth, current.bound, 0);
                     if current.depth == 0 {
                         unbounded_root = true;
                         break 'outer;
@@ -462,18 +585,16 @@ pub fn solve_with(model: &MipModel, opts: &MipOptions) -> MipResult {
             // created this node.
             if let Some((k, is_up, parent_obj, frac)) = current.pending_pseudo.take() {
                 let delta = (lp_obj - parent_obj).max(0.0);
-                let per_unit = if is_up { delta / (1.0 - frac).max(1e-6) } else { delta / frac.max(1e-6) };
+                let per_unit = if is_up {
+                    delta / (1.0 - frac).max(1e-6)
+                } else {
+                    delta / frac.max(1e-6)
+                };
                 pseudo.record(k, is_up, per_unit);
             }
 
-            // Prune by bound.
-            if let Some(beat) = must_beat(&incumbent) {
-                if lp_obj >= beat - prune_eps(beat) {
-                    break;
-                }
-            }
-
-            // Find the most useful branching candidate.
+            // Find the branching candidates (also reported in the node's
+            // timeline event, so computed before the bound-pruning check).
             let mut frac_vars: Vec<(usize, f64)> = Vec::new(); // (int idx, frac)
             for (k, &j) in int_vars.iter().enumerate() {
                 let v = sol.x[j];
@@ -483,15 +604,24 @@ pub fn solve_with(model: &MipModel, opts: &MipOptions) -> MipResult {
                     frac_vars.push((k, f));
                 }
             }
+            emit_node(nodes, current.depth, current.bound, frac_vars.len());
+
+            // Prune by bound.
+            if let Some(beat) = must_beat(&incumbent) {
+                if lp_obj >= beat - prune_eps(beat) {
+                    break;
+                }
+            }
 
             if frac_vars.is_empty() {
                 // Integer feasible: new incumbent?
-                let better = must_beat(&incumbent)
-                    .map_or(true, |beat| lp_obj < beat - prune_eps(beat));
+                let better =
+                    must_beat(&incumbent).is_none_or(|beat| lp_obj < beat - prune_eps(beat));
                 if better {
                     incumbent = Some((lp_obj, sol.x.clone()));
                     // Gap-based early stop.
                     let b = global_bound(&heap, None, &incumbent);
+                    emit_incumbent(lp_obj, b);
                     let gap = (lp_obj - b).abs() / lp_obj.abs().max(1e-10);
                     if gap <= opts.rel_gap {
                         return finish(MipStatus::Optimal, incumbent, b, nodes, &simplex);
@@ -511,19 +641,23 @@ pub fn solve_with(model: &MipModel, opts: &MipOptions) -> MipResult {
                 }
                 if lp_min.max_violation(&rounded) < 1e-7 {
                     let obj = lp_min.eval_objective(&rounded);
-                    if must_beat(&incumbent).map_or(true, |b| obj < b - prune_eps(b)) {
+                    if must_beat(&incumbent).is_none_or(|b| obj < b - prune_eps(b)) {
                         incumbent = Some((obj, rounded));
+                        emit_incumbent(obj, global_bound(&heap, Some(current.bound), &incumbent));
                     }
                 }
             }
             let dive_period = if incumbent.is_none() { 10 } else { 200 };
             if nodes % dive_period == 1 {
                 let budget = int_vars.len() + 10;
-                if let Some((obj, x)) = dive_heuristic(&mut simplex, &int_vars, opts.int_tol, budget) {
-                    let better = must_beat(&incumbent).map_or(true, |b| obj < b - prune_eps(b));
+                if let Some((obj, x)) =
+                    dive_heuristic(&mut simplex, &int_vars, opts.int_tol, budget)
+                {
+                    let better = must_beat(&incumbent).is_none_or(|b| obj < b - prune_eps(b));
                     if better && model.max_integrality_violation(&x) <= opts.int_tol * 10.0 {
                         incumbent = Some((obj, x));
                         let b = global_bound(&heap, Some(current.bound), &incumbent);
+                        emit_incumbent(obj, b);
                         let io = incumbent.as_ref().map(|(o, _)| *o).expect("just set");
                         let gap = (io - b).abs() / io.abs().max(1e-10);
                         if gap <= opts.rel_gap {
@@ -557,7 +691,7 @@ pub fn solve_with(model: &MipModel, opts: &MipOptions) -> MipResult {
                     for &(k, f) in &frac_vars {
                         match pseudo.score(k, f) {
                             Some(s) => {
-                                if best.map_or(true, |(_, _, bs)| s > bs) {
+                                if best.is_none_or(|(_, _, bs)| s > bs) {
                                     best = Some((k, f, s));
                                 }
                             }
@@ -589,20 +723,30 @@ pub fn solve_with(model: &MipModel, opts: &MipOptions) -> MipResult {
                 bounds: down_bounds,
                 bound: lp_obj,
                 depth: current.depth + 1,
-                seq: { seq += 1; seq },
+                seq: {
+                    seq += 1;
+                    seq
+                },
                 pending_pseudo: Some((bk, false, lp_obj, bfrac)),
             };
             let up_node = Node {
                 bounds: up_bounds,
                 bound: lp_obj,
                 depth: current.depth + 1,
-                seq: { seq += 1; seq },
+                seq: {
+                    seq += 1;
+                    seq
+                },
                 pending_pseudo: Some((bk, true, lp_obj, bfrac)),
             };
 
             // Dive into the child on the nearer side of the fraction; the
             // sibling joins the best-bound queue.
-            let (dive_node, other) = if bfrac < 0.5 { (down, up_node) } else { (up_node, down) };
+            let (dive_node, other) = if bfrac < 0.5 {
+                (down, up_node)
+            } else {
+                (up_node, down)
+            };
             heap.push(other);
             current = dive_node;
         }
@@ -610,7 +754,13 @@ pub fn solve_with(model: &MipModel, opts: &MipOptions) -> MipResult {
     }
 
     if unbounded_root {
-        return finish(MipStatus::Unbounded, None, f64::NEG_INFINITY, nodes, &simplex);
+        return finish(
+            MipStatus::Unbounded,
+            None,
+            f64::NEG_INFINITY,
+            nodes,
+            &simplex,
+        );
     }
 
     // Tree exhausted.
@@ -626,6 +776,15 @@ pub fn solve_with(model: &MipModel, opts: &MipOptions) -> MipResult {
         }
         (None, None) => finish(MipStatus::Infeasible, None, f64::INFINITY, nodes, &simplex),
     }
+}
+
+/// The historical `log_every` behavior: one summary line per report on
+/// stderr. Installed when no [`MipOptions::progress`] callback is set.
+fn default_progress_sink(p: &MipProgress) {
+    eprintln!(
+        "[mip] node {} open {} inc {:?} bound {:.6} t {:?} lp_it {} {:?}",
+        p.nodes, p.open, p.incumbent, p.bound, p.elapsed, p.lp_iterations, p.lp_stats,
+    );
 }
 
 fn most_fractional(frac_vars: &[(usize, f64)]) -> (usize, f64) {

@@ -26,6 +26,8 @@
 pub mod branch_and_bound;
 pub mod model;
 
-pub use branch_and_bound::{solve, solve_with, Branching, MipOptions, MipResult, MipStatus};
+pub use branch_and_bound::{
+    solve, solve_with, Branching, MipOptions, MipProgress, MipResult, MipStatus, ProgressFn,
+};
 pub use model::{MipModel, Sense, VarKind, MIP_INF};
 pub use tvnep_lp::{VarId, INF};

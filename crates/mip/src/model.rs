@@ -44,7 +44,11 @@ impl Default for MipModel {
 impl MipModel {
     /// Creates an empty model with the given sense.
     pub fn new(sense: Sense) -> Self {
-        Self { lp: LpProblem::new(), kinds: Vec::new(), sense }
+        Self {
+            lp: LpProblem::new(),
+            kinds: Vec::new(),
+            sense,
+        }
     }
 
     /// Convenience constructor for maximization models.
@@ -140,7 +144,10 @@ impl MipModel {
 
     /// Number of integer (incl. binary) variables.
     pub fn num_integers(&self) -> usize {
-        self.kinds.iter().filter(|k| !matches!(k, VarKind::Continuous)).count()
+        self.kinds
+            .iter()
+            .filter(|k| !matches!(k, VarKind::Continuous))
+            .count()
     }
 
     /// Integrality kind of `v`.

@@ -1,11 +1,37 @@
 //! Branch-and-bound integration tests: knapsacks, assignment, infeasibility,
 //! limits, and exhaustive cross-checks on random small integer programs.
 
-use proptest::prelude::*;
 use std::time::Duration;
-use tvnep_mip::{
-    solve, solve_with, Branching, MipModel, MipOptions, MipStatus, VarId,
-};
+use tvnep_mip::{solve, solve_with, Branching, MipModel, MipOptions, MipStatus, VarId};
+
+/// Tiny deterministic generator (splitmix64) for the randomized sweeps; each
+/// case index derives an independent stream.
+struct TestRng(u64);
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64()
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+    fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
 
 #[test]
 fn knapsack_small() {
@@ -26,7 +52,9 @@ fn knapsack_small() {
 
 #[test]
 fn knapsack_11_items() {
-    let values = [41.0, 50.0, 49.0, 59.0, 45.0, 47.0, 42.0, 44.0, 52.0, 48.0, 51.0];
+    let values = [
+        41.0, 50.0, 49.0, 59.0, 45.0, 47.0, 42.0, 44.0, 52.0, 48.0, 51.0,
+    ];
     let weights = [7.0, 8.0, 9.0, 10.0, 6.0, 7.0, 8.0, 5.0, 9.0, 6.0, 7.0];
     let cap = 30.0;
     let mut m = MipModel::maximize();
@@ -38,13 +66,23 @@ fn knapsack_11_items() {
     // Exhaustive check (2^11 subsets).
     let mut best = 0.0f64;
     for mask in 0u32..(1 << 11) {
-        let w: f64 = (0..11).filter(|i| mask >> i & 1 == 1).map(|i| weights[i]).sum();
+        let w: f64 = (0..11)
+            .filter(|i| mask >> i & 1 == 1)
+            .map(|i| weights[i])
+            .sum();
         if w <= cap {
-            let v: f64 = (0..11).filter(|i| mask >> i & 1 == 1).map(|i| values[i]).sum();
+            let v: f64 = (0..11)
+                .filter(|i| mask >> i & 1 == 1)
+                .map(|i| values[i])
+                .sum();
             best = best.max(v);
         }
     }
-    assert!((r.objective.unwrap() - best).abs() < 1e-6, "bnb {} vs brute {best}", r.objective.unwrap());
+    assert!(
+        (r.objective.unwrap() - best).abs() < 1e-6,
+        "bnb {} vs brute {best}",
+        r.objective.unwrap()
+    );
 }
 
 #[test]
@@ -102,12 +140,24 @@ fn equality_sos_like_choice() {
 fn node_limit_reports_feasible_or_nosolution() {
     let mut m = MipModel::maximize();
     // A knapsack big enough to need several nodes.
-    let vars: Vec<VarId> = (0..12).map(|i| m.add_binary(10.0 + (i as f64 * 7.0) % 5.0)).collect();
-    let terms: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, 3.0 + (i as f64 * 11.0) % 7.0)).collect();
+    let vars: Vec<VarId> = (0..12)
+        .map(|i| m.add_binary(10.0 + (i as f64 * 7.0) % 5.0))
+        .collect();
+    let terms: Vec<_> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, 3.0 + (i as f64 * 11.0) % 7.0))
+        .collect();
     m.add_le(&terms, 20.0);
-    let opts = MipOptions { node_limit: Some(1), ..Default::default() };
+    let opts = MipOptions {
+        node_limit: Some(1),
+        ..Default::default()
+    };
     let r = solve_with(&m, &opts);
-    assert!(matches!(r.status, MipStatus::Feasible | MipStatus::NoSolution | MipStatus::Optimal));
+    assert!(matches!(
+        r.status,
+        MipStatus::Feasible | MipStatus::NoSolution | MipStatus::Optimal
+    ));
     assert!(r.nodes <= 2);
 }
 
@@ -118,7 +168,10 @@ fn time_limit_zero_terminates_immediately() {
     m.add_le(&[(x, 1.0)], 1.0);
     let opts = MipOptions::with_time_limit(Duration::from_secs(0));
     let r = solve_with(&m, &opts);
-    assert!(matches!(r.status, MipStatus::NoSolution | MipStatus::Feasible));
+    assert!(matches!(
+        r.status,
+        MipStatus::NoSolution | MipStatus::Feasible
+    ));
     assert!(r.gap_or_inf().is_infinite() || r.gap.is_some());
 }
 
@@ -159,13 +212,35 @@ fn maximize_and_minimize_agree() {
 #[test]
 fn both_branching_rules_agree() {
     let mut m = MipModel::maximize();
-    let vars: Vec<VarId> = (0..10).map(|i| m.add_binary(((i * 37) % 11 + 1) as f64)).collect();
-    let t1: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, ((i * 13) % 5 + 1) as f64)).collect();
-    let t2: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, ((i * 7) % 4 + 1) as f64)).collect();
+    let vars: Vec<VarId> = (0..10)
+        .map(|i| m.add_binary(((i * 37) % 11 + 1) as f64))
+        .collect();
+    let t1: Vec<_> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, ((i * 13) % 5 + 1) as f64))
+        .collect();
+    let t2: Vec<_> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, ((i * 7) % 4 + 1) as f64))
+        .collect();
     m.add_le(&t1, 12.0);
     m.add_le(&t2, 9.0);
-    let r1 = solve_with(&m, &MipOptions { branching: Branching::MostFractional, ..Default::default() });
-    let r2 = solve_with(&m, &MipOptions { branching: Branching::Pseudocost, ..Default::default() });
+    let r1 = solve_with(
+        &m,
+        &MipOptions {
+            branching: Branching::MostFractional,
+            ..Default::default()
+        },
+    );
+    let r2 = solve_with(
+        &m,
+        &MipOptions {
+            branching: Branching::Pseudocost,
+            ..Default::default()
+        },
+    );
     assert_eq!(r1.status, MipStatus::Optimal);
     assert_eq!(r2.status, MipStatus::Optimal);
     assert!((r1.objective.unwrap() - r2.objective.unwrap()).abs() < 1e-6);
@@ -205,27 +280,31 @@ fn fixed_integer_vars_respected() {
     assert!(r.x.unwrap()[0] < 1e-9);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Random small binary programs: branch and bound must match exhaustive
-    /// enumeration exactly (both value and feasibility verdict).
-    #[test]
-    fn random_binary_programs_match_enumeration(
-        n in 1usize..7,
-        m_rows in 0usize..5,
-        costs in prop::collection::vec(-5.0f64..5.0, 7),
-        coeffs in prop::collection::vec(-4.0f64..4.0, 35),
-        rhss in prop::collection::vec(-3.0f64..6.0, 5),
-        maximize in any::<bool>(),
-    ) {
-        let mut m = if maximize { MipModel::maximize() } else { MipModel::minimize() };
+/// Random small binary programs: branch and bound must match exhaustive
+/// enumeration exactly (both value and feasibility verdict).
+#[test]
+fn random_binary_programs_match_enumeration() {
+    for case in 0..128u64 {
+        let mut rng = TestRng::new(0xb1b0_0000 + case);
+        let n = 1 + rng.below(6);
+        let m_rows = rng.below(5);
+        let costs: Vec<f64> = (0..n).map(|_| rng.range(-5.0, 5.0)).collect();
+        let coeffs: Vec<Vec<f64>> = (0..m_rows)
+            .map(|_| (0..n).map(|_| rng.range(-4.0, 4.0)).collect())
+            .collect();
+        let rhss: Vec<f64> = (0..m_rows).map(|_| rng.range(-3.0, 6.0)).collect();
+        let maximize = rng.bool();
+        let mut m = if maximize {
+            MipModel::maximize()
+        } else {
+            MipModel::minimize()
+        };
         let vars: Vec<VarId> = (0..n).map(|j| m.add_binary(costs[j])).collect();
         for i in 0..m_rows {
             let terms: Vec<_> = vars
                 .iter()
                 .enumerate()
-                .map(|(j, &v)| (v, coeffs[(i * n + j) % coeffs.len()]))
+                .map(|(j, &v)| (v, coeffs[i][j]))
                 .collect();
             m.add_le(&terms, rhss[i]);
         }
@@ -237,7 +316,7 @@ proptest! {
             let x: Vec<f64> = (0..n).map(|j| ((mask >> j) & 1) as f64).collect();
             let mut feasible = true;
             for i in 0..m_rows {
-                let act: f64 = (0..n).map(|j| coeffs[(i * n + j) % coeffs.len()] * x[j]).sum();
+                let act: f64 = (0..n).map(|j| coeffs[i][j] * x[j]).sum();
                 if act > rhss[i] + 1e-9 {
                     feasible = false;
                     break;
@@ -247,59 +326,147 @@ proptest! {
                 let obj: f64 = (0..n).map(|j| costs[j] * x[j]).sum();
                 best = Some(match best {
                     None => obj,
-                    Some(b) => if maximize { b.max(obj) } else { b.min(obj) },
+                    Some(b) => {
+                        if maximize {
+                            b.max(obj)
+                        } else {
+                            b.min(obj)
+                        }
+                    }
                 });
             }
         }
         match best {
-            None => prop_assert_eq!(r.status, MipStatus::Infeasible),
+            None => assert_eq!(r.status, MipStatus::Infeasible, "case {case}"),
             Some(b) => {
-                prop_assert_eq!(r.status, MipStatus::Optimal);
+                assert_eq!(r.status, MipStatus::Optimal, "case {case}");
                 let got = r.objective.unwrap();
-                prop_assert!((got - b).abs() < 1e-6, "bnb {} vs brute {}", got, b);
+                assert!(
+                    (got - b).abs() < 1e-6,
+                    "case {case}: bnb {got} vs brute {b}"
+                );
                 // Incumbent must be feasible and integral.
                 let x = r.x.unwrap();
-                prop_assert!(m.max_violation(&x) < 1e-6);
-                prop_assert!(m.max_integrality_violation(&x) < 1e-6);
+                assert!(m.max_violation(&x) < 1e-6, "case {case}");
+                assert!(m.max_integrality_violation(&x) < 1e-6, "case {case}");
             }
         }
     }
+}
 
-    /// Mixed problems: integer vars plus continuous vars; spot-check against a
-    /// partial enumeration (enumerate integers, solve the continuous rest as
-    /// an LP).
-    #[test]
-    fn random_mixed_programs_match_seminumeration(
-        nb in 1usize..5,
-        costs in prop::collection::vec(-3.0f64..3.0, 6),
-        ccost in -3.0f64..3.0,
-        coeffs in prop::collection::vec(0.1f64..3.0, 6),
-        ccoef in 0.1f64..3.0,
-        rhs in 1.0f64..8.0,
-    ) {
+/// Mixed problems: integer vars plus continuous vars; spot-check against a
+/// partial enumeration (enumerate integers, solve the continuous rest as
+/// an LP).
+#[test]
+fn random_mixed_programs_match_seminumeration() {
+    for case in 0..128u64 {
+        let mut rng = TestRng::new(0x3ed0_0000 + case);
+        let nb = 1 + rng.below(4);
+        let costs: Vec<f64> = (0..nb).map(|_| rng.range(-3.0, 3.0)).collect();
+        let ccost = rng.range(-3.0, 3.0);
+        let coeffs: Vec<f64> = (0..nb).map(|_| rng.range(0.1, 3.0)).collect();
+        let ccoef = rng.range(0.1, 3.0);
+        let rhs = rng.range(1.0, 8.0);
         // max costs'b + ccost*z st coeffs'b + ccoef*z <= rhs, 0<=z<=2, b binary.
         let mut m = MipModel::maximize();
         let bs: Vec<VarId> = (0..nb).map(|j| m.add_binary(costs[j])).collect();
         let z = m.add_continuous(0.0, 2.0, ccost);
-        let mut terms: Vec<_> = bs.iter().enumerate().map(|(j, &v)| (v, coeffs[j])).collect();
+        let mut terms: Vec<_> = bs
+            .iter()
+            .enumerate()
+            .map(|(j, &v)| (v, coeffs[j]))
+            .collect();
         terms.push((z, ccoef));
         m.add_le(&terms, rhs);
         let r = solve(&m);
-        prop_assert_eq!(r.status, MipStatus::Optimal);
+        assert_eq!(r.status, MipStatus::Optimal, "case {case}");
 
         let mut best = f64::NEG_INFINITY;
         for mask in 0u32..(1 << nb) {
-            let used: f64 = (0..nb).filter(|j| mask >> j & 1 == 1).map(|j| coeffs[j]).sum();
+            let used: f64 = (0..nb)
+                .filter(|j| mask >> j & 1 == 1)
+                .map(|j| coeffs[j])
+                .sum();
             if used > rhs + 1e-12 {
                 continue;
             }
-            let bval: f64 = (0..nb).filter(|j| mask >> j & 1 == 1).map(|j| costs[j]).sum();
+            let bval: f64 = (0..nb)
+                .filter(|j| mask >> j & 1 == 1)
+                .map(|j| costs[j])
+                .sum();
             // Continuous part: z in [0, min(2, (rhs-used)/ccoef)], pick by sign.
             let zmax = 2.0f64.min((rhs - used) / ccoef);
             let zbest = if ccost > 0.0 { zmax } else { 0.0 };
             best = best.max(bval + ccost * zbest);
         }
-        prop_assert!((r.objective.unwrap() - best).abs() < 1e-5,
-            "bnb {} vs semi-enum {}", r.objective.unwrap(), best);
+        assert!(
+            (r.objective.unwrap() - best).abs() < 1e-5,
+            "case {case}: bnb {} vs semi-enum {best}",
+            r.objective.unwrap()
+        );
     }
+}
+
+/// A solve with a timeline-enabled telemetry handle must produce a
+/// well-formed trace: monotone timestamps, balanced LP start/end pairs, and
+/// exactly one `BnbNode` event per node the result reports.
+#[test]
+fn timeline_is_well_formed_end_to_end() {
+    use tvnep_telemetry::{Event, Telemetry};
+    // A knapsack that takes a handful of branch-and-bound nodes.
+    let values = [41.0, 50.0, 49.0, 59.0, 45.0, 47.0, 42.0];
+    let weights = [7.0, 8.0, 9.0, 10.0, 6.0, 7.0, 8.0];
+    let mut m = MipModel::maximize();
+    let vars: Vec<VarId> = values.iter().map(|&v| m.add_binary(v)).collect();
+    let terms: Vec<_> = vars.iter().zip(weights).map(|(&v, w)| (v, w)).collect();
+    m.add_le(&terms, 20.0);
+
+    let telemetry = Telemetry::with_timeline();
+    let opts = MipOptions {
+        telemetry: telemetry.clone(),
+        ..Default::default()
+    };
+    let r = solve_with(&m, &opts);
+    assert_eq!(r.status, MipStatus::Optimal);
+
+    let events = telemetry.events();
+    assert!(!events.is_empty());
+    // Timestamps are monotone non-decreasing in record order.
+    for w in events.windows(2) {
+        assert!(w[0].at <= w[1].at, "timestamps must be monotone");
+    }
+    // LP solve start/end events are balanced and never nested.
+    let mut open_lp = 0i64;
+    let mut lp_pairs = 0u64;
+    let mut bnb_nodes = 0u64;
+    let mut solve_open = 0i64;
+    for te in events {
+        match &te.event {
+            Event::LpSolveStart { .. } => {
+                assert_eq!(open_lp, 0, "LP solves must not nest");
+                open_lp += 1;
+            }
+            Event::LpSolveEnd { iters: _, .. } => {
+                open_lp -= 1;
+                assert_eq!(open_lp, 0, "LpSolveEnd without matching start");
+                lp_pairs += 1;
+            }
+            Event::BnbNode { .. } => bnb_nodes += 1,
+            Event::SolveStart { .. } => solve_open += 1,
+            Event::SolveEnd { .. } => solve_open -= 1,
+            _ => {}
+        }
+    }
+    assert_eq!(open_lp, 0, "every LP start has an end");
+    assert_eq!(solve_open, 0, "every solve start has an end");
+    assert!(lp_pairs > 0);
+    // One BnbNode event per counted node.
+    assert_eq!(
+        bnb_nodes, r.nodes,
+        "timeline nodes must match MipResult.nodes"
+    );
+    // The metrics registry agrees with the result too.
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.counter("mip.nodes"), r.nodes);
+    assert!(snap.counter("lp.iterations") > 0);
 }

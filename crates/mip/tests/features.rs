@@ -20,9 +20,15 @@ fn brute_force(values: &[f64], weights: &[f64], cap: f64) -> f64 {
     let n = values.len();
     let mut best = 0.0f64;
     for mask in 0u32..(1 << n) {
-        let w: f64 = (0..n).filter(|i| mask >> i & 1 == 1).map(|i| weights[i]).sum();
+        let w: f64 = (0..n)
+            .filter(|i| mask >> i & 1 == 1)
+            .map(|i| weights[i])
+            .sum();
         if w <= cap + 1e-9 {
-            let v: f64 = (0..n).filter(|i| mask >> i & 1 == 1).map(|i| values[i]).sum();
+            let v: f64 = (0..n)
+                .filter(|i| mask >> i & 1 == 1)
+                .map(|i| values[i])
+                .sum();
             best = best.max(v);
         }
     }
@@ -33,7 +39,10 @@ fn brute_force(values: &[f64], weights: &[f64], cap: f64) -> f64 {
 fn cutoff_below_optimum_still_finds_optimum() {
     let (m, values, weights, cap) = knapsack(12);
     let opt = brute_force(&values, &weights, cap);
-    let opts = MipOptions { cutoff: Some(opt - 5.0), ..Default::default() };
+    let opts = MipOptions {
+        cutoff: Some(opt - 5.0),
+        ..Default::default()
+    };
     let r = solve_with(&m, &opts);
     assert_eq!(r.status, MipStatus::Optimal);
     assert!((r.objective.unwrap() - opt).abs() < 1e-6);
@@ -45,7 +54,10 @@ fn cutoff_at_optimum_proves_no_better() {
     let opt = brute_force(&values, &weights, cap);
     // Claim we already hold a solution of exactly the optimal value: the
     // tree must be exhausted without finding anything strictly better.
-    let opts = MipOptions { cutoff: Some(opt), ..Default::default() };
+    let opts = MipOptions {
+        cutoff: Some(opt),
+        ..Default::default()
+    };
     let r = solve_with(&m, &opts);
     assert_eq!(r.status, MipStatus::NoBetterThanCutoff);
     assert!(r.objective.is_none());
@@ -56,7 +68,10 @@ fn cutoff_at_optimum_proves_no_better() {
 fn cutoff_above_optimum_proves_no_better_too() {
     let (m, values, weights, cap) = knapsack(10);
     let opt = brute_force(&values, &weights, cap);
-    let opts = MipOptions { cutoff: Some(opt + 100.0), ..Default::default() };
+    let opts = MipOptions {
+        cutoff: Some(opt + 100.0),
+        ..Default::default()
+    };
     let r = solve_with(&m, &opts);
     assert_eq!(r.status, MipStatus::NoBetterThanCutoff);
 }
@@ -69,12 +84,18 @@ fn minimize_cutoff_semantics() {
     let y = m.add_integer(0.0, 5.0, 1.0);
     m.add_ge(&[(x, 1.0), (y, 1.0)], 3.0);
     // Optimal is 3. Cutoff 4 (we hold a solution of cost 4): must find 3.
-    let opts = MipOptions { cutoff: Some(4.0), ..Default::default() };
+    let opts = MipOptions {
+        cutoff: Some(4.0),
+        ..Default::default()
+    };
     let r = solve_with(&m, &opts);
     assert_eq!(r.status, MipStatus::Optimal);
     assert!((r.objective.unwrap() - 3.0).abs() < 1e-6);
     // Cutoff 3: nothing strictly better exists.
-    let opts = MipOptions { cutoff: Some(3.0), ..Default::default() };
+    let opts = MipOptions {
+        cutoff: Some(3.0),
+        ..Default::default()
+    };
     let r = solve_with(&m, &opts);
     assert_eq!(r.status, MipStatus::NoBetterThanCutoff);
 }
@@ -84,11 +105,17 @@ fn dive_heuristic_finds_incumbent_under_node_limit() {
     // With a tiny node limit the dive at the root is the only chance to get
     // an incumbent on a problem whose LP is fractional.
     let (m, values, weights, cap) = knapsack(14);
-    let opts = MipOptions { node_limit: Some(2), ..Default::default() };
+    let opts = MipOptions {
+        node_limit: Some(2),
+        ..Default::default()
+    };
     let r = solve_with(&m, &opts);
     // Either the dive produced a feasible incumbent or the LP happened to be
     // integral; both give an objective.
-    assert!(r.objective.is_some(), "expected the root dive to find something");
+    assert!(
+        r.objective.is_some(),
+        "expected the root dive to find something"
+    );
     let x = r.x.unwrap();
     assert!(m.max_violation(&x) < 1e-6);
     assert!(m.max_integrality_violation(&x) < 1e-5);
@@ -133,7 +160,13 @@ fn deterministic_across_runs() {
 #[test]
 fn gap_reporting_monotone_in_budget() {
     let (m, ..) = knapsack(14);
-    let tight = solve_with(&m, &MipOptions { node_limit: Some(3), ..Default::default() });
+    let tight = solve_with(
+        &m,
+        &MipOptions {
+            node_limit: Some(3),
+            ..Default::default()
+        },
+    );
     let loose = solve_with(&m, &MipOptions::default());
     assert_eq!(loose.status, MipStatus::Optimal);
     assert!(loose.gap.unwrap() <= tight.gap_or_inf() + 1e-9);

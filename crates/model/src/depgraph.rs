@@ -32,7 +32,11 @@ impl DepNode {
     }
 
     fn from_index(i: usize) -> Self {
-        if i % 2 == 0 { DepNode::Start(i / 2) } else { DepNode::End(i / 2) }
+        if i.is_multiple_of(2) {
+            DepNode::Start(i / 2)
+        } else {
+            DepNode::End(i / 2)
+        }
     }
 
     /// The request this point belongs to.
@@ -115,7 +119,7 @@ impl DependencyGraph {
         // Edge weight 1 iff the edge leaves a start node.
         let weights: Vec<i64> = graph
             .edge_ids()
-            .map(|e| if graph.source(e).0 % 2 == 0 { 1 } else { 0 })
+            .map(|e| i64::from(graph.source(e).0.is_multiple_of(2)))
             .collect();
         let dist = dag_longest_paths(&graph, |e| weights[e.0]);
 
@@ -128,18 +132,18 @@ impl DependencyGraph {
             let mut after = 0;
             let mut before_all = 0;
             let mut after_all = 0;
-            for wi in 0..n {
+            for (wi, (row_w, to_w)) in dist.iter().zip(&dist[vi]).enumerate() {
                 if wi == vi {
                     continue;
                 }
-                let w_is_start = wi % 2 == 0;
-                if dist[wi][vi].is_some() {
+                let w_is_start = wi.is_multiple_of(2);
+                if row_w[vi].is_some() {
                     before_all += 1;
                     if w_is_start {
                         before += 1;
                     }
                 }
-                if dist[vi][wi].is_some() {
+                if to_w.is_some() {
                     after_all += 1;
                     if w_is_start {
                         after += 1;
@@ -154,7 +158,15 @@ impl DependencyGraph {
             let own_end_counted = vi % 2 == 0 && dist[vi][vi + 1].is_some();
             trail_all[vi] = after_all + usize::from(vi % 2 == 0 && !own_end_counted);
         }
-        Self { num_requests: k, graph, dist, lead, trail, lead_all, trail_all }
+        Self {
+            num_requests: k,
+            graph,
+            dist,
+            lead,
+            trail,
+            lead_all,
+            trail_all,
+        }
     }
 
     /// The underlying DAG (2 nodes per request: `2r` start, `2r+1` end).
@@ -334,8 +346,9 @@ mod tests {
     fn paper_symmetry_example_forces_start_first_order() {
         // Section IV-D: k requests of duration > half the window in [0, 2]:
         // all starts must precede all ends, but starts are mutually unordered.
-        let rs: Vec<Request> =
-            (0..4).map(|i| req(0.0, 2.0, 1.0 + 1.0 / f64::powi(2.0, i + 1))).collect();
+        let rs: Vec<Request> = (0..4)
+            .map(|i| req(0.0, 2.0, 1.0 + 1.0 / f64::powi(2.0, i + 1)))
+            .collect();
         let g = DependencyGraph::new(&rs);
         for i in 0..4 {
             for j in 0..4 {

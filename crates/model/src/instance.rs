@@ -37,7 +37,10 @@ impl Instance {
         horizon: f64,
         fixed_node_mappings: Option<Vec<NodeMapping>>,
     ) -> Self {
-        assert!(horizon > 0.0 && horizon.is_finite(), "horizon must be positive");
+        assert!(
+            horizon > 0.0 && horizon.is_finite(),
+            "horizon must be positive"
+        );
         for r in &requests {
             assert!(
                 r.latest_end <= horizon + 1e-9,
@@ -49,13 +52,25 @@ impl Instance {
         if let Some(maps) = &fixed_node_mappings {
             assert_eq!(maps.len(), requests.len(), "one mapping per request");
             for (r, map) in requests.iter().zip(maps) {
-                assert_eq!(map.len(), r.num_nodes(), "one substrate node per virtual node");
+                assert_eq!(
+                    map.len(),
+                    r.num_nodes(),
+                    "one substrate node per virtual node"
+                );
                 for n in map {
-                    assert!(n.0 < substrate.num_nodes(), "mapping references unknown node");
+                    assert!(
+                        n.0 < substrate.num_nodes(),
+                        "mapping references unknown node"
+                    );
                 }
             }
         }
-        Self { substrate, requests, horizon, fixed_node_mappings }
+        Self {
+            substrate,
+            requests,
+            horizon,
+            fixed_node_mappings,
+        }
     }
 
     /// Number of requests `|R|`.

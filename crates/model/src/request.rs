@@ -38,13 +38,27 @@ impl Request {
         latest_end: f64,
         duration: f64,
     ) -> Self {
-        assert_eq!(node_demand.len(), graph.num_nodes(), "one demand per virtual node");
-        assert_eq!(edge_demand.len(), graph.num_edges(), "one demand per virtual link");
+        assert_eq!(
+            node_demand.len(),
+            graph.num_nodes(),
+            "one demand per virtual node"
+        );
+        assert_eq!(
+            edge_demand.len(),
+            graph.num_edges(),
+            "one demand per virtual link"
+        );
         assert!(
-            node_demand.iter().chain(&edge_demand).all(|d| d.is_finite() && *d >= 0.0),
+            node_demand
+                .iter()
+                .chain(&edge_demand)
+                .all(|d| d.is_finite() && *d >= 0.0),
             "demands must be finite and non-negative"
         );
-        assert!(duration > 0.0 && duration.is_finite(), "duration must be positive");
+        assert!(
+            duration > 0.0 && duration.is_finite(),
+            "duration must be positive"
+        );
         assert!(earliest_start >= 0.0, "earliest start must be non-negative");
         assert!(
             latest_end - earliest_start >= duration - 1e-12,

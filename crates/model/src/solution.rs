@@ -35,8 +35,11 @@ impl Embedding {
             .iter()
             .enumerate()
             .map(|(l, flows)| {
-                let f: f64 =
-                    flows.iter().filter(|&&(se, _)| se == e).map(|&(_, f)| f).sum();
+                let f: f64 = flows
+                    .iter()
+                    .filter(|&&(se, _)| se == e)
+                    .map(|&(_, f)| f)
+                    .sum();
                 request.edge_demand(EdgeId(l)) * f
             })
             .sum()
@@ -93,7 +96,11 @@ impl TemporalSolution {
             .filter(|(s, _)| s.accepted)
             .map(|(s, r)| {
                 let denom = r.latest_start() - r.earliest_start;
-                let frac = if denom > 1e-12 { (s.start - r.earliest_start) / denom } else { 0.0 };
+                let frac = if denom > 1e-12 {
+                    (s.start - r.earliest_start) / denom
+                } else {
+                    0.0
+                };
                 r.duration * (1.0 - frac.clamp(0.0, 1.0))
             })
             .sum()
@@ -124,9 +131,7 @@ impl TemporalSolution {
                     .iter()
                     .zip(&instance.requests)
                     .filter(|(s, _)| s.accepted && s.start < t && t < s.end)
-                    .filter_map(|(s, r)| {
-                        s.embedding.as_ref().map(|e| e.node_allocation(r, n))
-                    })
+                    .filter_map(|(s, r)| s.embedding.as_ref().map(|e| e.node_allocation(r, n)))
                     .sum();
                 peak = peak.max(load / cap);
             }
@@ -143,7 +148,9 @@ impl TemporalSolution {
             if !s.accepted {
                 continue;
             }
-            let Some(emb) = s.embedding.as_ref() else { continue };
+            let Some(emb) = s.embedding.as_ref() else {
+                continue;
+            };
             for flows in &emb.edge_flows {
                 for &(e, f) in flows {
                     if f > 1e-9 {

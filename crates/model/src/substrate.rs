@@ -19,13 +19,28 @@ impl Substrate {
     /// Panics if capacity vector lengths disagree with the topology or any
     /// capacity is negative or NaN.
     pub fn new(graph: DiGraph, node_capacity: Vec<f64>, edge_capacity: Vec<f64>) -> Self {
-        assert_eq!(node_capacity.len(), graph.num_nodes(), "one capacity per node");
-        assert_eq!(edge_capacity.len(), graph.num_edges(), "one capacity per edge");
+        assert_eq!(
+            node_capacity.len(),
+            graph.num_nodes(),
+            "one capacity per node"
+        );
+        assert_eq!(
+            edge_capacity.len(),
+            graph.num_edges(),
+            "one capacity per edge"
+        );
         assert!(
-            node_capacity.iter().chain(&edge_capacity).all(|c| c.is_finite() && *c >= 0.0),
+            node_capacity
+                .iter()
+                .chain(&edge_capacity)
+                .all(|c| c.is_finite() && *c >= 0.0),
             "capacities must be finite and non-negative"
         );
-        Self { graph, node_capacity, edge_capacity }
+        Self {
+            graph,
+            node_capacity,
+            edge_capacity,
+        }
     }
 
     /// Uniform capacities on every node and every edge (the paper's setup:

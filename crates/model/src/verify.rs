@@ -26,13 +26,28 @@ pub enum Violation {
     MissingEmbedding { request: usize },
     /// Flow conservation broken for virtual link `link` of request `r` at a
     /// substrate node.
-    FlowConservation { request: usize, link: usize, at: NodeId, imbalance: f64 },
+    FlowConservation {
+        request: usize,
+        link: usize,
+        at: NodeId,
+        imbalance: f64,
+    },
     /// A flow fraction is negative or exceeds 1.
     FlowRange { request: usize, link: usize },
     /// Node capacity exceeded at some time.
-    NodeCapacity { node: NodeId, time: f64, load: f64, capacity: f64 },
+    NodeCapacity {
+        node: NodeId,
+        time: f64,
+        load: f64,
+        capacity: f64,
+    },
     /// Link capacity exceeded at some time.
-    EdgeCapacity { edge: EdgeId, time: f64, load: f64, capacity: f64 },
+    EdgeCapacity {
+        edge: EdgeId,
+        time: f64,
+        load: f64,
+        capacity: f64,
+    },
 }
 
 /// Checks a solution against Definition 2.1; returns all violations found
@@ -54,7 +69,12 @@ pub fn verify_with_tol(
     }
 
     // Per-request checks: schedule arithmetic and embedding validity.
-    for (ri, (s, r)) in solution.scheduled.iter().zip(&instance.requests).enumerate() {
+    for (ri, (s, r)) in solution
+        .scheduled
+        .iter()
+        .zip(&instance.requests)
+        .enumerate()
+    {
         if (s.end - s.start - r.duration).abs() > tol {
             out.push(Violation::WrongDuration { request: ri });
         }
@@ -89,7 +109,10 @@ pub fn verify_with_tol(
             let flows = &emb.edge_flows[l.0];
             for &(_, f) in flows {
                 if !(-tol..=1.0 + tol).contains(&f) {
-                    out.push(Violation::FlowRange { request: ri, link: l.0 });
+                    out.push(Violation::FlowRange {
+                        request: ri,
+                        link: l.0,
+                    });
                 }
             }
             // Net outflow per substrate node.
@@ -147,7 +170,12 @@ pub fn verify_with_tol(
                 .sum();
             let cap = instance.substrate.node_capacity(n);
             if load > cap + tol {
-                out.push(Violation::NodeCapacity { node: n, time: t, load, capacity: cap });
+                out.push(Violation::NodeCapacity {
+                    node: n,
+                    time: t,
+                    load,
+                    capacity: cap,
+                });
             }
         }
         for e in instance.substrate.graph().edge_ids() {
@@ -162,7 +190,12 @@ pub fn verify_with_tol(
                 .sum();
             let cap = instance.substrate.edge_capacity(e);
             if load > cap + tol {
-                out.push(Violation::EdgeCapacity { edge: e, time: t, load, capacity: cap });
+                out.push(Violation::EdgeCapacity {
+                    edge: e,
+                    time: t,
+                    load,
+                    capacity: cap,
+                });
             }
         }
     }
@@ -226,7 +259,11 @@ mod tests {
             reported_objective: None,
         };
         let v = verify(&inst, &sol);
-        assert!(v.iter().any(|x| matches!(x, Violation::NodeCapacity { .. })), "{v:?}");
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::NodeCapacity { .. })),
+            "{v:?}"
+        );
     }
 
     #[test]
@@ -247,7 +284,9 @@ mod tests {
             reported_objective: None,
         };
         let v = verify(&inst, &sol);
-        assert!(v.iter().any(|x| matches!(x, Violation::WrongDuration { request: 0 })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::WrongDuration { request: 0 })));
     }
 
     #[test]
@@ -258,7 +297,9 @@ mod tests {
             reported_objective: None,
         };
         let v = verify(&inst, &sol);
-        assert!(v.iter().any(|x| matches!(x, Violation::OutsideWindow { request: 0 })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::OutsideWindow { request: 0 })));
     }
 
     #[test]
@@ -282,7 +323,11 @@ mod tests {
             reported_objective: None,
         };
         let v = verify(&inst, &bad);
-        assert!(v.iter().any(|x| matches!(x, Violation::FlowConservation { .. })), "{v:?}");
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::FlowConservation { .. })),
+            "{v:?}"
+        );
         // Correct flow on edge 0->1 (edge id 0 in the 1x2 grid).
         let good = TemporalSolution {
             scheduled: vec![ScheduledRequest {
@@ -369,6 +414,8 @@ mod tests {
             reported_objective: None,
         };
         let v = verify(&inst, &sol);
-        assert!(v.iter().any(|x| matches!(x, Violation::MissingEmbedding { .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::MissingEmbedding { .. })));
     }
 }

@@ -1,10 +1,54 @@
 //! Property tests for the temporal dependency graph: its precedence relation
 //! must be sound (every feasible schedule respects it) and the event ranges
-//! must contain every realizable event assignment.
+//! must contain every realizable event assignment. Run as deterministic
+//! random sweeps (splitmix64 per case).
 
-use proptest::prelude::*;
 use tvnep_graph::DiGraph;
 use tvnep_model::{earliest, latest, DepNode, DependencyGraph, Request};
+
+/// Tiny deterministic generator for the sweeps below.
+struct TestRng(u64);
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64()
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Random request windows `(earliest_start, slack, duration)`.
+fn random_windows(rng: &mut TestRng, min_len: usize, max_len: usize) -> Vec<(f64, f64, f64)> {
+    let len = min_len + rng.below(max_len - min_len + 1);
+    (0..len)
+        .map(|_| {
+            (
+                rng.range(0.0, 10.0),
+                rng.range(0.0, 4.0),
+                rng.range(0.5, 3.0),
+            )
+        })
+        .collect()
+}
+
+/// In-window placement fractions (always 6, indexed modulo).
+fn random_placement(rng: &mut TestRng) -> Vec<f64> {
+    (0..6).map(|_| rng.f64()).collect()
+}
 
 fn requests_from(windows: &[(f64, f64, f64)]) -> Vec<Request> {
     windows
@@ -24,17 +68,14 @@ fn requests_from(windows: &[(f64, f64, f64)]) -> Vec<Request> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
-
-    /// Soundness: if the graph says `v` precedes `w`, then for *every*
-    /// in-window schedule, time(v) < time(w).
-    #[test]
-    fn precedence_is_sound(
-        windows in prop::collection::vec((0.0f64..10.0, 0.0f64..4.0, 0.5f64..3.0), 2..6),
-        // Fractions placing each request inside its window.
-        placement in prop::collection::vec(0.0f64..1.0, 6),
-    ) {
+/// Soundness: if the graph says `v` precedes `w`, then for *every*
+/// in-window schedule, time(v) < time(w).
+#[test]
+fn precedence_is_sound() {
+    for case in 0..200u64 {
+        let mut rng = TestRng::new(0xdeb0_0000 + case);
+        let windows = random_windows(&mut rng, 2, 5);
+        let placement = random_placement(&mut rng);
         let reqs = requests_from(&windows);
         let dep = DependencyGraph::new(&reqs);
         // A concrete feasible schedule: start = ts + frac·slack.
@@ -54,55 +95,74 @@ proptest! {
         for v in dep.dep_nodes() {
             for w in dep.dep_nodes() {
                 if v != w && dep.precedes(v, w) {
-                    prop_assert!(
+                    assert!(
                         time_of(v) < time_of(w) + 1e-9,
-                        "{:?}@{} must precede {:?}@{}",
-                        v, time_of(v), w, time_of(w)
+                        "case {case}: {:?}@{} must precede {:?}@{}",
+                        v,
+                        time_of(v),
+                        w,
+                        time_of(w)
                     );
                 }
             }
         }
     }
+}
 
-    /// The earliest/latest bounds bracket every in-window schedule.
-    #[test]
-    fn earliest_latest_bracket_schedules(
-        windows in prop::collection::vec((0.0f64..10.0, 0.0f64..4.0, 0.5f64..3.0), 1..6),
-        placement in prop::collection::vec(0.0f64..1.0, 6),
-    ) {
+/// The earliest/latest bounds bracket every in-window schedule.
+#[test]
+fn earliest_latest_bracket_schedules() {
+    for case in 0..200u64 {
+        let mut rng = TestRng::new(0xb4ac_0000 + case);
+        let windows = random_windows(&mut rng, 1, 5);
+        let placement = random_placement(&mut rng);
         let reqs = requests_from(&windows);
         for (i, r) in reqs.iter().enumerate() {
             let start = r.earliest_start + placement[i % placement.len()] * r.flexibility();
             let end = start + r.duration;
-            prop_assert!(earliest(&reqs, DepNode::Start(i)) <= start + 1e-9);
-            prop_assert!(latest(&reqs, DepNode::Start(i)) >= start - 1e-9);
-            prop_assert!(earliest(&reqs, DepNode::End(i)) <= end + 1e-9);
-            prop_assert!(latest(&reqs, DepNode::End(i)) >= end - 1e-9);
+            assert!(
+                earliest(&reqs, DepNode::Start(i)) <= start + 1e-9,
+                "case {case}"
+            );
+            assert!(
+                latest(&reqs, DepNode::Start(i)) >= start - 1e-9,
+                "case {case}"
+            );
+            assert!(
+                earliest(&reqs, DepNode::End(i)) <= end + 1e-9,
+                "case {case}"
+            );
+            assert!(latest(&reqs, DepNode::End(i)) >= end - 1e-9, "case {case}");
         }
     }
+}
 
-    /// Event ranges are consistent: non-empty, inside the structural bounds,
-    /// and dist_max never exceeds what the ranges permit.
-    #[test]
-    fn event_ranges_consistent(
-        windows in prop::collection::vec((0.0f64..10.0, 0.0f64..4.0, 0.5f64..3.0), 1..7),
-    ) {
+/// Event ranges are consistent: non-empty, inside the structural bounds,
+/// and dist_max never exceeds what the ranges permit.
+#[test]
+fn event_ranges_consistent() {
+    for case in 0..200u64 {
+        let mut rng = TestRng::new(0xe4a0_0000 + case);
+        let windows = random_windows(&mut rng, 1, 6);
         let reqs = requests_from(&windows);
         let k = reqs.len();
         let dep = DependencyGraph::new(&reqs);
         for v in dep.dep_nodes() {
             let (lo, hi) = dep.event_range(v);
-            prop_assert!(lo <= hi, "{v:?}: empty range [{lo}, {hi}]");
+            assert!(lo <= hi, "case {case}: {v:?}: empty range [{lo}, {hi}]");
             match v {
                 DepNode::Start(_) => {
-                    prop_assert!(lo >= 1 && hi <= k);
+                    assert!(lo >= 1 && hi <= k, "case {case}");
                 }
                 DepNode::End(_) => {
-                    prop_assert!(lo >= 2 && hi <= k + 1);
+                    assert!(lo >= 2 && hi <= k + 1, "case {case}");
                 }
             }
             let (flo, fhi) = dep.event_range_full(v);
-            prop_assert!(flo <= fhi && flo >= 1 && fhi <= 2 * k, "{v:?} full [{flo},{fhi}]");
+            assert!(
+                flo <= fhi && flo >= 1 && fhi <= 2 * k,
+                "case {case}: {v:?} full [{flo},{fhi}]"
+            );
         }
         // dist_max is compatible with the lead counts: a longest path into w
         // carrying d start-weights means at least d−1 starts strictly
@@ -114,21 +174,23 @@ proptest! {
                 }
                 let d = dep.dist_max(v, w);
                 if d > 0 {
-                    prop_assert!(
+                    assert!(
                         dep.lead(w) >= d.saturating_sub(1),
-                        "{v:?} -> {w:?}: dist {d} but lead({w:?}) = {}",
+                        "case {case}: {v:?} -> {w:?}: dist {d} but lead({w:?}) = {}",
                         dep.lead(w)
                     );
                 }
             }
         }
     }
+}
 
-    /// G_dep is invariant under request reordering (up to relabeling).
-    #[test]
-    fn depgraph_is_order_invariant(
-        windows in prop::collection::vec((0.0f64..10.0, 0.0f64..4.0, 0.5f64..3.0), 2..6),
-    ) {
+/// G_dep is invariant under request reordering (up to relabeling).
+#[test]
+fn depgraph_is_order_invariant() {
+    for case in 0..200u64 {
+        let mut rng = TestRng::new(0x0bde_0000 + case);
+        let windows = random_windows(&mut rng, 2, 5);
         let reqs = requests_from(&windows);
         let dep = DependencyGraph::new(&reqs);
         let mut rev = reqs.clone();
@@ -142,9 +204,10 @@ proptest! {
         for v in dep.dep_nodes() {
             for w in dep.dep_nodes() {
                 if v != w {
-                    prop_assert_eq!(
+                    assert_eq!(
                         dep.precedes(v, w),
-                        dep_rev.precedes(flip(v), flip(w))
+                        dep_rev.precedes(flip(v), flip(w)),
+                        "case {case}: {v:?} vs {w:?}"
                     );
                 }
             }

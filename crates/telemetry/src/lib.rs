@@ -1,0 +1,165 @@
+//! Solver observability: a zero-dependency metrics registry and a typed,
+//! timestamped solve timeline, both behind a cheap [`Telemetry`] handle that
+//! is a strict no-op when disabled.
+//!
+//! The design splits responsibilities three ways:
+//!
+//! * [`MetricsRegistry`] — monotonically-increasing counters, last-write
+//!   gauges, and histograms over fixed log-scale (power-of-two) buckets.
+//!   Aggregates only; cheap to snapshot at any point.
+//! * [`SolveTimeline`] — an append-only sequence of typed [`Event`]s, each
+//!   stamped with the elapsed time since the handle was created. This is the
+//!   "what happened when" record: LP solves, branch-and-bound nodes,
+//!   incumbents, presolve reductions, greedy iterations.
+//! * [`Telemetry`] — the handle threaded through the solvers. Internally an
+//!   `Option<Arc<..>>`: a disabled handle is a single `None` check on every
+//!   call, so instrumented hot paths cost nothing when observability is off.
+//!
+//! The [`json`] module provides the self-contained JSON value type used to
+//! export snapshots (and reused by the CLI for instance/solution I/O).
+
+pub mod json;
+mod metrics;
+mod timeline;
+
+pub use json::{Json, JsonError};
+pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use timeline::{Event, SolveTimeline, TimedEvent};
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+struct Inner {
+    epoch: Instant,
+    metrics: Mutex<MetricsRegistry>,
+    /// `None` when only the metrics registry was requested.
+    timeline: Option<Mutex<SolveTimeline>>,
+}
+
+/// Cheap, clonable observability handle. All recording methods are no-ops on
+/// a disabled handle; cloning shares the underlying registry and timeline.
+#[derive(Clone, Default)]
+pub struct Telemetry(Option<Arc<Inner>>);
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            None => write!(f, "Telemetry(disabled)"),
+            Some(inner) if inner.timeline.is_some() => write!(f, "Telemetry(metrics+timeline)"),
+            Some(_) => write!(f, "Telemetry(metrics)"),
+        }
+    }
+}
+
+impl Telemetry {
+    /// A handle that records nothing. Every method is a no-op.
+    pub fn disabled() -> Self {
+        Telemetry(None)
+    }
+
+    /// Metrics registry only; [`Telemetry::event`] calls are dropped.
+    pub fn metrics_only() -> Self {
+        Telemetry(Some(Arc::new(Inner {
+            epoch: Instant::now(),
+            metrics: Mutex::new(MetricsRegistry::new()),
+            timeline: None,
+        })))
+    }
+
+    /// Metrics registry plus the full solve timeline.
+    pub fn with_timeline() -> Self {
+        Telemetry(Some(Arc::new(Inner {
+            epoch: Instant::now(),
+            metrics: Mutex::new(MetricsRegistry::new()),
+            timeline: Some(Mutex::new(SolveTimeline::new())),
+        })))
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    pub fn timeline_enabled(&self) -> bool {
+        matches!(&self.0, Some(inner) if inner.timeline.is_some())
+    }
+
+    /// Elapsed time since the handle was created (zero when disabled).
+    pub fn elapsed(&self) -> Duration {
+        match &self.0 {
+            Some(inner) => inner.epoch.elapsed(),
+            None => Duration::ZERO,
+        }
+    }
+
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.0 {
+            inner.metrics.lock().unwrap().counter_add(name, delta);
+        }
+    }
+
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.0 {
+            inner.metrics.lock().unwrap().gauge_set(name, value);
+        }
+    }
+
+    /// Records `value` into the named log-scale histogram.
+    pub fn observe(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.0 {
+            inner.metrics.lock().unwrap().observe(name, value);
+        }
+    }
+
+    /// Appends a timestamped event to the timeline (dropped unless the
+    /// handle was created with [`Telemetry::with_timeline`]).
+    pub fn event(&self, event: Event) {
+        if let Some(inner) = &self.0 {
+            if let Some(tl) = &inner.timeline {
+                tl.lock().unwrap().record(inner.epoch.elapsed(), event);
+            }
+        }
+    }
+
+    /// Like [`Telemetry::event`] but defers constructing the event, for call
+    /// sites where building the payload itself has a cost.
+    pub fn event_with(&self, make: impl FnOnce() -> Event) {
+        if self.timeline_enabled() {
+            self.event(make());
+        }
+    }
+
+    /// A point-in-time copy of the metrics registry (empty when disabled).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        match &self.0 {
+            Some(inner) => inner.metrics.lock().unwrap().snapshot(),
+            None => MetricsSnapshot::default(),
+        }
+    }
+
+    /// A copy of all timeline events recorded so far (empty when disabled).
+    pub fn events(&self) -> Vec<TimedEvent> {
+        match &self.0 {
+            Some(inner) => match &inner.timeline {
+                Some(tl) => tl.lock().unwrap().events().to_vec(),
+                None => Vec::new(),
+            },
+            None => Vec::new(),
+        }
+    }
+
+    /// Full JSON export: `{ "elapsed_s", "metrics", "timeline"? }`.
+    pub fn export_json(&self) -> Json {
+        let mut fields = vec![
+            (
+                "elapsed_s".to_string(),
+                Json::from(self.elapsed().as_secs_f64()),
+            ),
+            ("metrics".to_string(), self.snapshot().to_json()),
+        ];
+        if self.timeline_enabled() {
+            let events: Vec<Json> = self.events().iter().map(TimedEvent::to_json).collect();
+            fields.push(("timeline".to_string(), Json::Arr(events)));
+        }
+        Json::Obj(fields)
+    }
+}

@@ -1,0 +1,285 @@
+//! Counters, gauges, and log-scale histograms, keyed by name.
+//!
+//! Histograms use fixed power-of-two buckets so that an observation costs one
+//! `log2` and one array increment, with no per-histogram configuration: bucket
+//! `i` (for `i >= 1`) covers values in `[2^(i-33), 2^(i-32))`, i.e. bucket 32
+//! is `[0.5, 1)` and bucket 33 is `[1, 2)`. Bucket 0 collects non-positive
+//! values and underflow below `2^-32`.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+
+/// Number of histogram buckets (underflow + 63 power-of-two ranges).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Exponent offset: a value `v` with `floor(log2 v) == e` lands in bucket
+/// `e + BUCKET_OFFSET + 1`, clamped into range.
+const BUCKET_OFFSET: i64 = 32;
+
+fn bucket_index(v: f64) -> usize {
+    // NaN and non-positive values both land in the underflow bucket.
+    if v.is_nan() || v <= 0.0 {
+        return 0;
+    }
+    let e = v.log2().floor() as i64;
+    (e + BUCKET_OFFSET + 1).clamp(0, HISTOGRAM_BUCKETS as i64 - 1) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (the smallest value that lands in
+/// bucket `i + 1`).
+fn bucket_upper_bound(i: usize) -> f64 {
+    (2.0f64).powi(i as i32 - BUCKET_OFFSET as i32)
+}
+
+#[derive(Debug, Clone)]
+struct Histogram {
+    counts: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            counts: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+}
+
+/// Aggregated metrics: counters (monotone u64), gauges (last write wins), and
+/// log-scale histograms. Not thread-safe by itself; the [`crate::Telemetry`]
+/// handle wraps it in a mutex.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += delta;
+        } else {
+            self.counters.insert(name.to_string(), delta);
+        }
+    }
+
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        if let Some(g) = self.gauges.get_mut(name) {
+            *g = value;
+        } else {
+            self.gauges.insert(name.to_string(), value);
+        }
+    }
+
+    pub fn observe(&mut self, name: &str, value: f64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.observe(value);
+        } else {
+            let mut h = Histogram::new();
+            h.observe(value);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: self.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.clone(),
+                        HistogramSnapshot {
+                            count: h.count,
+                            sum: h.sum,
+                            min: if h.count == 0 { 0.0 } else { h.min },
+                            max: if h.count == 0 { 0.0 } else { h.max },
+                            buckets: h
+                                .counts
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, c)| **c > 0)
+                                .map(|(i, c)| (bucket_upper_bound(i), *c))
+                                .collect(),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time view of one histogram: only non-empty buckets are kept, as
+/// `(upper_bound, count)` pairs in increasing bound order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+    pub buckets: Vec<(f64, u64)>,
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("count".into(), Json::from(self.count)),
+            ("sum".into(), Json::from(self.sum)),
+            ("min".into(), Json::from(self.min)),
+            ("max".into(), Json::from(self.max)),
+            ("mean".into(), Json::from(self.mean())),
+            (
+                "buckets".into(),
+                Json::Arr(
+                    self.buckets
+                        .iter()
+                        .map(|(le, c)| {
+                            Json::Obj(vec![
+                                ("le".into(), Json::from(*le)),
+                                ("count".into(), Json::from(*c)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Point-in-time copy of the whole registry, sorted by name.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, h)| h)
+    }
+
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "counters".into(),
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::from(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".into(),
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::from(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms".into(),
+                Json::Obj(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| (k.clone(), h.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indices_are_log_scale() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-3.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        // Bucket 33 covers [1, 2).
+        assert_eq!(bucket_index(1.0), 33);
+        assert_eq!(bucket_index(1.999), 33);
+        assert_eq!(bucket_index(2.0), 34);
+        assert_eq!(bucket_index(0.5), 32);
+        // Extremes clamp instead of overflowing.
+        assert_eq!(bucket_index(f64::MIN_POSITIVE), 0);
+        assert_eq!(bucket_index(f64::MAX), HISTOGRAM_BUCKETS - 1);
+        // Upper bound of bucket 33 is 2 — the first value of bucket 34.
+        assert_eq!(bucket_upper_bound(33), 2.0);
+    }
+
+    #[test]
+    fn histogram_aggregates() {
+        let mut r = MetricsRegistry::new();
+        for v in [0.75, 1.5, 1.25, 6.0] {
+            r.observe("x", v);
+        }
+        let snap = r.snapshot();
+        let h = snap.histogram("x").unwrap();
+        assert_eq!(h.count, 4);
+        assert!((h.sum - 9.5).abs() < 1e-12);
+        assert_eq!(h.min, 0.75);
+        assert_eq!(h.max, 6.0);
+        assert!((h.mean() - 2.375).abs() < 1e-12);
+        // Buckets: [0.5,1) x1, [1,2) x2, [4,8) x1.
+        assert_eq!(h.buckets, vec![(1.0, 1), (2.0, 2), (8.0, 1)]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Black-box tests for the telemetry handle: counter/gauge/histogram
+//! semantics, the disabled handle being a strict no-op, and timeline
+//! recording order.
+
+use tvnep_telemetry::{Event, Telemetry};
+
+#[test]
+fn counters_accumulate_and_gauges_overwrite() {
+    let t = Telemetry::metrics_only();
+    t.counter_add("nodes", 3);
+    t.counter_add("nodes", 4);
+    t.counter_add("other", 1);
+    t.gauge_set("gap", 0.5);
+    t.gauge_set("gap", 0.125);
+
+    let snap = t.snapshot();
+    assert_eq!(snap.counter("nodes"), 7);
+    assert_eq!(snap.counter("other"), 1);
+    assert_eq!(snap.counter("missing"), 0);
+    assert_eq!(snap.gauge("gap"), Some(0.125));
+    assert_eq!(snap.gauge("missing"), None);
+}
+
+#[test]
+fn histograms_bucket_on_log_scale() {
+    let t = Telemetry::metrics_only();
+    for v in [0.3, 1.0, 1.5, 3.0, 1000.0] {
+        t.observe("lp_iters", v);
+    }
+    let snap = t.snapshot();
+    let h = snap.histogram("lp_iters").expect("histogram recorded");
+    assert_eq!(h.count, 5);
+    assert_eq!(h.min, 0.3);
+    assert_eq!(h.max, 1000.0);
+    assert!((h.mean() - 1005.8 / 5.0).abs() < 1e-9);
+    // Buckets are (upper_bound, count) in increasing order; each observation
+    // lands in the power-of-two range containing it.
+    assert_eq!(h.buckets.len(), 4); // [0.25,0.5), [1,2)x2, [2,4), [512,1024)
+    assert!(h.buckets.windows(2).all(|w| w[0].0 < w[1].0));
+    assert_eq!(h.buckets.iter().map(|(_, c)| c).sum::<u64>(), 5);
+    assert!(h.buckets.contains(&(2.0, 2)));
+    assert!(h.buckets.contains(&(1024.0, 1)));
+}
+
+#[test]
+fn disabled_handle_is_noop() {
+    let t = Telemetry::disabled();
+    assert!(!t.is_enabled());
+    assert!(!t.timeline_enabled());
+    t.counter_add("nodes", 10);
+    t.gauge_set("gap", 1.0);
+    t.observe("h", 2.0);
+    t.event(Event::Incumbent { obj: 1.0, gap: 0.0 });
+    t.event_with(|| panic!("closure must not run on a disabled handle"));
+
+    let snap = t.snapshot();
+    assert!(snap.counters.is_empty());
+    assert!(snap.gauges.is_empty());
+    assert!(snap.histograms.is_empty());
+    assert!(t.events().is_empty());
+    assert_eq!(t.elapsed(), std::time::Duration::ZERO);
+}
+
+#[test]
+fn metrics_only_handle_drops_events() {
+    let t = Telemetry::metrics_only();
+    assert!(t.is_enabled());
+    assert!(!t.timeline_enabled());
+    t.event(Event::Incumbent { obj: 1.0, gap: 0.0 });
+    assert!(t.events().is_empty());
+    t.counter_add("still_counts", 1);
+    assert_eq!(t.snapshot().counter("still_counts"), 1);
+}
+
+#[test]
+fn timeline_records_in_order_with_monotone_timestamps() {
+    let t = Telemetry::with_timeline();
+    t.event(Event::SolveStart { what: "mip".into() });
+    t.event(Event::BnbNode {
+        node: 1,
+        depth: 0,
+        bound: 2.0,
+        frac_count: 3,
+    });
+    t.event(Event::SolveEnd {
+        what: "mip".into(),
+        status: "optimal".into(),
+    });
+
+    let events = t.events();
+    assert_eq!(events.len(), 3);
+    assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
+    assert_eq!(events[0].event.name(), "solve_start");
+    assert_eq!(events[1].event.name(), "bnb_node");
+    assert_eq!(events[2].event.name(), "solve_end");
+}
+
+#[test]
+fn export_json_is_valid_and_complete() {
+    use tvnep_telemetry::json::Json;
+
+    let t = Telemetry::with_timeline();
+    t.counter_add("mip.nodes", 12);
+    t.gauge_set("mip.gap", 0.25);
+    t.observe("lp.iters_per_node", 8.0);
+    t.event(Event::Incumbent {
+        obj: 3.0,
+        gap: 0.25,
+    });
+
+    let doc = Json::parse(&t.export_json().pretty()).expect("export is valid JSON");
+    let metrics = doc.get("metrics").expect("metrics section");
+    assert_eq!(
+        metrics
+            .get("counters")
+            .unwrap()
+            .get("mip.nodes")
+            .unwrap()
+            .as_u64(),
+        Some(12)
+    );
+    assert_eq!(
+        metrics
+            .get("gauges")
+            .unwrap()
+            .get("mip.gap")
+            .unwrap()
+            .as_f64(),
+        Some(0.25)
+    );
+    let hist = metrics
+        .get("histograms")
+        .unwrap()
+        .get("lp.iters_per_node")
+        .unwrap();
+    assert_eq!(hist.get("count").unwrap().as_u64(), Some(1));
+    let timeline = doc.get("timeline").unwrap().as_array().unwrap();
+    assert_eq!(timeline.len(), 1);
+    assert_eq!(
+        timeline[0].get("event").unwrap().as_str(),
+        Some("incumbent")
+    );
+    assert_eq!(timeline[0].get("obj").unwrap().as_f64(), Some(3.0));
+}

@@ -19,13 +19,13 @@
 //! scaled-down default this reproduction evaluates with (our simplex-based
 //! solver is orders of magnitude slower than Gurobi — see DESIGN.md §2).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rand_distr::{Distribution, Exp, Uniform, Weibull};
 use tvnep_graph::{grid, star, NodeId, StarDirection};
 use tvnep_model::{Instance, Request, Substrate};
 
 pub mod patterns;
+pub mod rng;
+
+use rng::Rng;
 
 /// Parameters of the §VI-A generator.
 #[derive(Debug, Clone)]
@@ -120,7 +120,7 @@ impl WorkloadConfig {
 /// have zero flexibility (`t^e = t^s + d`); widen with
 /// [`Instance::with_flexibility_after`].
 pub fn generate(config: &WorkloadConfig, seed: u64) -> Instance {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let substrate = Substrate::uniform(
         grid(config.grid_rows, config.grid_cols),
         config.node_capacity,
@@ -128,32 +128,30 @@ pub fn generate(config: &WorkloadConfig, seed: u64) -> Instance {
     );
     let num_substrate_nodes = substrate.num_nodes();
 
-    let interarrival =
-        Exp::new(1.0 / config.mean_interarrival).expect("positive rate");
-    let duration_dist = Weibull::new(config.weibull_scale, config.weibull_shape)
-        .expect("valid Weibull parameters");
-    let demand = Uniform::new_inclusive(config.demand_range.0, config.demand_range.1);
-
     let mut requests = Vec::with_capacity(config.num_requests);
     let mut mappings = Vec::with_capacity(config.num_requests);
     let mut arrival = 0.0f64;
     let mut latest_end = 0.0f64;
     for i in 0..config.num_requests {
-        arrival += interarrival.sample(&mut rng);
+        arrival += rng.exp(config.mean_interarrival);
         // Durations below a small floor make no sense operationally.
-        let duration = duration_dist.sample(&mut rng).max(0.25);
-        let direction = if rng.gen_bool(0.5) {
+        let duration = rng
+            .weibull(config.weibull_scale, config.weibull_shape)
+            .max(0.25);
+        let direction = if rng.chance(0.5) {
             StarDirection::TowardsCenter
         } else {
             StarDirection::AwayFromCenter
         };
         let graph = star(config.star_leaves, direction);
-        let node_demand: Vec<f64> =
-            (0..graph.num_nodes()).map(|_| demand.sample(&mut rng)).collect();
-        let edge_demand: Vec<f64> =
-            (0..graph.num_edges()).map(|_| demand.sample(&mut rng)).collect();
+        let node_demand: Vec<f64> = (0..graph.num_nodes())
+            .map(|_| rng.range_f64(config.demand_range.0, config.demand_range.1))
+            .collect();
+        let edge_demand: Vec<f64> = (0..graph.num_edges())
+            .map(|_| rng.range_f64(config.demand_range.0, config.demand_range.1))
+            .collect();
         let mapping: Vec<NodeId> = (0..graph.num_nodes())
-            .map(|_| NodeId(rng.gen_range(0..num_substrate_nodes)))
+            .map(|_| NodeId(rng.below(num_substrate_nodes)))
             .collect();
         latest_end = latest_end.max(arrival + duration);
         requests.push(Request::new(
@@ -175,7 +173,10 @@ pub fn generate(config: &WorkloadConfig, seed: u64) -> Instance {
 /// in `flex_hours`, each widening every request's window by that amount.
 pub fn sweep(config: &WorkloadConfig, seed: u64, flex_hours: &[f64]) -> Vec<Instance> {
     let base = generate(config, seed);
-    flex_hours.iter().map(|&f| base.with_flexibility_after(f)).collect()
+    flex_hours
+        .iter()
+        .map(|&f| base.with_flexibility_after(f))
+        .collect()
 }
 
 /// The paper's sweep values: 0 to 6 hours in 30-minute steps.
@@ -238,8 +239,7 @@ mod tests {
         cfg.num_requests = 400;
         cfg.max_flexibility = 0.0;
         let inst = generate(&cfg, 42);
-        let mean: f64 =
-            inst.requests.iter().map(|r| r.duration).sum::<f64>() / 400.0;
+        let mean: f64 = inst.requests.iter().map(|r| r.duration).sum::<f64>() / 400.0;
         assert!((2.9..4.2).contains(&mean), "sample mean {mean}");
     }
 

@@ -6,9 +6,7 @@
 //! a "batch night" scenario where all requests share one large window —
 //! the setting in which temporal flexibility matters most.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rand_distr::{Distribution, Uniform};
+use crate::rng::Rng;
 use tvnep_graph::{grid, DiGraph, NodeId};
 use tvnep_model::{Instance, Request, Substrate};
 
@@ -79,24 +77,28 @@ impl Default for BatchConfig {
 /// flexibility, minimal spatial freedom (random fixed mappings). This is the
 /// regime where scheduling, not embedding, decides feasibility.
 pub fn batch_night(config: &BatchConfig, seed: u64) -> Instance {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let substrate = Substrate::uniform(
         grid(config.grid_rows, config.grid_cols),
         config.node_capacity,
         config.edge_capacity,
     );
     let nn = substrate.num_nodes();
-    let dur = Uniform::new_inclusive(config.duration_range.0, config.duration_range.1);
-    let dem = Uniform::new_inclusive(config.demand_range.0, config.demand_range.1);
+    let (dem_lo, dem_hi) = config.demand_range;
     let mut requests = Vec::new();
     let mut mappings = Vec::new();
     for i in 0..config.num_requests {
         let g = chain_topology(config.chain_length);
-        let node_demand: Vec<f64> = (0..g.num_nodes()).map(|_| dem.sample(&mut rng)).collect();
-        let edge_demand: Vec<f64> = (0..g.num_edges()).map(|_| dem.sample(&mut rng)).collect();
-        let duration = dur.sample(&mut rng).min(config.window);
-        let mapping: Vec<NodeId> =
-            (0..g.num_nodes()).map(|_| NodeId(rng.gen_range(0..nn))).collect();
+        let node_demand: Vec<f64> = (0..g.num_nodes())
+            .map(|_| rng.range_f64(dem_lo, dem_hi))
+            .collect();
+        let edge_demand: Vec<f64> = (0..g.num_edges())
+            .map(|_| rng.range_f64(dem_lo, dem_hi))
+            .collect();
+        let duration = rng
+            .range_f64(config.duration_range.0, config.duration_range.1)
+            .min(config.window);
+        let mapping: Vec<NodeId> = (0..g.num_nodes()).map(|_| NodeId(rng.below(nn))).collect();
         requests.push(Request::new(
             format!("batch{i}"),
             g,

@@ -1,0 +1,148 @@
+//! Self-contained seeded PRNG and the inverse-CDF samplers the generator
+//! needs (uniform, Bernoulli, exponential, Weibull). The generator is
+//! xoshiro256++ with its state expanded from the seed by splitmix64 — small,
+//! fast, and fully deterministic across platforms, which is all a workload
+//! generator requires.
+
+/// Deterministic xoshiro256++ generator.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        Rng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi]`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Uniform in `0..n` (unbiased multiply-shift; `n` must be positive).
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Bernoulli with success probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Exponential with the given mean (inverse CDF).
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        -mean * (1.0 - self.f64()).ln()
+    }
+
+    /// Weibull with the given scale λ and shape k (inverse CDF).
+    pub fn weibull(&mut self, scale: f64, shape: f64) -> f64 {
+        scale * (-(1.0 - self.f64()).ln()).powf(1.0 / shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = (0..4)
+            .map({
+                let mut r = Rng::new(1);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let b: Vec<u64> = (0..4)
+            .map({
+                let mut r = Rng::new(1);
+                move |_| r.next_u64()
+            })
+            .collect();
+        let c: Vec<u64> = (0..4)
+            .map({
+                let mut r = Rng::new(2);
+                move |_| r.next_u64()
+            })
+            .collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut r = Rng::new(7);
+        for _ in 0..1000 {
+            let v = r.f64();
+            assert!((0.0..1.0).contains(&v));
+            let w = r.range_f64(1.0, 2.0);
+            assert!((1.0..=2.0).contains(&w));
+            let i = r.below(6);
+            assert!(i < 6);
+        }
+    }
+
+    #[test]
+    fn below_covers_all_residues() {
+        let mut r = Rng::new(3);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[r.below(5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = Rng::new(11);
+        let n = 20_000;
+        let mean = (0..n).map(|_| r.exp(2.0)).sum::<f64>() / n as f64;
+        assert!((1.9..2.1).contains(&mean), "sample mean {mean}");
+    }
+
+    #[test]
+    fn weibull_mean_is_close() {
+        // Weibull(k=2, λ=4) has mean λ·Γ(1.5) = 4·(√π/2) ≈ 3.545.
+        let mut r = Rng::new(13);
+        let n = 20_000;
+        let mean = (0..n).map(|_| r.weibull(4.0, 2.0)).sum::<f64>() / n as f64;
+        assert!((3.45..3.65).contains(&mean), "sample mean {mean}");
+    }
+}

@@ -12,7 +12,11 @@ use tvnep::prelude::*;
 use tvnep::workloads::patterns::{batch_night, BatchConfig};
 
 fn main() {
-    let cfg = BatchConfig { num_requests: 4, window: 9.0, ..BatchConfig::default() };
+    let cfg = BatchConfig {
+        num_requests: 4,
+        window: 9.0,
+        ..BatchConfig::default()
+    };
     let instance = batch_night(&cfg, 11);
     println!(
         "{} pipeline jobs, shared window [0, {:.1}] h, durations: {:?}",
@@ -37,7 +41,10 @@ fn main() {
             &MipOptions::with_time_limit(Duration::from_secs(60)),
         );
         let Some(solution) = outcome.solution else {
-            println!("{name}: no schedule within the budget ({:?})", outcome.mip.status);
+            println!(
+                "{name}: no schedule within the budget ({:?})",
+                outcome.mip.status
+            );
             continue;
         };
         assert!(is_feasible(&instance, &solution), "verifier must accept");

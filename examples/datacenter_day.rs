@@ -49,7 +49,11 @@ fn main() {
                 (
                     exact.mip.objective.unwrap_or(greedy_rev).max(greedy_rev),
                     sol.accepted_count(),
-                    if st == MipStatus::Optimal { "Optimal" } else { "TimeLimit" },
+                    if st == MipStatus::Optimal {
+                        "Optimal"
+                    } else {
+                        "TimeLimit"
+                    },
                 )
             }
             _ => (greedy_rev, greedy.solution.accepted_count(), "TimeLimit"),
@@ -65,9 +69,7 @@ fn main() {
             status
         );
     }
-    println!(
-        "\n(`Optimal*` = branch and bound proved nothing beats the greedy's schedule)"
-    );
+    println!("\n(`Optimal*` = branch and bound proved nothing beats the greedy's schedule)");
     println!(
         "Takeaway (paper §VI): already little temporal flexibility lets the provider \
          accept noticeably more revenue on the same substrate."

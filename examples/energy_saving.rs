@@ -12,16 +12,26 @@ use tvnep::prelude::*;
 fn main() {
     // Three small star requests on a 2×3 grid; mappings pinned so routing
     // has real choices to make.
-    let config = WorkloadConfig { num_requests: 3, ..WorkloadConfig::small() };
+    let config = WorkloadConfig {
+        num_requests: 3,
+        ..WorkloadConfig::small()
+    };
     let raw = generate(&config, 4).with_flexibility_after(2.0);
     // The link-disabling objective fixes x_R = 1 for every request, so first
     // restrict to a subset the greedy proves embeddable.
     let greedy = greedy_csigma(
         &raw,
-        &GreedyOptions { subproblem: MipOptions::with_time_limit(Duration::from_secs(10)) },
+        &GreedyOptions {
+            subproblem: MipOptions::with_time_limit(Duration::from_secs(10)),
+        },
     );
-    let keep: Vec<usize> = (0..raw.num_requests()).filter(|&r| greedy.accepted[r]).collect();
-    let maps = raw.fixed_node_mappings.as_ref().expect("generator pins mappings");
+    let keep: Vec<usize> = (0..raw.num_requests())
+        .filter(|&r| greedy.accepted[r])
+        .collect();
+    let maps = raw
+        .fixed_node_mappings
+        .as_ref()
+        .expect("generator pins mappings");
     let instance = tvnep::model::Instance::new(
         raw.substrate.clone(),
         keep.iter().map(|&r| raw.requests[r].clone()).collect(),
@@ -43,7 +53,10 @@ fn main() {
         BuildOptions::default_for(Formulation::CSigma),
         &MipOptions::with_time_limit(Duration::from_secs(60)),
     );
-    println!("status: {:?} ({} B&B nodes)", outcome.mip.status, outcome.mip.nodes);
+    println!(
+        "status: {:?} ({} B&B nodes)",
+        outcome.mip.status, outcome.mip.nodes
+    );
     let Some(solution) = outcome.solution else {
         println!("no schedule found within the budget");
         return;
@@ -51,19 +64,22 @@ fn main() {
     assert!(is_feasible(&instance, &solution));
 
     let disabled = outcome.mip.objective.unwrap_or(0.0) as usize;
-    println!(
-        "links that can be powered off over the whole horizon: {disabled}/{total_links}"
-    );
+    println!("links that can be powered off over the whole horizon: {disabled}/{total_links}");
     // The solution-level metric must agree with the MIP objective.
     let unused = solution.unused_links(&instance);
     println!("links carrying zero flow in the extracted solution: {unused}/{total_links}");
-    assert!(unused >= disabled, "objective is a lower bound on unused links");
+    assert!(
+        unused >= disabled,
+        "objective is a lower bound on unused links"
+    );
 
     // Show where the traffic concentrates.
     let sg = instance.substrate.graph();
     let mut used: Vec<(usize, usize)> = Vec::new();
     for sched in &solution.scheduled {
-        let Some(emb) = &sched.embedding else { continue };
+        let Some(emb) = &sched.embedding else {
+            continue;
+        };
         for flows in &emb.edge_flows {
             for &(e, f) in flows {
                 if f > 1e-9 {
@@ -75,5 +91,10 @@ fn main() {
     }
     used.sort_unstable();
     used.dedup();
-    println!("links kept on: {:?}", used.iter().map(|(u, v)| format!("s{u}→s{v}")).collect::<Vec<_>>());
+    println!(
+        "links kept on: {:?}",
+        used.iter()
+            .map(|(u, v)| format!("s{u}→s{v}"))
+            .collect::<Vec<_>>()
+    );
 }

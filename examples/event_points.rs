@@ -24,8 +24,14 @@ fn main() {
     }
 
     for (title, formulation) in [
-        ("Σ-Model: 2|R| events, starts ∪ ends bijective (Figure 1)", Formulation::Sigma),
-        ("cΣ-Model: |R|+1 events, ends share events (Figure 2)", Formulation::CSigma),
+        (
+            "Σ-Model: 2|R| events, starts ∪ ends bijective (Figure 1)",
+            Formulation::Sigma,
+        ),
+        (
+            "cΣ-Model: |R|+1 events, ends share events (Figure 2)",
+            Formulation::CSigma,
+        ),
     ] {
         let built = build_model(
             &instance,
@@ -90,7 +96,11 @@ fn main() {
             for c in row.iter_mut().take(ep.max(sp + 1)).skip(sp) {
                 *c = if *c == '|' { '+' } else { '#' };
             }
-            println!("  {:<4} {}", instance.requests[r].name, row.iter().collect::<String>());
+            println!(
+                "  {:<4} {}",
+                instance.requests[r].name,
+                row.iter().collect::<String>()
+            );
         }
     }
 }

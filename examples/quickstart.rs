@@ -54,8 +54,7 @@ fn main() {
     for (req, sched) in instance.requests.iter().zip(&solution.scheduled) {
         if sched.accepted {
             let emb = sched.embedding.as_ref().expect("accepted ⇒ embedded");
-            let hosts: Vec<String> =
-                emb.node_map.iter().map(|n| format!("s{}", n.0)).collect();
+            let hosts: Vec<String> = emb.node_map.iter().map(|n| format!("s{}", n.0)).collect();
             println!(
                 "  {} ACCEPTED  [{:.2}, {:.2}] h on nodes {}",
                 req.name,

@@ -54,8 +54,6 @@ pub mod prelude {
         Objective,
     };
     pub use tvnep_mip::{MipOptions, MipStatus};
-    pub use tvnep_model::{
-        is_feasible, verify, Instance, Request, Substrate, TemporalSolution,
-    };
+    pub use tvnep_model::{is_feasible, verify, Instance, Request, Substrate, TemporalSolution};
     pub use tvnep_workloads::{generate, paper_flexibilities, sweep, WorkloadConfig};
 }

@@ -3,10 +3,10 @@
 //! public facade crate only.
 
 use std::time::Duration;
-use tvnep::prelude::*;
 use tvnep::core::EventOptions;
 use tvnep::graph::NodeId;
 use tvnep::model::{ScheduledRequest, Violation};
+use tvnep::prelude::*;
 
 fn budget(secs: u64) -> MipOptions {
     MipOptions::with_time_limit(Duration::from_secs(secs))
@@ -25,7 +25,11 @@ fn pipeline_generate_solve_verify() {
                 BuildOptions::default_for(Formulation::CSigma),
                 &budget(60),
             );
-            assert_eq!(out.mip.status, MipStatus::Optimal, "seed {seed} flex {flex}");
+            assert_eq!(
+                out.mip.status,
+                MipStatus::Optimal,
+                "seed {seed} flex {flex}"
+            );
             let sol = out.solution.unwrap();
             assert!(is_feasible(&inst, &sol), "{:?}", verify(&inst, &sol));
             // The reported objective equals the recomputed revenue.
@@ -58,7 +62,10 @@ fn greedy_vs_exact_gap_is_bounded_on_tiny_instances() {
         let grev = g.solution.revenue(&inst);
         assert!(grev <= opt + 1e-5);
         if opt > 1e-9 {
-            assert!(grev / opt > 0.5, "seed {seed}: greedy {grev} vs optimal {opt}");
+            assert!(
+                grev / opt > 0.5,
+                "seed {seed}: greedy {grev} vs optimal {opt}"
+            );
         }
     }
 }
@@ -110,8 +117,7 @@ fn overloaded_schedule_is_rejected() {
     let everything_now: Vec<ScheduledRequest> = inst
         .requests
         .iter()
-        .enumerate()
-        .map(|(_r, req)| ScheduledRequest {
+        .map(|req| ScheduledRequest {
             accepted: true,
             start: req.earliest_start,
             end: req.earliest_start + req.duration,
@@ -121,7 +127,10 @@ fn overloaded_schedule_is_rejected() {
             }),
         })
         .collect();
-    let bad = TemporalSolution { scheduled: everything_now, reported_objective: None };
+    let bad = TemporalSolution {
+        scheduled: everything_now,
+        reported_objective: None,
+    };
     // Either node capacity breaks or the pinned mapping is violated.
     assert!(!verify(&inst, &bad).is_empty());
 }
@@ -138,7 +147,10 @@ fn paper_scale_model_builds() {
         BuildOptions::default_for(Formulation::CSigma),
     );
     assert_eq!(inst.num_requests(), 20);
-    assert!(built.mip.num_vars() > 5_000, "full-scale model is substantial");
+    assert!(
+        built.mip.num_vars() > 5_000,
+        "full-scale model is substantial"
+    );
     assert!(built.mip.num_integers() >= 20);
     // The Σ variant is strictly larger (2|R| events, no presolve).
     let sigma = tvnep::core::build_model(
@@ -184,7 +196,13 @@ fn build_options_toggle_model_size() {
 #[test]
 fn batch_pattern_end_to_end() {
     use tvnep::workloads::patterns::{batch_night, BatchConfig};
-    let inst = batch_night(&BatchConfig { num_requests: 3, ..Default::default() }, 3);
+    let inst = batch_night(
+        &BatchConfig {
+            num_requests: 3,
+            ..Default::default()
+        },
+        3,
+    );
     let out = solve_tvnep(
         &inst,
         Formulation::CSigma,
@@ -196,6 +214,9 @@ fn batch_pattern_end_to_end() {
         assert!(is_feasible(&inst, sol), "{:?}", verify(&inst, sol));
         assert!(sol.makespan() <= inst.horizon + 1e-6);
     } else {
-        panic!("batch night with 3 jobs must yield a schedule, got {:?}", out.mip.status);
+        panic!(
+            "batch night with 3 jobs must yield a schedule, got {:?}",
+            out.mip.status
+        );
     }
 }
