@@ -3,6 +3,7 @@
 //! ```text
 //! figures [fig3|fig4|fig5|fig6|fig7|fig8|fig9|all]
 //!         [--seeds N] [--time-limit SECS] [--flex-step H] [--paper-scale]
+//!         [--threads N]
 //! ```
 //!
 //! Output goes to stdout (CSV) with progress on stderr. See EXPERIMENTS.md
@@ -126,6 +127,10 @@ fn main() {
                 let s: u64 = args[i].parse().expect("--time-limit SECS");
                 cfg.time_limit = Duration::from_secs(s);
             }
+            "--threads" => {
+                i += 1;
+                cfg.threads = args[i].parse().expect("--threads N");
+            }
             "--flex-step" => {
                 i += 1;
                 let h: f64 = args[i].parse().expect("--flex-step H");
@@ -149,8 +154,11 @@ fn main() {
     }
 
     eprintln!(
-        "[figures] target={which} seeds={:?} flex={:?} limit={:?}",
-        cfg.seeds, cfg.flexibilities, cfg.time_limit
+        "[figures] target={which} seeds={:?} flex={:?} limit={:?} threads={}",
+        cfg.seeds,
+        cfg.flexibilities,
+        cfg.time_limit,
+        cfg.effective_threads()
     );
     println!("{CSV_HEADER}");
 

@@ -47,6 +47,8 @@ pub struct CellResult {
     pub lp_iterations: u64,
     /// Whether the extracted solution passed the independent verifier.
     pub verified: Option<bool>,
+    /// Branch-and-bound worker threads used for the run (1 = sequential).
+    pub threads: usize,
 }
 
 /// Harness configuration.
@@ -64,6 +66,10 @@ pub struct HarnessConfig {
     /// the role of Gurobi's primal heuristics; keeps the formulation
     /// comparison fair because every formulation gets the same cutoff).
     pub greedy_cutoff: bool,
+    /// Branch-and-bound worker threads per solve (1 = deterministic
+    /// sequential, 0 = all available cores). Recorded per cell so speedup
+    /// comparisons across runs stay attributable.
+    pub threads: usize,
 }
 
 impl Default for HarnessConfig {
@@ -74,6 +80,7 @@ impl Default for HarnessConfig {
             flexibilities: (0..=6).map(|i| i as f64).collect(),
             time_limit: Duration::from_secs(20),
             greedy_cutoff: true,
+            threads: 1,
         }
     }
 }
@@ -88,7 +95,17 @@ impl HarnessConfig {
             flexibilities: tvnep_workloads::paper_flexibilities(),
             time_limit: Duration::from_secs(3600),
             greedy_cutoff: true,
+            threads: 1,
         }
+    }
+
+    /// Worker threads actually used per solve (resolves `threads = 0`).
+    pub fn effective_threads(&self) -> usize {
+        MipOptions {
+            threads: self.threads,
+            ..Default::default()
+        }
+        .effective_threads()
     }
 }
 
@@ -106,15 +123,13 @@ pub fn run_sweep(cfg: &HarnessConfig, formulation: Formulation) -> Vec<CellResul
             let telemetry = Telemetry::metrics_only();
             let mut opts = MipOptions::with_time_limit(cfg.time_limit);
             opts.telemetry = telemetry.clone();
+            opts.threads = cfg.threads;
             let mut greedy_obj = None;
             let mut greedy_acc = None;
             if cfg.greedy_cutoff {
-                let g = greedy_csigma(
-                    &inst,
-                    &GreedyOptions {
-                        subproblem: MipOptions::with_time_limit(cfg.time_limit / 4),
-                    },
-                );
+                let mut sub = MipOptions::with_time_limit(cfg.time_limit / 4);
+                sub.threads = cfg.threads;
+                let g = greedy_csigma(&inst, &GreedyOptions { subproblem: sub });
                 let rev = g.solution.revenue(&inst);
                 greedy_obj = Some(rev);
                 greedy_acc = Some(g.solution.accepted_count());
@@ -169,6 +184,7 @@ pub fn run_sweep(cfg: &HarnessConfig, formulation: Formulation) -> Vec<CellResul
                 nodes: run.mip.nodes,
                 lp_iterations: telemetry.snapshot().counter("lp.iterations"),
                 verified,
+                threads: cfg.effective_threads(),
             });
         }
     }
@@ -184,12 +200,9 @@ pub fn run_objective_sweep(cfg: &HarnessConfig, objective: Objective) -> Vec<Cel
             // Fixed-set objectives need an embeddable request set: keep the
             // subset the greedy accepts (the paper plots the number of
             // requests per flexibility in Fig 8 for the same reason).
-            let g = greedy_csigma(
-                &inst,
-                &GreedyOptions {
-                    subproblem: MipOptions::with_time_limit(cfg.time_limit / 4),
-                },
-            );
+            let mut sub = MipOptions::with_time_limit(cfg.time_limit / 4);
+            sub.threads = cfg.threads;
+            let g = greedy_csigma(&inst, &GreedyOptions { subproblem: sub });
             let keep: Vec<usize> = (0..inst.num_requests())
                 .filter(|&r| g.accepted[r])
                 .collect();
@@ -209,6 +222,7 @@ pub fn run_objective_sweep(cfg: &HarnessConfig, objective: Objective) -> Vec<Cel
             let telemetry = Telemetry::metrics_only();
             let mut opts = MipOptions::with_time_limit(cfg.time_limit);
             opts.telemetry = telemetry.clone();
+            opts.threads = cfg.threads;
             let t0 = Instant::now();
             let run = solve_tvnep(
                 &sub,
@@ -231,6 +245,7 @@ pub fn run_objective_sweep(cfg: &HarnessConfig, objective: Objective) -> Vec<Cel
                 nodes: run.mip.nodes,
                 lp_iterations: telemetry.snapshot().counter("lp.iterations"),
                 verified,
+                threads: cfg.effective_threads(),
             });
         }
     }
@@ -247,6 +262,7 @@ pub fn run_greedy_sweep(cfg: &HarnessConfig) -> Vec<CellResult> {
             let telemetry = Telemetry::metrics_only();
             let mut subproblem = MipOptions::with_time_limit(cfg.time_limit / 4);
             subproblem.telemetry = telemetry.clone();
+            subproblem.threads = cfg.threads;
             let t0 = Instant::now();
             let g = greedy_csigma(&inst, &GreedyOptions { subproblem });
             let runtime = t0.elapsed();
@@ -264,6 +280,7 @@ pub fn run_greedy_sweep(cfg: &HarnessConfig) -> Vec<CellResult> {
                 nodes: g.total_nodes,
                 lp_iterations: telemetry.snapshot().counter("lp.iterations"),
                 verified: Some(ok),
+                threads: cfg.effective_threads(),
             });
         }
     }
@@ -274,7 +291,7 @@ pub fn run_greedy_sweep(cfg: &HarnessConfig) -> Vec<CellResult> {
 pub fn print_csv(label: &str, rows: &[CellResult]) {
     for r in rows {
         println!(
-            "{label},{},{},{:.3},{:?},{},{:.4},{},{},{},{},{}",
+            "{label},{},{},{:.3},{:?},{},{:.4},{},{},{},{},{},{}",
             r.seed,
             r.flex,
             r.runtime.as_secs_f64(),
@@ -286,10 +303,11 @@ pub fn print_csv(label: &str, rows: &[CellResult]) {
             r.nodes,
             r.lp_iterations,
             r.verified.map_or("NA".into(), |v| v.to_string()),
+            r.threads,
         );
     }
 }
 
 /// CSV header matching [`print_csv`].
-pub const CSV_HEADER: &str =
-    "label,seed,flex_h,runtime_s,status,objective,best_bound,gap,accepted,nodes,lp_iters,verified";
+pub const CSV_HEADER: &str = "label,seed,flex_h,runtime_s,status,objective,best_bound,gap,\
+                              accepted,nodes,lp_iters,verified,threads";

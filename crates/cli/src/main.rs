@@ -30,10 +30,10 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  tvnep-cli generate [--preset tiny|small|medium|paper] [--seed N] \
          [--flex H] [-o FILE]\n  tvnep-cli solve INSTANCE [--formulation delta|sigma|csigma] \
-         [--objective access|earliness|load|links|makespan] [--time-limit SECS] [-o FILE] \
+         [--objective access|earliness|load|links|makespan] [--time-limit SECS] [--threads N] \
+         [-o FILE] [--metrics-out FILE] [--trace]\n  \
+         tvnep-cli greedy INSTANCE [--time-limit SECS] [--threads N] [-o FILE] \
          [--metrics-out FILE] [--trace]\n  \
-         tvnep-cli greedy INSTANCE [--time-limit SECS] [-o FILE] [--metrics-out FILE] \
-         [--trace]\n  \
          tvnep-cli verify INSTANCE SOLUTION\n  tvnep-cli info INSTANCE"
     );
     ExitCode::from(1)
@@ -94,6 +94,16 @@ fn parse_args(raw: &[String]) -> Args {
 
 /// Builds the telemetry handle requested by `--metrics-out` / `--trace`.
 /// A timeline is only kept when something will consume it.
+/// `--threads N` (0 = all cores). The CLI defaults to all available
+/// parallelism; the library default stays 1 (deterministic sequential).
+fn threads_for(args: &Args) -> Result<usize, String> {
+    args.flags
+        .get("threads")
+        .map(|s| s.parse().map_err(|e| format!("--threads: {e}")))
+        .transpose()
+        .map(|t| t.unwrap_or(0))
+}
+
 fn telemetry_for(args: &Args) -> Telemetry {
     let trace = args.flags.contains_key("trace");
     let metrics = args.flags.contains_key("metrics-out");
@@ -246,6 +256,7 @@ fn run(cmd: &str, args: &Args) -> Result<ExitCode, String> {
             let telemetry = telemetry_for(args);
             let mut mip_opts = MipOptions::with_time_limit(Duration::from_secs(secs));
             mip_opts.telemetry = telemetry.clone();
+            mip_opts.threads = threads_for(args)?;
             let out = solve_tvnep(
                 &inst,
                 formulation,
@@ -302,6 +313,7 @@ fn run(cmd: &str, args: &Args) -> Result<ExitCode, String> {
             let telemetry = telemetry_for(args);
             let mut subproblem = MipOptions::with_time_limit(Duration::from_secs(secs));
             subproblem.telemetry = telemetry.clone();
+            subproblem.threads = threads_for(args)?;
             let opts = GreedyOptions { subproblem };
             let outcome = if inst.fixed_node_mappings.is_some() {
                 greedy_csigma(&inst, &opts)

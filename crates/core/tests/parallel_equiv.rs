@@ -1,0 +1,130 @@
+//! Thread-count equivalence on the paper's formulations: the parallel
+//! branch-and-bound driver must report the same status and incumbent
+//! objective as the sequential one on every (formulation × seed × flex)
+//! cell, and the sequential path must be run-to-run deterministic.
+//!
+//! Cells are chosen per formulation so every solve closes well within the
+//! limit (Δ blows up with flexibility — see DESIGN.md §3); time-limited
+//! incumbents are search-order dependent and would make the comparison
+//! meaningless.
+
+use std::time::Duration;
+
+use tvnep_core::{solve_tvnep, BuildOptions, Formulation, Objective};
+use tvnep_mip::{MipOptions, MipStatus};
+use tvnep_workloads::{generate, WorkloadConfig};
+
+fn opts(threads: usize) -> MipOptions {
+    let mut o = MipOptions::with_time_limit(Duration::from_secs(120));
+    o.threads = threads;
+    o
+}
+
+/// Two-request micro workload for the Δ-Model cells: Δ's state space blows
+/// up even at tiny scale (that is the paper's point), and the equivalence
+/// sweep needs every cell to close on every thread count.
+fn micro() -> WorkloadConfig {
+    WorkloadConfig {
+        num_requests: 2,
+        ..WorkloadConfig::tiny()
+    }
+}
+
+/// (formulation, workload, seed, flexibility) cells that close quickly.
+fn cells() -> Vec<(Formulation, WorkloadConfig, u64, f64)> {
+    vec![
+        (Formulation::CSigma, WorkloadConfig::tiny(), 1, 0.0),
+        (Formulation::CSigma, WorkloadConfig::tiny(), 2, 0.5),
+        (Formulation::CSigma, WorkloadConfig::tiny(), 1, 1.0),
+        (Formulation::Sigma, WorkloadConfig::tiny(), 1, 0.0),
+        (Formulation::Sigma, WorkloadConfig::tiny(), 2, 0.5),
+        (Formulation::Delta, micro(), 1, 0.0),
+        (Formulation::Delta, micro(), 2, 0.25),
+    ]
+}
+
+#[test]
+fn threads_one_and_four_agree_on_all_formulations() {
+    for (formulation, workload, seed, flex) in cells() {
+        let inst = generate(&workload, seed).with_flexibility_after(flex);
+        let seq = solve_tvnep(
+            &inst,
+            formulation,
+            Objective::AccessControl,
+            BuildOptions::default_for(formulation),
+            &opts(1),
+        );
+        let par = solve_tvnep(
+            &inst,
+            formulation,
+            Objective::AccessControl,
+            BuildOptions::default_for(formulation),
+            &opts(4),
+        );
+        let cell = format!("{formulation:?} seed {seed} flex {flex}");
+        // The cells are sized to close: a timeout here is a real regression.
+        assert_eq!(seq.mip.status, MipStatus::Optimal, "{cell}: seq status");
+        assert_eq!(par.mip.status, MipStatus::Optimal, "{cell}: par status");
+        let (a, b) = (
+            seq.mip.objective.expect("optimal has objective"),
+            par.mip.objective.expect("optimal has objective"),
+        );
+        assert!(
+            (a - b).abs() < 1e-6,
+            "{cell}: sequential {a} vs parallel {b}"
+        );
+        // Both incumbents must decode to verifier-feasible schedules.
+        for (name, run) in [("seq", &seq), ("par", &par)] {
+            let sol = run.solution.as_ref().expect("optimal has solution");
+            assert!(
+                tvnep_model::is_feasible(&inst, sol),
+                "{cell}: {name} solution fails the verifier"
+            );
+        }
+    }
+}
+
+/// `threads = 1` must stay bit-for-bit reproducible: same status, objective
+/// bits, node count, LP iteration count, and incumbent vector on repeat runs.
+#[test]
+fn sequential_path_is_run_to_run_deterministic() {
+    for (formulation, workload, seed, flex) in [
+        (Formulation::CSigma, WorkloadConfig::tiny(), 3, 0.5),
+        (Formulation::Sigma, WorkloadConfig::tiny(), 1, 0.5),
+        (Formulation::Delta, micro(), 1, 0.0),
+    ] {
+        let inst = generate(&workload, seed).with_flexibility_after(flex);
+        let runs: Vec<_> = (0..2)
+            .map(|_| {
+                solve_tvnep(
+                    &inst,
+                    formulation,
+                    Objective::AccessControl,
+                    BuildOptions::default_for(formulation),
+                    &opts(1),
+                )
+            })
+            .collect();
+        let (a, b) = (&runs[0].mip, &runs[1].mip);
+        assert_eq!(a.status, b.status, "{formulation:?}: status");
+        assert_eq!(
+            a.objective.map(f64::to_bits),
+            b.objective.map(f64::to_bits),
+            "{formulation:?}: objective bits"
+        );
+        assert_eq!(a.nodes, b.nodes, "{formulation:?}: node count");
+        assert_eq!(
+            a.lp_iterations, b.lp_iterations,
+            "{formulation:?}: LP iterations"
+        );
+        match (&a.x, &b.x) {
+            (Some(xa), Some(xb)) => {
+                let same = xa.len() == xb.len()
+                    && xa.iter().zip(xb).all(|(p, q)| p.to_bits() == q.to_bits());
+                assert!(same, "{formulation:?}: incumbent vectors differ");
+            }
+            (None, None) => {}
+            other => panic!("{formulation:?}: incumbent presence mismatch {other:?}"),
+        }
+    }
+}

@@ -108,6 +108,11 @@ pub struct Params {
     pub max_iters: usize,
     /// Optional wall-clock deadline, checked periodically mid-solve.
     pub deadline: Option<Instant>,
+    /// Candidate-list partial pricing: scan a rotating window of columns and
+    /// enter the best eligible one found there, falling back to a full
+    /// Dantzig scan only when the window prices out. Optimality is still
+    /// only ever declared after a full scan finds no eligible column.
+    pub partial_pricing: bool,
 }
 
 impl Default for Params {
@@ -120,6 +125,7 @@ impl Default for Params {
             degen_switch: 300,
             max_iters: 500_000,
             deadline: None,
+            partial_pricing: true,
         }
     }
 }
@@ -182,9 +188,26 @@ pub struct Simplex {
     /// `max_iters` budget is per solve, not per instance lifetime.
     iter_base: usize,
     params: Params,
+    /// Rotating start column for candidate-list partial pricing; survives
+    /// across solves so successive prices walk different windows.
+    pricing_cursor: usize,
     /// Scratch buffers reused across iterations to avoid allocation.
     scratch_w: Vec<f64>,
     scratch_y: Vec<f64>,
+    /// Basic-cost vector consumed by [`Simplex::btran_costs`] (length `m`).
+    scratch_cb: Vec<f64>,
+    /// Dual-simplex reduced costs (length `n_total`).
+    scratch_d: Vec<f64>,
+    /// Dual-simplex pivot row of `B⁻¹` (length `m`).
+    scratch_rho: Vec<f64>,
+    /// Dual-simplex pivot-row coefficients `ρ'A_j` (length `n_total`).
+    scratch_alpha: Vec<f64>,
+    /// Right-hand side accumulator for [`Simplex::recompute_xb`].
+    scratch_rhs: Vec<f64>,
+    /// Row-major factorization workspaces (`m × m`), reused across
+    /// refactorizations.
+    scratch_bmat: Vec<f64>,
+    scratch_inv: Vec<f64>,
     /// Cumulative counters for performance diagnosis.
     pub stats: SolveStats,
     /// Observability sink; disabled (free) by default.
@@ -210,6 +233,11 @@ pub struct SolveStats {
     pub degenerate_pivots: usize,
     /// Nonbasic bound flips (ratio test won by the entering variable).
     pub bound_flips: usize,
+    /// Primal prices resolved inside the partial-pricing window.
+    pub pricing_window_hits: usize,
+    /// Primal prices that needed a full Dantzig scan (window priced out, or
+    /// the scan proved optimality).
+    pub pricing_full_scans: usize,
 }
 
 impl SolveStats {
@@ -226,6 +254,25 @@ impl SolveStats {
         t.counter_add("lp.refactorizations", self.refactorizations as u64);
         t.counter_add("lp.degenerate_pivots", self.degenerate_pivots as u64);
         t.counter_add("lp.bound_flips", self.bound_flips as u64);
+        t.counter_add("lp.pricing_window_hits", self.pricing_window_hits as u64);
+        t.counter_add("lp.pricing_full_scans", self.pricing_full_scans as u64);
+    }
+
+    /// Accumulates another instance's counters into this one. The parallel
+    /// branch-and-bound driver gives each worker its own [`Simplex`] and
+    /// merges the per-worker stats at the end, so reported quantities are
+    /// identical regardless of thread count.
+    pub fn merge_from(&mut self, other: &SolveStats) {
+        self.warm_calls += other.warm_calls;
+        self.dual_successes += other.dual_successes;
+        self.dual_fallbacks += other.dual_fallbacks;
+        self.dual_iters += other.dual_iters;
+        self.primal_iters += other.primal_iters;
+        self.refactorizations += other.refactorizations;
+        self.degenerate_pivots += other.degenerate_pivots;
+        self.bound_flips += other.bound_flips;
+        self.pricing_window_hits += other.pricing_window_hits;
+        self.pricing_full_scans += other.pricing_full_scans;
     }
 }
 
@@ -286,8 +333,16 @@ impl Simplex {
             iterations: 0,
             iter_base: 0,
             params: Params::default(),
+            pricing_cursor: 0,
             scratch_w: vec![0.0; m],
             scratch_y: vec![0.0; m],
+            scratch_cb: vec![0.0; m],
+            scratch_d: vec![0.0; n_total],
+            scratch_rho: vec![0.0; m],
+            scratch_alpha: vec![0.0; n_total],
+            scratch_rhs: vec![0.0; m],
+            scratch_bmat: vec![0.0; m * m],
+            scratch_inv: vec![0.0; m * m],
             stats: SolveStats::default(),
             telemetry: Telemetry::disabled(),
         };
@@ -418,14 +473,17 @@ impl Simplex {
     fn refactorize(&mut self) -> bool {
         let m = self.m;
         // Row-major B: bmat[r*m + c] = B(r, c) where column c is basis[c].
-        let mut bmat = vec![0.0; m * m];
+        // The workspaces persist across refactorizations; only re-zero them.
+        let bmat = &mut self.scratch_bmat;
+        let inv = &mut self.scratch_inv;
+        bmat.iter_mut().for_each(|v| *v = 0.0);
+        inv.iter_mut().for_each(|v| *v = 0.0);
         for (c, &j) in self.basis.iter().enumerate() {
             let (rows, vals) = self.cols.column(j);
             for (&r, &v) in rows.iter().zip(vals) {
                 bmat[r * m + c] = v;
             }
         }
-        let mut inv = vec![0.0; m * m];
         for i in 0..m {
             inv[i * m + i] = 1.0;
         }
@@ -488,28 +546,29 @@ impl Simplex {
         true
     }
 
-    /// Recomputes `xb = B⁻¹ (0 − N x_N)`.
+    /// Recomputes `xb = B⁻¹ (0 − N x_N)` in place.
     fn recompute_xb(&mut self) {
         let m = self.m;
-        let mut rhs = vec![0.0; m];
+        self.scratch_rhs.iter_mut().for_each(|v| *v = 0.0);
         for j in 0..self.n_total {
             if self.status[j] != VarStatus::Basic {
                 let v = self.nonbasic_value(j);
                 if v != 0.0 {
-                    self.cols.axpy_column(j, -v, &mut rhs);
+                    self.cols.axpy_column(j, -v, &mut self.scratch_rhs);
                 }
             }
         }
-        let mut xb = vec![0.0; m];
-        for (j, &r) in rhs.iter().enumerate() {
+        self.xb.resize(m, 0.0);
+        self.xb.iter_mut().for_each(|v| *v = 0.0);
+        for j in 0..m {
+            let r = self.scratch_rhs[j];
             if r != 0.0 {
                 let col = &self.binv[j * m..(j + 1) * m];
-                for (x, &b) in xb.iter_mut().zip(col) {
+                for (x, &b) in self.xb.iter_mut().zip(col) {
                     *x += r * b;
                 }
             }
         }
-        self.xb = xb;
     }
 
     fn rebuild_state(&mut self) {
@@ -543,13 +602,36 @@ impl Simplex {
         }
     }
 
-    /// `y = c_B' B⁻¹` into `scratch_y` for the given basic-cost vector.
-    fn btran_costs(&mut self, cb: &[f64]) {
+    /// Fills `scratch_cb` with the basic costs for the given phase and
+    /// perturbation setting (phase-1 composite costs, perturbed pricing
+    /// costs, or the true objective).
+    fn fill_basic_costs(&mut self, phase1: bool, pert: bool) {
+        for i in 0..self.m {
+            let j = self.basis[i];
+            self.scratch_cb[i] = if phase1 {
+                if self.xb[i] < self.lo[j] - self.params.feas_tol {
+                    -1.0
+                } else if self.xb[i] > self.up[j] + self.params.feas_tol {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else if pert {
+                self.obj_pert[j]
+            } else {
+                self.obj[j]
+            };
+        }
+    }
+
+    /// `y = c_B' B⁻¹` into `scratch_y`, with `c_B` read from `scratch_cb`
+    /// (filled by [`Simplex::fill_basic_costs`]).
+    fn btran_costs(&mut self) {
         let m = self.m;
         for j in 0..m {
             let col = &self.binv[j * m..(j + 1) * m];
             let mut acc = 0.0;
-            for (c, &b) in cb.iter().zip(col) {
+            for (c, &b) in self.scratch_cb.iter().zip(col) {
                 acc += c * b;
             }
             self.scratch_y[j] = acc;
@@ -729,22 +811,10 @@ impl Simplex {
         }
     }
 
-    fn phase1_costs(&self) -> Vec<f64> {
-        let mut cb = vec![0.0; self.m];
-        for (i, &j) in self.basis.iter().enumerate() {
-            if self.xb[i] < self.lo[j] - self.params.feas_tol {
-                cb[i] = -1.0;
-            } else if self.xb[i] > self.up[j] + self.params.feas_tol {
-                cb[i] = 1.0;
-            }
-        }
-        cb
-    }
-
     /// True if any nonbasic variable has an improving reduced cost (phase 2).
     fn has_improving_direction(&mut self) -> bool {
-        let cb: Vec<f64> = self.basis.iter().map(|&j| self.obj[j]).collect();
-        self.btran_costs(&cb);
+        self.fill_basic_costs(false, false);
+        self.btran_costs();
         let tol = self.params.opt_tol * 100.0;
         for j in 0..self.n_total {
             if self.status[j] == VarStatus::Basic || self.lo[j] == self.up[j] {
@@ -776,24 +846,26 @@ impl Simplex {
     /// reports violations as `Numerical` so callers can fall back.
     fn dual_simplex(&mut self) -> LpStatus {
         let m = self.m;
-        // Reduced costs for all nonbasic variables.
-        let cb: Vec<f64> = self.basis.iter().map(|&j| self.obj_pert[j]).collect();
-        self.btran_costs(&cb);
-        let mut d: Vec<f64> = (0..self.n_total)
-            .map(|j| {
-                if self.status[j] == VarStatus::Basic {
-                    0.0
-                } else {
-                    self.reduced_cost(j, false, true)
-                }
-            })
-            .collect();
+        // Reduced costs for all nonbasic variables, into the persistent
+        // scratch vectors (zeroed here: a previous solve may have left them
+        // dirty through an early return).
+        self.fill_basic_costs(false, true);
+        self.btran_costs();
+        for j in 0..self.n_total {
+            self.scratch_d[j] = if self.status[j] == VarStatus::Basic {
+                0.0
+            } else {
+                self.reduced_cost(j, false, true)
+            };
+        }
+        self.scratch_alpha.iter_mut().for_each(|a| *a = 0.0);
         // Verify dual feasibility within a loose tolerance.
         let dtol = self.params.opt_tol * 100.0;
-        for (j, &dj) in d.iter().enumerate() {
+        for j in 0..self.n_total {
             if self.lo[j] == self.up[j] {
                 continue;
             }
+            let dj = self.scratch_d[j];
             let bad = match self.status[j] {
                 VarStatus::Basic => false,
                 VarStatus::AtLower => dj < -dtol,
@@ -805,8 +877,6 @@ impl Simplex {
             }
         }
 
-        let mut rho = vec![0.0; m];
-        let mut alpha = vec![0.0; self.n_total];
         let mut degen_run = 0usize;
         // Deterministic xorshift for the anti-stall row choice.
         let mut rng_state: u64 = 0x9E37_79B9_7F4A_7C15 ^ (self.iterations as u64 + 1);
@@ -854,8 +924,8 @@ impl Simplex {
             };
 
             // ρ = row r of B⁻¹; α_j = ρ'A_j for nonbasic j.
-            for (j, rj) in rho.iter_mut().enumerate() {
-                *rj = self.binv[j * m + r];
+            for j in 0..m {
+                self.scratch_rho[j] = self.binv[j * m + r];
             }
             // Dual ratio test: minimize |d_j| / |α_j| over eligible columns.
             let mut best: Option<(usize, f64, f64)> = None; // (var, ratio, |alpha|)
@@ -863,8 +933,8 @@ impl Simplex {
                 if self.status[j] == VarStatus::Basic || self.lo[j] == self.up[j] {
                     continue;
                 }
-                let a = self.cols.column_dot(j, &rho);
-                alpha[j] = a;
+                let a = self.cols.column_dot(j, &self.scratch_rho);
+                self.scratch_alpha[j] = a;
                 if a.abs() <= self.params.pivot_tol {
                     continue;
                 }
@@ -881,7 +951,7 @@ impl Simplex {
                 if !eligible {
                     continue;
                 }
-                let ratio = d[j].abs() / a.abs();
+                let ratio = self.scratch_d[j].abs() / a.abs();
                 // Under stalling, randomize the tie-break among the (many)
                 // zero-ratio candidates instead of always taking max |α|.
                 let score = if randomize {
@@ -930,17 +1000,17 @@ impl Simplex {
             self.xb[r] = entering_value;
 
             // Incremental reduced-cost update: d'_k = d_k − (d_q/α_q)·α_k.
-            let theta = d[q] / alpha[q];
+            let theta = self.scratch_d[q] / self.scratch_alpha[q];
             if theta != 0.0 {
                 for k in 0..self.n_total {
-                    if self.status[k] != VarStatus::Basic && alpha[k] != 0.0 {
-                        d[k] -= theta * alpha[k];
+                    if self.status[k] != VarStatus::Basic && self.scratch_alpha[k] != 0.0 {
+                        self.scratch_d[k] -= theta * self.scratch_alpha[k];
                     }
                 }
             }
-            d[jl] = -theta;
-            d[q] = 0.0;
-            alpha.iter_mut().for_each(|a| *a = 0.0);
+            self.scratch_d[jl] = -theta;
+            self.scratch_d[q] = 0.0;
+            self.scratch_alpha.iter_mut().for_each(|a| *a = 0.0);
 
             self.update_binv(r);
             self.iterations += 1;
@@ -958,10 +1028,10 @@ impl Simplex {
                 }
                 self.recompute_xb();
                 // Refresh reduced costs from scratch to bound drift.
-                let cb: Vec<f64> = self.basis.iter().map(|&j| self.obj_pert[j]).collect();
-                self.btran_costs(&cb);
-                for (j, dj) in d.iter_mut().enumerate() {
-                    *dj = if self.status[j] == VarStatus::Basic {
+                self.fill_basic_costs(false, true);
+                self.btran_costs();
+                for j in 0..self.n_total {
+                    self.scratch_d[j] = if self.status[j] == VarStatus::Basic {
                         0.0
                     } else {
                         self.reduced_cost(j, false, true)
@@ -986,22 +1056,35 @@ impl Simplex {
             if phase1 && self.infeasibility() <= self.params.feas_tol {
                 return LpStatus::Optimal;
             }
-            // Price.
-            let cb: Vec<f64> = if phase1 {
-                self.phase1_costs()
-            } else if pert {
-                self.basis.iter().map(|&j| self.obj_pert[j]).collect()
-            } else {
-                self.basis.iter().map(|&j| self.obj[j]).collect()
-            };
-            self.btran_costs(&cb);
+            // Price. Candidate-list partial pricing (Dantzig only): scan a
+            // rotating window of columns and enter the best eligible one
+            // found there; keep scanning past the window while nothing is
+            // eligible, so optimality is still only ever declared after a
+            // genuinely full scan. Bland's rule keeps its fixed column order
+            // from index 0 — the anti-cycling guarantee depends on it.
+            self.fill_basic_costs(phase1, pert);
+            self.btran_costs();
             let pricing = if degen_run > self.params.degen_switch {
                 Pricing::Bland
             } else {
                 Pricing::Dantzig
             };
+            let n = self.n_total;
+            let partial = self.params.partial_pricing && matches!(pricing, Pricing::Dantzig);
+            let window = if partial {
+                (n / 8).clamp(64.min(n), n)
+            } else {
+                n
+            };
+            let start = if partial { self.pricing_cursor % n } else { 0 };
             let mut entering: Option<(usize, f64, f64)> = None; // (var, d, sigma)
-            for j in 0..self.n_total {
+            let mut scanned = 0usize;
+            while scanned < n && !(scanned >= window && entering.is_some()) {
+                let mut j = start + scanned;
+                if j >= n {
+                    j -= n;
+                }
+                scanned += 1;
                 if self.status[j] == VarStatus::Basic || self.lo[j] == self.up[j] {
                     continue;
                 }
@@ -1028,6 +1111,14 @@ impl Simplex {
                             entering = Some((j, d, sigma));
                         }
                     }
+                }
+            }
+            if partial {
+                self.pricing_cursor = (start + scanned) % n;
+                if entering.is_some() && scanned < n {
+                    self.stats.pricing_window_hits += 1;
+                } else {
+                    self.stats.pricing_full_scans += 1;
                 }
             }
             let Some((q, _dq, sigma)) = entering else {
@@ -1255,3 +1346,12 @@ impl Simplex {
         }
     }
 }
+
+// The parallel branch-and-bound driver moves `Simplex` instances and saved
+// bases into worker threads; keep that property checked at compile time.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Simplex>();
+    assert_send::<Basis>();
+    assert_send::<SolveStats>();
+};

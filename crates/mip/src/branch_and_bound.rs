@@ -67,7 +67,9 @@ pub enum Branching {
 pub struct MipProgress {
     /// Nodes processed so far.
     pub nodes: u64,
-    /// Open nodes on the best-bound queue (excludes the current dive).
+    /// True open-node count: the best-bound queue plus every in-flight dive
+    /// node (the sequential solver's current dive counts as one; with N
+    /// worker threads all active dives are included).
     pub open: usize,
     /// Incumbent objective, if any.
     pub incumbent: Option<f64>,
@@ -75,9 +77,12 @@ pub struct MipProgress {
     pub bound: f64,
     /// Wall-clock time since the solve started.
     pub elapsed: Duration,
-    /// Total simplex iterations so far.
+    /// Total simplex iterations so far. With `threads > 1` this is the
+    /// reporting worker's own LP engine (per-worker counters are merged into
+    /// the final [`MipResult`] and telemetry, not into progress reports).
     pub lp_iterations: usize,
-    /// Cumulative LP engine counters.
+    /// Cumulative LP engine counters (same per-worker caveat as
+    /// [`lp_iterations`](Self::lp_iterations)).
     pub lp_stats: SolveStats,
 }
 
@@ -112,6 +117,12 @@ pub struct MipOptions {
     /// better solutions are searched for. When the tree is exhausted without
     /// finding one, the status is [`MipStatus::NoBetterThanCutoff`].
     pub cutoff: Option<f64>,
+    /// Worker threads for the branch-and-bound search. `1` (the default)
+    /// runs the exact sequential code path; `0` means "use all available
+    /// parallelism". Each worker owns its own warm-started [`Simplex`];
+    /// nodes are drawn from a shared best-bound pool and every worker prunes
+    /// against the shared incumbent immediately.
+    pub threads: usize,
 }
 
 impl std::fmt::Debug for MipOptions {
@@ -127,6 +138,7 @@ impl std::fmt::Debug for MipOptions {
             .field("telemetry", &self.telemetry)
             .field("lp_params", &self.lp_params)
             .field("cutoff", &self.cutoff)
+            .field("threads", &self.threads)
             .finish()
     }
 }
@@ -144,6 +156,7 @@ impl Default for MipOptions {
             telemetry: Telemetry::disabled(),
             lp_params: None,
             cutoff: None,
+            threads: 1,
         }
     }
 }
@@ -154,6 +167,17 @@ impl MipOptions {
         Self {
             time_limit: Some(limit),
             ..Self::default()
+        }
+    }
+
+    /// Resolves [`threads`](Self::threads): `0` maps to the machine's
+    /// available parallelism, everything else is taken literally.
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            t => t,
         }
     }
 }
@@ -199,17 +223,17 @@ pub fn solve(model: &MipModel) -> MipResult {
     solve_with(model, &MipOptions::default())
 }
 
-struct Node {
+pub(crate) struct Node {
     /// `(lo, up)` for each *integer* variable, in `int_vars` order.
-    bounds: Box<[(f64, f64)]>,
+    pub(crate) bounds: Box<[(f64, f64)]>,
     /// LP bound inherited from the parent (minimize sense).
-    bound: f64,
-    depth: u32,
-    seq: u64,
+    pub(crate) bound: f64,
+    pub(crate) depth: u32,
+    pub(crate) seq: u64,
     /// Pseudocost bookkeeping: `(int_var_idx, branched_up, parent_lp_obj,
     /// fractional_part)` of the branching that created this node. Recorded
     /// once the node's own LP solves.
-    pending_pseudo: Option<(usize, bool, f64, f64)>,
+    pub(crate) pending_pseudo: Option<(usize, bool, f64, f64)>,
 }
 
 // Min-heap on (bound, seq): BinaryHeap is a max-heap, so invert.
@@ -234,7 +258,7 @@ impl Ord for Node {
     }
 }
 
-struct PseudoCosts {
+pub(crate) struct PseudoCosts {
     up_sum: Vec<f64>,
     up_count: Vec<u32>,
     down_sum: Vec<f64>,
@@ -242,7 +266,7 @@ struct PseudoCosts {
 }
 
 impl PseudoCosts {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         Self {
             up_sum: vec![0.0; n],
             up_count: vec![0; n],
@@ -251,7 +275,7 @@ impl PseudoCosts {
         }
     }
 
-    fn record(&mut self, k: usize, up: bool, obj_gain_per_unit: f64) {
+    pub(crate) fn record(&mut self, k: usize, up: bool, obj_gain_per_unit: f64) {
         let gain = obj_gain_per_unit.max(0.0);
         if up {
             self.up_sum[k] += gain;
@@ -263,7 +287,7 @@ impl PseudoCosts {
     }
 
     /// Estimated objective degradation product (standard score).
-    fn score(&self, k: usize, frac: f64) -> Option<f64> {
+    pub(crate) fn score(&self, k: usize, frac: f64) -> Option<f64> {
         if self.up_count[k] == 0 || self.down_count[k] == 0 {
             return None;
         }
@@ -280,7 +304,7 @@ impl PseudoCosts {
 /// re-solve, hoping to land on an integer-feasible point. Bounds mutated
 /// here are overwritten by the next node's bound assignment, so no explicit
 /// restore is needed.
-fn dive_heuristic(
+pub(crate) fn dive_heuristic(
     simplex: &mut Simplex,
     int_vars: &[usize],
     int_tol: f64,
@@ -313,8 +337,21 @@ fn dive_heuristic(
     None
 }
 
-/// Solves `model` with `opts`.
+/// Solves `model` with `opts`. With `threads > 1` (or `threads = 0` on a
+/// multi-core machine) the search runs on the parallel driver; `threads = 1`
+/// is the exact sequential code path, preserved bit-for-bit.
 pub fn solve_with(model: &MipModel, opts: &MipOptions) -> MipResult {
+    let threads = opts.effective_threads();
+    if opts.telemetry.is_enabled() {
+        opts.telemetry.gauge_set("mip.threads", threads as f64);
+    }
+    if threads > 1 {
+        return crate::parallel::solve_parallel(model, opts, threads);
+    }
+    solve_sequential(model, opts)
+}
+
+fn solve_sequential(model: &MipModel, opts: &MipOptions) -> MipResult {
     let start = Instant::now();
     let sign = match model.sense() {
         Sense::Minimize => 1.0,
@@ -495,7 +532,9 @@ pub fn solve_with(model: &MipModel, opts: &MipOptions) -> MipResult {
                     let b = global_bound(&heap, Some(current.bound), &incumbent);
                     let report = MipProgress {
                         nodes,
-                        open: heap.len(),
+                        // The current dive node is in flight, not on the
+                        // heap: count it so `open` is the true open total.
+                        open: heap.len() + 1,
                         incumbent: incumbent.as_ref().map(|(o, _)| sign * o),
                         bound: sign * b,
                         elapsed: start.elapsed(),
@@ -780,14 +819,14 @@ pub fn solve_with(model: &MipModel, opts: &MipOptions) -> MipResult {
 
 /// The historical `log_every` behavior: one summary line per report on
 /// stderr. Installed when no [`MipOptions::progress`] callback is set.
-fn default_progress_sink(p: &MipProgress) {
+pub(crate) fn default_progress_sink(p: &MipProgress) {
     eprintln!(
         "[mip] node {} open {} inc {:?} bound {:.6} t {:?} lp_it {} {:?}",
         p.nodes, p.open, p.incumbent, p.bound, p.elapsed, p.lp_iterations, p.lp_stats,
     );
 }
 
-fn most_fractional(frac_vars: &[(usize, f64)]) -> (usize, f64) {
+pub(crate) fn most_fractional(frac_vars: &[(usize, f64)]) -> (usize, f64) {
     let mut best = frac_vars[0];
     let mut best_dist = -1.0;
     for &(k, f) in frac_vars {
@@ -800,6 +839,6 @@ fn most_fractional(frac_vars: &[(usize, f64)]) -> (usize, f64) {
     best
 }
 
-fn prune_eps(incumbent: f64) -> f64 {
+pub(crate) fn prune_eps(incumbent: f64) -> f64 {
     1e-9 * incumbent.abs().max(1.0)
 }

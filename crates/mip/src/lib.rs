@@ -25,6 +25,7 @@
 
 pub mod branch_and_bound;
 pub mod model;
+mod parallel;
 
 pub use branch_and_bound::{
     solve, solve_with, Branching, MipOptions, MipProgress, MipResult, MipStatus, ProgressFn,

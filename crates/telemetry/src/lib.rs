@@ -128,6 +128,25 @@ impl Telemetry {
         }
     }
 
+    /// Folds another handle's metrics registry into this one (counters add,
+    /// gauges last-write, histograms merge bucket-wise). Used by the parallel
+    /// MIP solver: each worker thread records LP-engine metrics into a
+    /// private `metrics_only` handle and the driver absorbs them after the
+    /// workers join, so `--metrics-out` reports the same quantities
+    /// regardless of thread count. No-op when either handle is disabled;
+    /// timeline events are not transferred (per-thread LP timelines have no
+    /// global order).
+    pub fn absorb_metrics(&self, other: &Telemetry) {
+        let (Some(inner), Some(other_inner)) = (&self.0, &other.0) else {
+            return;
+        };
+        if Arc::ptr_eq(inner, other_inner) {
+            return;
+        }
+        let theirs = other_inner.metrics.lock().unwrap();
+        inner.metrics.lock().unwrap().merge_from(&theirs);
+    }
+
     /// A point-in-time copy of the metrics registry (empty when disabled).
     pub fn snapshot(&self) -> MetricsSnapshot {
         match &self.0 {

@@ -58,6 +58,17 @@ impl Histogram {
         self.min = self.min.min(v);
         self.max = self.max.max(v);
     }
+
+    /// Folds another histogram into this one (bucket-wise addition).
+    fn merge_from(&mut self, other: &Histogram) {
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
 }
 
 /// Aggregated metrics: counters (monotone u64), gauges (last write wins), and
@@ -98,6 +109,27 @@ impl MetricsRegistry {
             let mut h = Histogram::new();
             h.observe(value);
             self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// Folds `other` into this registry: counters add, gauges take `other`'s
+    /// last write, histograms merge bucket-wise. This is the per-thread merge
+    /// used by the parallel MIP solver — each worker records into its own
+    /// registry lock-free of the others, and the driver absorbs them at the
+    /// end so exported quantities are identical regardless of thread count.
+    pub fn merge_from(&mut self, other: &MetricsRegistry) {
+        for (name, delta) in &other.counters {
+            self.counter_add(name, *delta);
+        }
+        for (name, value) in &other.gauges {
+            self.gauge_set(name, *value);
+        }
+        for (name, hist) in &other.histograms {
+            if let Some(h) = self.histograms.get_mut(name) {
+                h.merge_from(hist);
+            } else {
+                self.histograms.insert(name.clone(), hist.clone());
+            }
         }
     }
 
