@@ -12,17 +12,19 @@
 //! Exit codes: 0 success / verified; 1 usage error; 2 infeasible or
 //! verification failure.
 
-mod format;
-
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use format::{render_trace, InstanceDoc, SolutionDoc};
 use tvnep_core::{
     greedy_csigma, solve_tvnep, BuildOptions, Formulation, GreedyOptions, GreedyOutcome, Objective,
 };
+use tvnep_harness::format::{render_trace, InstanceDoc, SolutionDoc};
+use tvnep_harness::oracle::OracleOptions;
+use tvnep_harness::{run_fuzz, FuzzConfig, FuzzReport};
 use tvnep_mip::MipOptions;
-use tvnep_model::{verify, Instance};
+use tvnep_model::tol::VERIFY_TOL;
+use tvnep_model::{verify_with_tol, Instance};
 use tvnep_telemetry::{Json, Telemetry};
 use tvnep_workloads::{generate, WorkloadConfig};
 
@@ -34,7 +36,9 @@ fn usage() -> ExitCode {
          [-o FILE] [--metrics-out FILE] [--trace]\n  \
          tvnep-cli greedy INSTANCE [--time-limit SECS] [--threads N] [-o FILE] \
          [--metrics-out FILE] [--trace]\n  \
-         tvnep-cli verify INSTANCE SOLUTION\n  tvnep-cli info INSTANCE"
+         tvnep-cli verify INSTANCE SOLUTION\n  tvnep-cli info INSTANCE\n  \
+         tvnep-cli fuzz [--seed N] [--cases N] [--time-cap SECS] \
+         [--solve-time-limit SECS] [--threads N] [--corpus-dir DIR]"
     );
     ExitCode::from(1)
 }
@@ -346,7 +350,7 @@ fn run(cmd: &str, args: &Args) -> Result<ExitCode, String> {
             let json = Json::parse(&text).map_err(|e| format!("parse {spath}: {e}"))?;
             let doc = SolutionDoc::from_json(&json).map_err(|e| format!("parse {spath}: {e}"))?;
             let sol = doc.into_solution().map_err(|e| e.to_string())?;
-            let violations = verify(&inst, &sol);
+            let violations = verify_with_tol(&inst, &sol, VERIFY_TOL);
             if violations.is_empty() {
                 println!("OK: solution satisfies Definition 2.1");
                 Ok(ExitCode::SUCCESS)
@@ -394,6 +398,94 @@ fn run(cmd: &str, args: &Args) -> Result<ExitCode, String> {
             );
             Ok(ExitCode::SUCCESS)
         }
+        "fuzz" => {
+            let get_u64 = |key: &str, default: u64| -> Result<u64, String> {
+                args.flags
+                    .get(key)
+                    .map(|s| s.parse().map_err(|e| format!("--{key}: {e}")))
+                    .transpose()
+                    .map(|v| v.unwrap_or(default))
+            };
+            let seed = get_u64("seed", 0)?;
+            let cases = get_u64("cases", 20)?;
+            let time_cap = args
+                .flags
+                .get("time-cap")
+                .map(|s| s.parse::<u64>().map_err(|e| format!("--time-cap: {e}")))
+                .transpose()?
+                .map(Duration::from_secs);
+            let solve_limit = get_u64("solve-time-limit", 10)?;
+            let threads = threads_for(args)?;
+            let corpus_dir = args
+                .flags
+                .get("corpus-dir")
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("tests/corpus"));
+            let mut oracle = OracleOptions {
+                solve_time_limit: Duration::from_secs(solve_limit),
+                ..OracleOptions::default()
+            };
+            if threads > 1 {
+                oracle.threads_alt = threads;
+            }
+            let config = FuzzConfig {
+                seed,
+                cases,
+                time_cap,
+                oracle,
+                corpus_dir: Some(corpus_dir),
+                on_case: Some(|idx, case, rep| {
+                    eprintln!(
+                        "case {idx:>3} [{:<22}] |R|={} solves={} violations={} inconclusive={}",
+                        case.family.as_str(),
+                        case.instance.num_requests(),
+                        rep.solves,
+                        rep.violations.len(),
+                        rep.inconclusive.len()
+                    );
+                }),
+                ..FuzzConfig::default()
+            };
+            let report = run_fuzz(&config);
+            print_fuzz_report(&report);
+            if report.clean() {
+                Ok(ExitCode::SUCCESS)
+            } else {
+                Ok(ExitCode::from(2))
+            }
+        }
         _ => Ok(usage()),
+    }
+}
+
+fn print_fuzz_report(report: &FuzzReport) {
+    println!(
+        "fuzz: {} case(s) run, {} skipped (time cap), {} solve(s), \
+         {} inconclusive oracle(s), {} violation(s) in {:.1?}",
+        report.cases_run,
+        report.cases_skipped,
+        report.solves,
+        report.inconclusive,
+        report.bugs.len(),
+        report.runtime
+    );
+    for bug in &report.bugs {
+        println!(
+            "VIOLATION case {} [{}] oracle {}: {}",
+            bug.case_index,
+            bug.family.as_str(),
+            bug.case.oracle,
+            bug.case.detail
+        );
+        println!(
+            "  minimized to {} request(s) ({} shrink evals, {} accepted)",
+            bug.case.instance.requests.len(),
+            bug.shrink.evals,
+            bug.shrink.accepted
+        );
+        match &bug.saved_to {
+            Some(path) => println!("  reproducer: {}", path.display()),
+            None => println!("  reproducer not written (no corpus dir)"),
+        }
     }
 }

@@ -9,12 +9,7 @@ use tvnep_model::is_feasible;
 use tvnep_telemetry::Json;
 use tvnep_workloads::{generate, WorkloadConfig};
 
-// The format module is private to the binary; include it directly to test
-// the public JSON contract.
-#[path = "../src/format.rs"]
-mod format;
-
-use format::{InstanceDoc, SolutionDoc};
+use tvnep_harness::format::{InstanceDoc, SolutionDoc};
 
 #[test]
 fn json_pipeline_generate_solve_verify() {

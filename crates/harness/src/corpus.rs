@@ -1,0 +1,196 @@
+//! Self-contained JSON reproducer cases and their regression replay.
+//!
+//! Whenever the fuzzer finds an oracle violation it shrinks the instance
+//! (see [`crate::shrink`]) and dumps a [`CaseDoc`] under `tests/corpus/`:
+//! the full instance, the oracle that fired, and the evidence observed. The
+//! corpus regression test (`crates/harness/tests/corpus.rs`) replays every
+//! case on each run — once a bug is fixed, its reproducer guards against
+//! reintroduction forever after.
+
+use std::path::{Path, PathBuf};
+
+use crate::format::{FormatError, InstanceDoc};
+use crate::oracle::{check_instance, CaseReport, Oracle, OracleOptions};
+use tvnep_model::Instance;
+use tvnep_telemetry::Json;
+
+/// One corpus case: a minimized reproducer plus its provenance.
+#[derive(Debug, Clone)]
+pub struct CaseDoc {
+    /// Unique case name (also the file stem).
+    pub name: String,
+    /// Generator family that produced the original instance.
+    pub family: String,
+    /// Fuzzer seed.
+    pub seed: u64,
+    /// Index of the case in the seeded stream.
+    pub case_index: u64,
+    /// Name of the oracle that fired ([`Oracle::as_str`]).
+    pub oracle: String,
+    /// Evidence recorded at discovery time.
+    pub detail: String,
+    /// The minimized instance.
+    pub instance: InstanceDoc,
+}
+
+impl CaseDoc {
+    /// Serializes into a [`Json`] value.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::from(self.name.as_str())),
+            ("family".into(), Json::from(self.family.as_str())),
+            ("seed".into(), Json::from(self.seed as usize)),
+            ("case_index".into(), Json::from(self.case_index as usize)),
+            ("oracle".into(), Json::from(self.oracle.as_str())),
+            ("detail".into(), Json::from(self.detail.as_str())),
+            ("instance".into(), self.instance.to_json()),
+        ])
+    }
+
+    /// Parses from a [`Json`] value.
+    pub fn from_json(j: &Json) -> Result<Self, FormatError> {
+        let want_str = |key: &str| -> Result<String, FormatError> {
+            Ok(j.get(key)
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| FormatError(format!("case: missing string field `{key}`")))?
+                .to_string())
+        };
+        let want_u64 = |key: &str| -> Result<u64, FormatError> {
+            Ok(j.get(key)
+                .and_then(|v| v.as_usize())
+                .ok_or_else(|| FormatError(format!("case: missing integer field `{key}`")))?
+                as u64)
+        };
+        let instance = InstanceDoc::from_json(
+            j.get("instance")
+                .ok_or_else(|| FormatError("case: missing `instance`".into()))?,
+        )?;
+        Ok(Self {
+            name: want_str("name")?,
+            family: want_str("family")?,
+            seed: want_u64("seed")?,
+            case_index: want_u64("case_index")?,
+            oracle: want_str("oracle")?,
+            detail: want_str("detail")?,
+            instance,
+        })
+    }
+
+    /// The minimized instance as a domain value.
+    pub fn instance(&self) -> Result<Instance, FormatError> {
+        self.instance.clone().into_instance()
+    }
+
+    /// Writes the case to `dir/<name>.json`, returning the path.
+    pub fn save(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.name));
+        std::fs::write(&path, self.to_json().pretty())?;
+        Ok(path)
+    }
+
+    /// Loads one case from a file.
+    pub fn load(path: &Path) -> Result<Self, FormatError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| FormatError(format!("read {}: {e}", path.display())))?;
+        let json = Json::parse(&text)
+            .map_err(|e| FormatError(format!("parse {}: {e}", path.display())))?;
+        Self::from_json(&json)
+    }
+}
+
+/// Loads every `*.json` case in `dir` (sorted by file name); a missing
+/// directory is an empty corpus.
+pub fn load_dir(dir: &Path) -> Result<Vec<(PathBuf, CaseDoc)>, FormatError> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return Ok(out),
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let case = CaseDoc::load(&path)?;
+        out.push((path, case));
+    }
+    Ok(out)
+}
+
+/// Replays a corpus case: runs the full oracle battery (no fault injection)
+/// on the stored instance. A fixed bug keeps the report clean; a regression
+/// re-fires the stored oracle.
+pub fn replay(case: &CaseDoc, opts: &OracleOptions) -> Result<CaseReport, FormatError> {
+    let instance = case.instance()?;
+    let mut opts = opts.clone();
+    opts.fault = crate::oracle::Fault::None;
+    Ok(check_instance(&instance, &opts))
+}
+
+/// The repo-root corpus directory (`tests/corpus/` at the workspace root),
+/// resolved relative to this crate's manifest.
+pub fn default_corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+/// Convenience: the oracle enum stored in a case, if its name is known.
+pub fn case_oracle(case: &CaseDoc) -> Option<Oracle> {
+    Oracle::parse(&case.oracle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_family, Family};
+
+    #[test]
+    fn case_json_roundtrip() {
+        let case = generate_family(Family::TightWindows, 9, 0);
+        let doc = CaseDoc {
+            name: "roundtrip-test".into(),
+            family: case.family.as_str().into(),
+            seed: 9,
+            case_index: 0,
+            oracle: Oracle::CrossModelEquality.as_str().into(),
+            detail: "delta=2 csigma=1".into(),
+            instance: InstanceDoc::from_instance(&case.instance),
+        };
+        let text = doc.to_json().pretty();
+        let back = CaseDoc::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.name, "roundtrip-test");
+        assert_eq!(back.seed, 9);
+        assert_eq!(case_oracle(&back), Some(Oracle::CrossModelEquality));
+        let inst = back.instance().unwrap();
+        assert_eq!(inst.num_requests(), case.instance.num_requests());
+    }
+
+    #[test]
+    fn save_and_load_dir() {
+        let dir = std::env::temp_dir().join(format!("tvnep-corpus-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let case = generate_family(Family::DegenerateDurations, 4, 3);
+        let doc = CaseDoc {
+            name: "dir-test".into(),
+            family: case.family.as_str().into(),
+            seed: 4,
+            case_index: 3,
+            oracle: Oracle::GroundTruth.as_str().into(),
+            detail: "test".into(),
+            instance: InstanceDoc::from_instance(&case.instance),
+        };
+        doc.save(&dir).unwrap();
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].1.name, "dir-test");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_dir_is_empty_corpus() {
+        let loaded = load_dir(Path::new("/definitely/not/here")).unwrap();
+        assert!(loaded.is_empty());
+    }
+}

@@ -1,0 +1,312 @@
+//! Seeded adversarial instance generation for the differential harness.
+//!
+//! Beyond the paper's star-on-grid workload (`tvnep-workloads`), the fuzzer
+//! needs instances that sit on the *boundaries* the formulations must agree
+//! on: windows that barely fit, zero temporal flexibility (where the event
+//! order is forced), demands at exactly the capacity (where one misplaced
+//! event breaks feasibility), and degenerate equal durations (where event
+//! ties abound and symmetry reduction must not change the optimum). Every
+//! family is deterministic in `(seed, case_index)` and deliberately tiny —
+//! the harness solves each instance under three exact formulations, a
+//! discrete baseline, the greedy, and a second thread count.
+
+use tvnep_graph::{grid, star, NodeId, StarDirection};
+use tvnep_model::{Instance, Request, Substrate};
+use tvnep_workloads::patterns::{batch_night, chain_topology, BatchConfig};
+use tvnep_workloads::rng::Rng;
+use tvnep_workloads::{generate, WorkloadConfig};
+
+/// The stress families the generator cycles through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Scaled-down paper workload (stars on a grid, Poisson arrivals).
+    PaperTiny,
+    /// Serialization boundary: a 1×2 capacity-1 substrate where the shared
+    /// window fits exactly `k` of the `n` unit requests — one event out of
+    /// order changes the optimum.
+    TightWindows,
+    /// Pipeline requests with zero flexibility: the schedule is fully forced,
+    /// every formulation must either find the same packing or reject.
+    ZeroFlexChains,
+    /// Demands drawn at or just below the node capacity, so at most one
+    /// request fits a node at a time and temporal reuse decides everything.
+    CapacityCriticalGrid,
+    /// Identical durations and shared windows: maximal event-time ties, the
+    /// regime where symmetry reduction (cΣ) is most aggressive.
+    DegenerateDurations,
+    /// All requests share one large window (`patterns::batch_night`).
+    BatchNight,
+}
+
+/// All families, in generation rotation order.
+pub const FAMILIES: [Family; 6] = [
+    Family::TightWindows,
+    Family::ZeroFlexChains,
+    Family::CapacityCriticalGrid,
+    Family::DegenerateDurations,
+    Family::PaperTiny,
+    Family::BatchNight,
+];
+
+impl Family {
+    /// Stable lower-case name used in case files and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Family::PaperTiny => "paper_tiny",
+            Family::TightWindows => "tight_windows",
+            Family::ZeroFlexChains => "zero_flex_chains",
+            Family::CapacityCriticalGrid => "capacity_critical_grid",
+            Family::DegenerateDurations => "degenerate_durations",
+            Family::BatchNight => "batch_night",
+        }
+    }
+
+    /// Parses [`as_str`](Self::as_str) output.
+    pub fn parse(s: &str) -> Option<Self> {
+        FAMILIES.iter().copied().find(|f| f.as_str() == s)
+    }
+}
+
+/// One generated fuzz case.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    /// Which stress family produced it.
+    pub family: Family,
+    /// The instance to run the oracles on.
+    pub instance: Instance,
+}
+
+/// Derives the per-case RNG stream: independent of how many draws earlier
+/// cases consumed.
+fn case_rng(seed: u64, case_index: u64) -> Rng {
+    Rng::new(seed ^ case_index.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Generates case `case_index` of the seeded stream, cycling through the
+/// stress families.
+pub fn generate_case(seed: u64, case_index: u64) -> FuzzCase {
+    let family = FAMILIES[(case_index % FAMILIES.len() as u64) as usize];
+    generate_family(family, seed, case_index)
+}
+
+/// Generates a case from one specific family.
+pub fn generate_family(family: Family, seed: u64, case_index: u64) -> FuzzCase {
+    let mut rng = case_rng(seed, case_index);
+    let instance = match family {
+        Family::PaperTiny => paper_tiny(&mut rng),
+        Family::TightWindows => tight_windows(&mut rng),
+        Family::ZeroFlexChains => zero_flex_chains(&mut rng),
+        Family::CapacityCriticalGrid => capacity_critical_grid(&mut rng),
+        Family::DegenerateDurations => degenerate_durations(&mut rng),
+        Family::BatchNight => batch_night_tiny(&mut rng),
+    };
+    FuzzCase { family, instance }
+}
+
+fn paper_tiny(rng: &mut Rng) -> Instance {
+    let cfg = WorkloadConfig {
+        num_requests: 2 + rng.below(2), // 2..=3
+        star_leaves: 2,
+        ..WorkloadConfig::tiny()
+    };
+    let flex = [0.0, 0.5, 1.0][rng.below(3)];
+    generate(&cfg, rng.next_u64()).with_flexibility_after(flex)
+}
+
+fn tight_windows(rng: &mut Rng) -> Instance {
+    // n unit-demand single-node requests pinned to node 0 of a capacity-1
+    // substrate. Shared window sized to fit exactly k < n of them — or, with
+    // a small negative jitter, k − 1 (the discrete model must also never
+    // report more than the continuous optimum here). Kept at n ≤ 3 with
+    // mostly distinct durations: fully symmetric larger instances push the
+    // unreduced Δ/Σ trees past any per-solve budget and everything downstream
+    // of their optimum goes inconclusive.
+    let n = 2 + rng.below(2); // 2..=3
+    let d = [0.5, 1.0, 1.5][rng.below(3)];
+    let k = 1 + rng.below(n);
+    let jitter = [0.0, 0.25 * d, -0.25 * d][rng.below(3)];
+    let window = (k as f64 * d + jitter).max(1.5 * d);
+    let substrate = Substrate::uniform(grid(1, 2), 1.0, 1.0);
+    let requests: Vec<Request> = (0..n)
+        .map(|i| {
+            // Distinct durations (d, d/2, 3d/4, …) break the permutation
+            // symmetry while keeping the window boundary tight.
+            let di = d * [1.0, 0.5, 0.75][i % 3];
+            Request::new(
+                format!("tw{i}"),
+                tvnep_graph::DiGraph::with_nodes(1),
+                vec![1.0],
+                vec![],
+                0.0,
+                window.max(di),
+                di,
+            )
+        })
+        .collect();
+    let maps = vec![vec![NodeId(0)]; n];
+    Instance::new(substrate, requests, window.max(4.0), Some(maps))
+}
+
+fn zero_flex_chains(rng: &mut Rng) -> Instance {
+    let n = 2 + rng.below(2); // 2..=3
+    let substrate = Substrate::uniform(grid(2, 2), 3.0, 3.0);
+    let nn = substrate.num_nodes();
+    let mut requests = Vec::new();
+    let mut mappings = Vec::new();
+    let mut arrival = 0.0;
+    for i in 0..n {
+        let g = chain_topology(2 + rng.below(2)); // 2..=3 nodes
+        let node_demand: Vec<f64> = (0..g.num_nodes())
+            .map(|_| rng.range_f64(0.5, 1.5))
+            .collect();
+        let edge_demand: Vec<f64> = (0..g.num_edges())
+            .map(|_| rng.range_f64(0.5, 1.5))
+            .collect();
+        let duration = [0.5, 1.0, 2.0][rng.below(3)];
+        // Overlapping zero-flex windows: arrivals step by less than the
+        // duration, so requests contend and cannot be shifted.
+        let mapping: Vec<NodeId> = (0..g.num_nodes()).map(|_| NodeId(rng.below(nn))).collect();
+        requests.push(Request::new(
+            format!("zf{i}"),
+            g,
+            node_demand,
+            edge_demand,
+            arrival,
+            arrival + duration,
+            duration,
+        ));
+        mappings.push(mapping);
+        arrival += duration * rng.range_f64(0.25, 0.75);
+    }
+    let horizon = requests
+        .iter()
+        .map(|r| r.latest_end)
+        .fold(1.0_f64, f64::max)
+        + 1.0;
+    Instance::new(substrate, requests, horizon, Some(mappings))
+}
+
+fn capacity_critical_grid(rng: &mut Rng) -> Instance {
+    let cap = 2.0;
+    let substrate = Substrate::uniform(grid(2, 2), cap, cap);
+    let nn = substrate.num_nodes();
+    let n = 2 + rng.below(2); // 2..=3
+    let mut requests = Vec::new();
+    let mut mappings = Vec::new();
+    for i in 0..n {
+        let g = star(1, StarDirection::AwayFromCenter); // 2 nodes, 1 link
+                                                        // Node demands at or just under the capacity: two colocated requests
+                                                        // can never overlap in time.
+        let node_demand: Vec<f64> = (0..2).map(|_| cap - [0.0, 0.25][rng.below(2)]).collect();
+        let edge_demand = vec![rng.range_f64(0.5, cap)];
+        let duration = [0.5, 1.0][rng.below(2)];
+        let start = rng.below(3) as f64 * 0.5;
+        let flex = [0.0, 0.5, 1.0][rng.below(3)];
+        let mapping: Vec<NodeId> = (0..2).map(|_| NodeId(rng.below(nn))).collect();
+        requests.push(Request::new(
+            format!("cc{i}"),
+            g,
+            node_demand,
+            edge_demand,
+            start,
+            start + duration + flex,
+            duration,
+        ));
+        mappings.push(mapping);
+    }
+    let horizon = requests
+        .iter()
+        .map(|r| r.latest_end)
+        .fold(1.0_f64, f64::max)
+        + 1.0;
+    Instance::new(substrate, requests, horizon, Some(mappings))
+}
+
+fn degenerate_durations(rng: &mut Rng) -> Instance {
+    // Everything identical: same duration, same window, same demand — the
+    // optimum is decided purely by how many fit, and every permutation of
+    // the requests is a symmetric optimum (worst case for event ordering;
+    // n = 3 keeps the unreduced Δ/Σ trees provable within the per-solve cap).
+    let n = 3;
+    let d = 1.0;
+    let k = 1 + rng.below(2); // window fits exactly k
+    let window = k as f64 * d;
+    let substrate = Substrate::uniform(grid(1, 3), 1.0, 1.0);
+    let nn = substrate.num_nodes();
+    let host = rng.below(nn);
+    let requests: Vec<Request> = (0..n)
+        .map(|i| {
+            Request::new(
+                format!("dg{i}"),
+                tvnep_graph::DiGraph::with_nodes(1),
+                vec![1.0],
+                vec![],
+                0.0,
+                window,
+                d,
+            )
+        })
+        .collect();
+    // All on one host: pure serialization with maximal ties.
+    let maps = vec![vec![NodeId(host)]; n];
+    Instance::new(substrate, requests, window.max(4.0), Some(maps))
+}
+
+fn batch_night_tiny(rng: &mut Rng) -> Instance {
+    let cfg = BatchConfig {
+        grid_rows: 2,
+        grid_cols: 2,
+        num_requests: 2 + rng.below(2), // 2..=3
+        chain_length: 2,
+        duration_range: (0.5, 1.5),
+        window: 4.0,
+        ..BatchConfig::default()
+    };
+    batch_night(&cfg, rng.next_u64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed_and_index() {
+        for idx in 0..6 {
+            let a = generate_case(42, idx);
+            let b = generate_case(42, idx);
+            assert_eq!(a.family, b.family);
+            assert_eq!(a.instance.num_requests(), b.instance.num_requests());
+            for (ra, rb) in a.instance.requests.iter().zip(&b.instance.requests) {
+                assert_eq!(ra.duration, rb.duration);
+                assert_eq!(ra.earliest_start, rb.earliest_start);
+                assert_eq!(ra.latest_end, rb.latest_end);
+            }
+            assert_eq!(
+                a.instance.fixed_node_mappings,
+                b.instance.fixed_node_mappings
+            );
+        }
+    }
+
+    #[test]
+    fn families_rotate_and_stay_tiny() {
+        for idx in 0..12 {
+            let case = generate_case(7, idx);
+            assert_eq!(case.family, FAMILIES[(idx % 6) as usize]);
+            assert!(case.instance.num_requests() <= 4, "{:?}", case.family);
+            assert!(
+                case.instance.substrate.num_nodes() <= 6,
+                "{:?}",
+                case.family
+            );
+        }
+    }
+
+    #[test]
+    fn family_names_roundtrip() {
+        for f in FAMILIES {
+            assert_eq!(Family::parse(f.as_str()), Some(f));
+        }
+        assert_eq!(Family::parse("nope"), None);
+    }
+}

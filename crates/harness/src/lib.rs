@@ -1,0 +1,176 @@
+//! # tvnep-harness — differential fuzzing for the TVNEP solvers
+//!
+//! Turns the paper's relational theorems into executable oracles and drives
+//! them with seeded adversarial instances:
+//!
+//! * [`gen`] — stress-instance families (tight windows, zero-flex chains,
+//!   capacity-critical grids, degenerate durations, batch nights, scaled
+//!   paper workloads);
+//! * [`oracle`] — the differential oracle battery (cross-model equality,
+//!   LP-relaxation ordering, discrete lower bound, greedy dominance, thread
+//!   equivalence, Definition-2.1 ground truth);
+//! * [`shrink`] — reproducer minimization (drop requests, shrink the
+//!   substrate, tighten windows, round numbers);
+//! * [`corpus`] — self-contained JSON cases under `tests/corpus/` replayed
+//!   forever after by the corpus regression test;
+//! * [`format`] — the JSON interchange documents (shared with `tvnep-cli`).
+//!
+//! [`run_fuzz`] wires them together: generate → check → on violation,
+//! shrink to a minimal case and dump it to the corpus directory.
+
+pub mod corpus;
+pub mod format;
+pub mod gen;
+pub mod oracle;
+pub mod shrink;
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use corpus::CaseDoc;
+use format::InstanceDoc;
+use gen::{generate_case, FuzzCase};
+use oracle::{check_instance, CaseReport, OracleOptions};
+use shrink::{shrink, ShrinkOptions, ShrinkStats};
+
+/// Configuration of one fuzzing run.
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Base seed of the case stream.
+    pub seed: u64,
+    /// Number of cases to generate and check.
+    pub cases: u64,
+    /// Wall-clock cap for the whole run; cases not started before the cap
+    /// are skipped (reported in [`FuzzReport::cases_skipped`]).
+    pub time_cap: Option<Duration>,
+    /// Oracle battery options (per-solve limits, fault injection, …).
+    pub oracle: OracleOptions,
+    /// Shrink budget for minimizing found violations.
+    pub shrink: ShrinkOptions,
+    /// Where to dump minimized reproducers; `None` disables dumping.
+    pub corpus_dir: Option<PathBuf>,
+    /// Per-case progress callback (case index, family, report).
+    pub on_case: Option<fn(u64, &FuzzCase, &CaseReport)>,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            cases: 10,
+            time_cap: None,
+            oracle: OracleOptions::default(),
+            shrink: ShrinkOptions::default(),
+            corpus_dir: None,
+            on_case: None,
+        }
+    }
+}
+
+/// One discovered violation, minimized.
+#[derive(Debug, Clone)]
+pub struct FoundBug {
+    /// Case index in the seeded stream.
+    pub case_index: u64,
+    /// Stress family of the original instance.
+    pub family: gen::Family,
+    /// The oracle report at discovery (pre-shrink).
+    pub report: CaseReport,
+    /// The minimized corpus case.
+    pub case: CaseDoc,
+    /// Shrink statistics.
+    pub shrink: ShrinkStats,
+    /// Where the case was written, when a corpus dir was configured.
+    pub saved_to: Option<PathBuf>,
+}
+
+/// Outcome of a fuzzing run.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzReport {
+    /// Cases generated and fully checked.
+    pub cases_run: u64,
+    /// Cases skipped because the time cap was reached.
+    pub cases_skipped: u64,
+    /// Total MIP solves across all cases.
+    pub solves: usize,
+    /// Oracles that were inconclusive (solver limits), totalled.
+    pub inconclusive: usize,
+    /// Minimized violations.
+    pub bugs: Vec<FoundBug>,
+    /// Total wall-clock time.
+    pub runtime: Duration,
+}
+
+impl FuzzReport {
+    /// True when no oracle fired over the whole run.
+    pub fn clean(&self) -> bool {
+        self.bugs.is_empty()
+    }
+}
+
+/// Runs the differential fuzzing loop.
+pub fn run_fuzz(config: &FuzzConfig) -> FuzzReport {
+    let started = Instant::now();
+    let mut report = FuzzReport::default();
+
+    for case_index in 0..config.cases {
+        if let Some(cap) = config.time_cap {
+            if started.elapsed() >= cap {
+                report.cases_skipped = config.cases - case_index;
+                break;
+            }
+        }
+        let case = generate_case(config.seed, case_index);
+        let case_report = check_instance(&case.instance, &config.oracle);
+        report.cases_run += 1;
+        report.solves += case_report.solves;
+        report.inconclusive += case_report.inconclusive.len();
+        if let Some(cb) = config.on_case {
+            cb(case_index, &case, &case_report);
+        }
+        if !case_report.has_violation() {
+            continue;
+        }
+
+        // Minimize: a candidate still reproduces when the *same oracle*
+        // fires on it (under the same options, including any fault).
+        let fired = case_report.violations[0].oracle;
+        let oracle_opts = config.oracle.clone();
+        let (minimized, shrink_stats) = shrink(&case.instance, &config.shrink, &mut |inst| {
+            check_instance(inst, &oracle_opts).violated(fired)
+        });
+
+        let min_report = check_instance(&minimized, &config.oracle);
+        let detail = min_report
+            .violations
+            .iter()
+            .find(|v| v.oracle == fired)
+            .or(case_report.violations.first())
+            .map(|v| v.detail.clone())
+            .unwrap_or_default();
+        let doc = CaseDoc {
+            name: format!("fuzz-s{}-c{}-{}", config.seed, case_index, fired.as_str()),
+            family: case.family.as_str().into(),
+            seed: config.seed,
+            case_index,
+            oracle: fired.as_str().into(),
+            detail,
+            instance: InstanceDoc::from_instance(&minimized),
+        };
+        let saved_to = config
+            .corpus_dir
+            .as_ref()
+            .and_then(|dir| doc.save(dir).ok());
+        report.bugs.push(FoundBug {
+            case_index,
+            family: case.family,
+            report: case_report,
+            case: doc,
+            shrink: shrink_stats,
+            saved_to,
+        });
+    }
+
+    report.runtime = started.elapsed();
+    report
+}

@@ -1,0 +1,318 @@
+//! Reproducer minimization: given an instance on which some oracle fires,
+//! greedily apply semantics-shrinking transformations while the failure
+//! persists, yielding a minimal self-contained case for the corpus.
+//!
+//! Transformation passes, cheapest reduction first:
+//!
+//! 1. **Drop requests** (and their pinned mappings) one at a time;
+//! 2. **Shrink the substrate**: remove nodes no mapping references;
+//! 3. **Tighten windows** to zero flexibility per request;
+//! 4. **Round numbers**: demands to halves, durations and window endpoints
+//!    to quarter steps.
+//!
+//! Passes repeat until a fixpoint or the evaluation budget is exhausted.
+//! Every candidate is validated by re-running the caller's `still_fails`
+//! predicate (typically a full oracle pass), so any accepted shrink is by
+//! construction still a reproducer.
+
+use tvnep_graph::{DiGraph, NodeId};
+use tvnep_model::{Instance, Request, Substrate};
+
+/// Limits of one shrink run.
+#[derive(Debug, Clone)]
+pub struct ShrinkOptions {
+    /// Maximum number of candidate evaluations (`still_fails` calls).
+    pub max_evals: usize,
+}
+
+impl Default for ShrinkOptions {
+    fn default() -> Self {
+        Self { max_evals: 200 }
+    }
+}
+
+/// Statistics of a shrink run.
+#[derive(Debug, Clone, Default)]
+pub struct ShrinkStats {
+    /// Candidate instances evaluated.
+    pub evals: usize,
+    /// Candidates that kept the failure (accepted shrinks).
+    pub accepted: usize,
+    /// Requests removed.
+    pub requests_dropped: usize,
+    /// Substrate nodes removed.
+    pub substrate_nodes_dropped: usize,
+}
+
+/// Minimizes `instance` while `still_fails` holds. `still_fails(instance)`
+/// must be true on entry; the returned instance satisfies it too.
+pub fn shrink(
+    instance: &Instance,
+    opts: &ShrinkOptions,
+    still_fails: &mut dyn FnMut(&Instance) -> bool,
+) -> (Instance, ShrinkStats) {
+    let mut current = instance.clone();
+    let mut stats = ShrinkStats::default();
+
+    loop {
+        let before = stats.accepted;
+
+        // Pass 1: drop whole requests, highest index first (cheapest wins).
+        let mut r = current.num_requests();
+        while r > 0 {
+            r -= 1;
+            if current.num_requests() <= 1 {
+                break;
+            }
+            if stats.evals >= opts.max_evals {
+                return (current, stats);
+            }
+            let candidate = drop_request(&current, r);
+            stats.evals += 1;
+            if still_fails(&candidate) {
+                current = candidate;
+                stats.accepted += 1;
+                stats.requests_dropped += 1;
+            }
+        }
+
+        // Pass 2: drop substrate nodes no fixed mapping references.
+        let mut n = current.substrate.num_nodes();
+        while n > 1 {
+            n -= 1;
+            if stats.evals >= opts.max_evals {
+                return (current, stats);
+            }
+            let Some(candidate) = drop_substrate_node(&current, n) else {
+                continue;
+            };
+            stats.evals += 1;
+            if still_fails(&candidate) {
+                current = candidate;
+                stats.accepted += 1;
+                stats.substrate_nodes_dropped += 1;
+            }
+        }
+
+        // Pass 3: tighten each request's window to zero flexibility.
+        for r in 0..current.num_requests() {
+            if stats.evals >= opts.max_evals {
+                return (current, stats);
+            }
+            let Some(candidate) = tighten_window(&current, r) else {
+                continue;
+            };
+            stats.evals += 1;
+            if still_fails(&candidate) {
+                current = candidate;
+                stats.accepted += 1;
+            }
+        }
+
+        // Pass 4: round every number in one shot (all-or-nothing; rounding
+        // is only worth keeping when it preserves the failure wholesale).
+        if stats.evals < opts.max_evals {
+            if let Some(candidate) = round_numbers(&current) {
+                stats.evals += 1;
+                if still_fails(&candidate) {
+                    current = candidate;
+                    stats.accepted += 1;
+                }
+            }
+        }
+
+        if stats.accepted == before || stats.evals >= opts.max_evals {
+            return (current, stats);
+        }
+    }
+}
+
+/// Rebuilds a request with new temporal parameters, keeping graph/demands.
+fn with_window(req: &Request, earliest_start: f64, latest_end: f64, duration: f64) -> Request {
+    Request::new(
+        req.name.clone(),
+        req.graph().clone(),
+        (0..req.num_nodes())
+            .map(|v| req.node_demand(NodeId(v)))
+            .collect(),
+        (0..req.num_edges())
+            .map(|l| req.edge_demand(tvnep_graph::EdgeId(l)))
+            .collect(),
+        earliest_start,
+        latest_end,
+        duration,
+    )
+}
+
+fn drop_request(instance: &Instance, r: usize) -> Instance {
+    let mut requests = instance.requests.clone();
+    requests.remove(r);
+    let mappings = instance.fixed_node_mappings.as_ref().map(|maps| {
+        let mut maps = maps.clone();
+        maps.remove(r);
+        maps
+    });
+    Instance::new(
+        instance.substrate.clone(),
+        requests,
+        instance.horizon,
+        mappings,
+    )
+}
+
+/// Removes substrate node `n` (with its incident links) when no fixed
+/// mapping references it; node indices above `n` shift down by one.
+fn drop_substrate_node(instance: &Instance, n: usize) -> Option<Instance> {
+    let maps = instance.fixed_node_mappings.as_ref()?;
+    if maps.iter().flatten().any(|m| m.0 == n) {
+        return None;
+    }
+    let old = instance.substrate.graph();
+    let remap = |id: NodeId| NodeId(if id.0 > n { id.0 - 1 } else { id.0 });
+    let mut g = DiGraph::with_nodes(old.num_nodes() - 1);
+    let mut edge_caps = Vec::new();
+    for e in old.edge_ids() {
+        let (u, v) = old.endpoints(e);
+        if u.0 == n || v.0 == n {
+            continue;
+        }
+        g.add_edge(remap(u), remap(v));
+        edge_caps.push(instance.substrate.edge_capacity(e));
+    }
+    let node_caps: Vec<f64> = old
+        .nodes()
+        .filter(|&m| m.0 != n)
+        .map(|m| instance.substrate.node_capacity(m))
+        .collect();
+    let substrate = Substrate::new(g, node_caps, edge_caps);
+    let mappings = maps
+        .iter()
+        .map(|m| m.iter().map(|&id| remap(id)).collect())
+        .collect();
+    Some(Instance::new(
+        substrate,
+        instance.requests.clone(),
+        instance.horizon,
+        Some(mappings),
+    ))
+}
+
+/// Sets request `r`'s window to exactly its duration (zero flexibility).
+fn tighten_window(instance: &Instance, r: usize) -> Option<Instance> {
+    let req = &instance.requests[r];
+    if req.flexibility() <= 1e-12 {
+        return None;
+    }
+    let mut requests = instance.requests.clone();
+    requests[r] = with_window(req, req.earliest_start, req.earliest_end(), req.duration);
+    Some(Instance::new(
+        instance.substrate.clone(),
+        requests,
+        instance.horizon,
+        instance.fixed_node_mappings.clone(),
+    ))
+}
+
+fn round_to(v: f64, step: f64) -> f64 {
+    (v / step).round() * step
+}
+
+/// Rounds demands to halves (min 0.5) and temporal parameters to quarters,
+/// keeping every request window valid. Returns `None` when already round.
+fn round_numbers(instance: &Instance) -> Option<Instance> {
+    let mut changed = false;
+    let requests: Vec<Request> = instance
+        .requests
+        .iter()
+        .map(|req| {
+            let node_demand: Vec<f64> = (0..req.num_nodes())
+                .map(|v| round_to(req.node_demand(NodeId(v)), 0.5).max(0.5))
+                .collect();
+            let edge_demand: Vec<f64> = (0..req.num_edges())
+                .map(|l| round_to(req.edge_demand(tvnep_graph::EdgeId(l)), 0.5).max(0.5))
+                .collect();
+            let duration = round_to(req.duration, 0.25).max(0.25);
+            let earliest = round_to(req.earliest_start, 0.25).max(0.0);
+            let latest = round_to(req.latest_end, 0.25)
+                .max(earliest + duration)
+                .min(instance.horizon);
+            let earliest = earliest.min(latest - duration).max(0.0);
+            let same = (0..req.num_nodes()).all(|v| req.node_demand(NodeId(v)) == node_demand[v])
+                && (0..req.num_edges())
+                    .all(|l| req.edge_demand(tvnep_graph::EdgeId(l)) == edge_demand[l])
+                && req.duration == duration
+                && req.earliest_start == earliest
+                && req.latest_end == latest;
+            if !same {
+                changed = true;
+            }
+            Request::new(
+                req.name.clone(),
+                req.graph().clone(),
+                node_demand,
+                edge_demand,
+                earliest,
+                latest,
+                duration,
+            )
+        })
+        .collect();
+    if !changed {
+        return None;
+    }
+    Some(Instance::new(
+        instance.substrate.clone(),
+        requests,
+        instance.horizon,
+        instance.fixed_node_mappings.clone(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate_family, Family};
+
+    #[test]
+    fn shrinks_to_single_request_under_trivial_predicate() {
+        // A predicate that always fails lets the shrinker go all the way
+        // down to one request on a minimal substrate.
+        let case = generate_family(Family::CapacityCriticalGrid, 5, 2);
+        let (min, stats) = shrink(&case.instance, &ShrinkOptions::default(), &mut |_| true);
+        assert_eq!(min.num_requests(), 1);
+        assert!(stats.accepted > 0);
+        assert!(min.substrate.num_nodes() <= case.instance.substrate.num_nodes());
+    }
+
+    #[test]
+    fn preserves_failure_predicate() {
+        // Failure = "has at least 2 requests with total revenue > 1": the
+        // shrinker must stop at exactly 2.
+        let case = generate_family(Family::DegenerateDurations, 3, 3);
+        let n0 = case.instance.num_requests();
+        assert!(n0 >= 3);
+        let (min, _) = shrink(&case.instance, &ShrinkOptions::default(), &mut |i| {
+            i.num_requests() >= 2
+        });
+        assert_eq!(min.num_requests(), 2);
+    }
+
+    #[test]
+    fn rounding_keeps_windows_valid() {
+        let case = generate_family(Family::PaperTiny, 11, 4);
+        if let Some(rounded) = round_numbers(&case.instance) {
+            for r in &rounded.requests {
+                assert!(r.latest_end - r.earliest_start >= r.duration - 1e-9);
+                assert!(r.duration >= 0.25);
+            }
+        }
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let case = generate_family(Family::TightWindows, 1, 0);
+        let opts = ShrinkOptions { max_evals: 3 };
+        let (_, stats) = shrink(&case.instance, &opts, &mut |_| true);
+        assert!(stats.evals <= 3);
+    }
+}

@@ -1,0 +1,33 @@
+//! Corpus regression test: every minimized reproducer ever dumped under
+//! `tests/corpus/` is replayed on each run. A fixed bug stays fixed — if a
+//! regression re-fires the stored oracle, this test fails with the original
+//! evidence alongside the fresh violation.
+
+use tvnep_harness::corpus::{case_oracle, default_corpus_dir, load_dir, replay};
+use tvnep_harness::oracle::OracleOptions;
+
+#[test]
+fn replay_corpus() {
+    let dir = default_corpus_dir();
+    let cases = load_dir(&dir).expect("corpus cases parse");
+    // An empty (or absent) corpus is a clean pass — the directory only grows
+    // when the fuzzer finds something.
+    for (path, case) in &cases {
+        assert!(
+            case_oracle(case).is_some(),
+            "{}: unknown oracle `{}`",
+            path.display(),
+            case.oracle
+        );
+        let report = replay(case, &OracleOptions::default())
+            .unwrap_or_else(|e| panic!("replay {}: {e}", path.display()));
+        assert!(
+            !report.has_violation(),
+            "{} regressed (oracle `{}`, originally: {}): {:?}",
+            path.display(),
+            case.oracle,
+            case.detail,
+            report.violations
+        );
+    }
+}

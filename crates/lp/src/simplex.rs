@@ -118,9 +118,9 @@ pub struct Params {
 impl Default for Params {
     fn default() -> Self {
         Self {
-            feas_tol: 1e-7,
-            opt_tol: 1e-7,
-            pivot_tol: 1e-9,
+            feas_tol: tvnep_model::tol::FEAS_TOL,
+            opt_tol: tvnep_model::tol::OPT_TOL,
+            pivot_tol: tvnep_model::tol::PIVOT_TOL,
             refactor_every: 150,
             degen_switch: 300,
             max_iters: 500_000,

@@ -148,8 +148,8 @@ impl Default for MipOptions {
         Self {
             time_limit: None,
             node_limit: None,
-            rel_gap: 1e-6,
-            int_tol: 1e-6,
+            rel_gap: tvnep_model::tol::REL_GAP,
+            int_tol: tvnep_model::tol::INT_TOL,
             branching: Branching::Pseudocost,
             log_every: None,
             progress: None,

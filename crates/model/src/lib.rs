@@ -13,6 +13,7 @@ pub mod instance;
 pub mod request;
 pub mod solution;
 pub mod substrate;
+pub mod tol;
 pub mod verify;
 
 pub use depgraph::{earliest, latest, DepNode, DependencyGraph};

@@ -10,8 +10,9 @@ use crate::instance::Instance;
 use crate::solution::TemporalSolution;
 use tvnep_graph::{EdgeId, NodeId};
 
-/// Default numerical tolerance of the verifier.
-pub const VERIFY_TOL: f64 = 1e-5;
+/// Default numerical tolerance of the verifier (re-exported from the shared
+/// [`crate::tol`] ladder so it stays ordered against the solver tolerances).
+pub use crate::tol::VERIFY_TOL;
 
 /// A reason why a solution is infeasible.
 #[derive(Debug, Clone, PartialEq)]

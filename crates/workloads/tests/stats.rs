@@ -1,0 +1,137 @@
+//! Statistical acceptance tests for the workload samplers: large-sample
+//! moments of the inverse-CDF distributions against their closed forms, and
+//! bit-exact determinism of whole generated scenarios. Sample sizes and
+//! tolerances are chosen so the checks are far outside noise (≈ 20σ) while
+//! still catching a wrong inverse CDF, a wrong parameterization, or a
+//! platform-dependent generator.
+
+use tvnep_workloads::patterns::{batch_night, BatchConfig};
+use tvnep_workloads::rng::Rng;
+use tvnep_workloads::{generate, WorkloadConfig};
+
+const N: usize = 200_000;
+
+fn moments(samples: impl Iterator<Item = f64>) -> (f64, f64, usize) {
+    let mut n = 0usize;
+    let (mut sum, mut sumsq) = (0.0f64, 0.0f64);
+    for x in samples {
+        n += 1;
+        sum += x;
+        sumsq += x * x;
+    }
+    let mean = sum / n as f64;
+    let var = sumsq / n as f64 - mean * mean;
+    (mean, var, n)
+}
+
+#[test]
+fn exponential_moments_match_closed_form() {
+    // Exp(mean m): E = m, Var = m². With N = 2·10⁵ the standard error of the
+    // sample mean is m/√N ≈ 0.0045·m — a 2% band is ≈ 4σ·10.
+    let mut r = Rng::new(101);
+    let m = 2.0;
+    let (mean, var, _) = moments((0..N).map(|_| r.exp(m)));
+    assert!(
+        (mean - m).abs() < 0.02 * m,
+        "Exp({m}): sample mean {mean}, expected {m}"
+    );
+    assert!(
+        (var - m * m).abs() < 0.05 * m * m,
+        "Exp({m}): sample variance {var}, expected {}",
+        m * m
+    );
+    // Support is strictly positive.
+    let mut r = Rng::new(101);
+    assert!((0..1000).all(|_| r.exp(m) >= 0.0));
+}
+
+#[test]
+fn weibull_moments_match_closed_form() {
+    // Weibull(shape k = 2, scale λ = 4) — the paper's duration distribution:
+    //   E   = λ·Γ(1 + 1/2)  = λ·√π/2        ≈ 3.544908
+    //   Var = λ²·(Γ(2) − Γ(1.5)²) = λ²·(1 − π/4) ≈ 3.433629
+    let mut r = Rng::new(103);
+    let (scale, shape) = (4.0, 2.0);
+    let exact_mean = scale * (std::f64::consts::PI).sqrt() / 2.0;
+    let exact_var = scale * scale * (1.0 - std::f64::consts::PI / 4.0);
+    let (mean, var, _) = moments((0..N).map(|_| r.weibull(scale, shape)));
+    assert!(
+        (mean - exact_mean).abs() < 0.02 * exact_mean,
+        "Weibull({shape},{scale}): sample mean {mean}, expected {exact_mean}"
+    );
+    assert!(
+        (var - exact_var).abs() < 0.05 * exact_var,
+        "Weibull({shape},{scale}): sample variance {var}, expected {exact_var}"
+    );
+}
+
+#[test]
+fn weibull_shape_one_degenerates_to_exponential() {
+    // Weibull(k=1, λ) is Exp(mean λ): same inverse CDF, so the same seed
+    // must produce the same stream value-for-value.
+    let mut a = Rng::new(17);
+    let mut b = Rng::new(17);
+    for _ in 0..1000 {
+        let w = a.weibull(3.0, 1.0);
+        let e = b.exp(3.0);
+        assert!((w - e).abs() < 1e-12, "{w} vs {e}");
+    }
+}
+
+#[test]
+fn uniform_below_is_unbiased() {
+    // χ²-style check on `below(10)`: each residue's count within 5% of N/10.
+    let mut r = Rng::new(29);
+    let mut counts = [0usize; 10];
+    for _ in 0..N {
+        counts[r.below(10)] += 1;
+    }
+    let expect = N as f64 / 10.0;
+    for (i, &c) in counts.iter().enumerate() {
+        assert!(
+            (c as f64 - expect).abs() < 0.05 * expect,
+            "residue {i}: {c} vs {expect}"
+        );
+    }
+}
+
+#[test]
+fn generated_scenarios_are_deterministic() {
+    // Whole-scenario determinism: two generations from the same seed agree
+    // bit-for-bit on every temporal parameter and demand.
+    let cfg = WorkloadConfig::tiny();
+    let a = generate(&cfg, 424242);
+    let b = generate(&cfg, 424242);
+    assert_eq!(a.num_requests(), b.num_requests());
+    for (ra, rb) in a.requests.iter().zip(&b.requests) {
+        assert_eq!(ra.duration.to_bits(), rb.duration.to_bits());
+        assert_eq!(ra.earliest_start.to_bits(), rb.earliest_start.to_bits());
+        assert_eq!(ra.latest_end.to_bits(), rb.latest_end.to_bits());
+        for v in 0..ra.num_nodes() {
+            assert_eq!(
+                ra.node_demand(tvnep_graph::NodeId(v)).to_bits(),
+                rb.node_demand(tvnep_graph::NodeId(v)).to_bits()
+            );
+        }
+    }
+    // Different seed must actually change something.
+    let c = generate(&cfg, 424243);
+    let differs = a.num_requests() != c.num_requests()
+        || a.requests
+            .iter()
+            .zip(&c.requests)
+            .any(|(ra, rc)| ra.duration.to_bits() != rc.duration.to_bits());
+    assert!(differs, "seed change produced identical scenario");
+}
+
+#[test]
+fn batch_night_is_deterministic() {
+    let cfg = BatchConfig::default();
+    let a = batch_night(&cfg, 9);
+    let b = batch_night(&cfg, 9);
+    assert_eq!(a.num_requests(), b.num_requests());
+    for (ra, rb) in a.requests.iter().zip(&b.requests) {
+        assert_eq!(ra.duration.to_bits(), rb.duration.to_bits());
+        assert_eq!(ra.earliest_start.to_bits(), rb.earliest_start.to_bits());
+    }
+}
