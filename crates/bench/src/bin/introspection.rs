@@ -1,0 +1,164 @@
+//! Span-profiler overhead microbench: solves the same fixed-seed cΣ cell
+//! with (1) telemetry fully disabled, (2) metrics-only telemetry — the span
+//! toggle present but **off** — and (3) spans **on**, and writes
+//! `BENCH_introspection.json` with the wall times and overhead percentages.
+//!
+//! The contract asserted here is the PR's "<2 % when disabled" budget: with
+//! `Telemetry::spans_enabled() == false`, every kernel timing site in the
+//! simplex collapses to one cached-bool branch, so the spans-off
+//! configuration must stay within `--tolerance-pct` (default 2.0) of the
+//! fully-disabled baseline. Spans-on cost is recorded for information only.
+//!
+//! ```text
+//! introspection [--out FILE] [--seed N] [--budget-secs S]
+//!               [--tolerance-pct P] [--no-assert]
+//! ```
+
+use std::time::{Duration, Instant};
+
+use tvnep_core::{solve_tvnep, BuildOptions, Formulation, Objective};
+use tvnep_mip::MipOptions;
+use tvnep_telemetry::{Json, Telemetry};
+use tvnep_workloads::{generate, WorkloadConfig};
+
+/// Minimum wall time over repeated solves of the cell under `make_tel`.
+/// The minimum is the noise-robust statistic for overhead comparisons: every
+/// sample contains the true work plus non-negative scheduling noise.
+fn measure(
+    label: &str,
+    inst: &tvnep_model::Instance,
+    budget: Duration,
+    make_tel: impl Fn() -> Telemetry,
+) -> (Duration, Duration, usize) {
+    let solve = |tel: Telemetry| {
+        let mut opts = MipOptions::with_time_limit(Duration::from_secs(60));
+        opts.telemetry = tel;
+        let out = solve_tvnep(
+            inst,
+            Formulation::CSigma,
+            Objective::AccessControl,
+            BuildOptions::default_for(Formulation::CSigma),
+            &opts,
+        );
+        std::hint::black_box(out.mip.nodes)
+    };
+    solve(make_tel()); // warm-up
+    let mut times = Vec::new();
+    let start = Instant::now();
+    while times.len() < 5 || (start.elapsed() < budget && times.len() < 500) {
+        let tel = make_tel();
+        let t0 = Instant::now();
+        solve(tel);
+        times.push(t0.elapsed());
+    }
+    times.sort();
+    let min = times[0];
+    let median = times[times.len() / 2];
+    eprintln!(
+        "[introspection] {label:<9} samples={:<4} min={min:.3?} median={median:.3?}",
+        times.len()
+    );
+    (min, median, times.len())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_introspection.json".to_string();
+    let mut seed = 7u64;
+    let mut budget_secs = 3u64;
+    let mut tolerance_pct = 2.0f64;
+    let mut assert_budget = true;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).expect("--out FILE").clone();
+            }
+            "--seed" => {
+                i += 1;
+                seed = args[i].parse().expect("--seed N");
+            }
+            "--budget-secs" => {
+                i += 1;
+                budget_secs = args[i].parse().expect("--budget-secs S");
+            }
+            "--tolerance-pct" => {
+                i += 1;
+                tolerance_pct = args[i].parse().expect("--tolerance-pct P");
+            }
+            "--no-assert" => assert_budget = false,
+            other => panic!("unknown flag {other}"),
+        }
+        i += 1;
+    }
+    let budget = Duration::from_secs(budget_secs);
+    let inst = generate(&WorkloadConfig::tiny(), seed).with_flexibility_after(1.0);
+
+    eprintln!(
+        "[introspection] seed={seed} budget={budget:?} host_parallelism={}",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+
+    let (dis_min, dis_med, dis_n) = measure("disabled", &inst, budget, Telemetry::disabled);
+    let (off_min, off_med, off_n) = measure("spans-off", &inst, budget, Telemetry::metrics_only);
+    let (on_min, on_med, on_n) = measure("spans-on", &inst, budget, Telemetry::with_spans);
+
+    let pct = |a: Duration, b: Duration| (a.as_secs_f64() / b.as_secs_f64() - 1.0) * 100.0;
+    let off_overhead_pct = pct(off_min, dis_min);
+    let on_overhead_pct = pct(on_min, dis_min);
+    eprintln!(
+        "[introspection] spans-off overhead {off_overhead_pct:+.3}% \
+         (budget {tolerance_pct}%), spans-on {on_overhead_pct:+.3}%"
+    );
+
+    let run = |label: &str, min: Duration, med: Duration, n: usize| {
+        Json::Obj(vec![
+            ("config".into(), Json::from(label)),
+            ("samples".into(), Json::from(n)),
+            ("min_s".into(), Json::from(min.as_secs_f64())),
+            ("median_s".into(), Json::from(med.as_secs_f64())),
+        ])
+    };
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::from("introspection_overhead")),
+        ("formulation".into(), Json::from("cSigma")),
+        ("workload".into(), Json::from("tiny")),
+        ("seed".into(), Json::from(seed)),
+        ("budget_s".into(), Json::from(budget.as_secs_f64())),
+        (
+            "host_parallelism".into(),
+            Json::from(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            ),
+        ),
+        (
+            "runs".into(),
+            Json::Arr(vec![
+                run("disabled", dis_min, dis_med, dis_n),
+                run("spans_off", off_min, off_med, off_n),
+                run("spans_on", on_min, on_med, on_n),
+            ]),
+        ),
+        (
+            "spans_off_overhead_pct".into(),
+            Json::from(off_overhead_pct),
+        ),
+        ("spans_on_overhead_pct".into(), Json::from(on_overhead_pct)),
+        ("tolerance_pct".into(), Json::from(tolerance_pct)),
+    ]);
+    std::fs::write(&out_path, doc.pretty()).expect("write introspection json");
+    eprintln!("[introspection] wrote {out_path}");
+
+    if assert_budget {
+        assert!(
+            off_overhead_pct < tolerance_pct,
+            "spans-disabled overhead {off_overhead_pct:.3}% exceeds the \
+             {tolerance_pct}% budget"
+        );
+    }
+}

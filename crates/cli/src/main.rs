@@ -14,15 +14,17 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use tvnep_core::{
-    greedy_csigma, solve_tvnep, BuildOptions, Formulation, GreedyOptions, GreedyOutcome, Objective,
+    explain_solution, greedy_csigma, solve_tvnep, BuildOptions, Formulation, GreedyOptions,
+    GreedyOutcome, Objective,
 };
 use tvnep_harness::format::{render_trace, InstanceDoc, SolutionDoc};
 use tvnep_harness::oracle::OracleOptions;
 use tvnep_harness::{run_fuzz, FuzzConfig, FuzzReport};
-use tvnep_mip::MipOptions;
+use tvnep_mip::{MipOptions, SearchTree};
 use tvnep_model::tol::VERIFY_TOL;
 use tvnep_model::{verify_with_tol, Instance};
 use tvnep_telemetry::{Json, Telemetry};
@@ -33,9 +35,10 @@ fn usage() -> ExitCode {
         "usage:\n  tvnep-cli generate [--preset tiny|small|medium|paper] [--seed N] \
          [--flex H] [-o FILE]\n  tvnep-cli solve INSTANCE [--formulation delta|sigma|csigma] \
          [--objective access|earliness|load|links|makespan] [--time-limit SECS] [--threads N] \
-         [-o FILE] [--metrics-out FILE] [--trace]\n  \
+         [-o FILE] [--metrics-out FILE] [--trace] [--chrome-trace FILE] [--tree-out FILE]\n  \
          tvnep-cli greedy INSTANCE [--time-limit SECS] [--threads N] [-o FILE] \
-         [--metrics-out FILE] [--trace]\n  \
+         [--metrics-out FILE] [--trace] [--chrome-trace FILE]\n  \
+         tvnep-cli explain INSTANCE SOLUTION [-o FILE]\n  \
          tvnep-cli verify INSTANCE SOLUTION\n  tvnep-cli info INSTANCE\n  \
          tvnep-cli fuzz [--seed N] [--cases N] [--time-cap SECS] \
          [--solve-time-limit SECS] [--threads N] [--corpus-dir DIR]"
@@ -110,9 +113,10 @@ fn threads_for(args: &Args) -> Result<usize, String> {
 
 fn telemetry_for(args: &Args) -> Telemetry {
     let trace = args.flags.contains_key("trace");
+    let spans = args.flags.contains_key("chrome-trace");
     let metrics = args.flags.contains_key("metrics-out");
-    if trace {
-        Telemetry::with_timeline()
+    if trace || spans {
+        Telemetry::configure(trace, spans)
     } else if metrics {
         Telemetry::metrics_only()
     } else {
@@ -129,6 +133,10 @@ fn finish_telemetry(
 ) -> Result<(), String> {
     if args.flags.contains_key("trace") {
         eprint!("{}", render_trace(&telemetry.events()));
+    }
+    if let Some(path) = args.flags.get("chrome-trace") {
+        let doc = telemetry.export_chrome_trace();
+        std::fs::write(path, doc.pretty()).map_err(|e| format!("write {path}: {e}"))?;
     }
     if let Some(path) = args.flags.get("metrics-out") {
         let mut doc = telemetry.export_json();
@@ -261,6 +269,11 @@ fn run(cmd: &str, args: &Args) -> Result<ExitCode, String> {
             let mut mip_opts = MipOptions::with_time_limit(Duration::from_secs(secs));
             mip_opts.telemetry = telemetry.clone();
             mip_opts.threads = threads_for(args)?;
+            let tree = args
+                .flags
+                .get("tree-out")
+                .map(|_| Arc::new(SearchTree::new()));
+            mip_opts.tree = tree.clone();
             let out = solve_tvnep(
                 &inst,
                 formulation,
@@ -268,6 +281,14 @@ fn run(cmd: &str, args: &Args) -> Result<ExitCode, String> {
                 BuildOptions::default_for(formulation),
                 &mip_opts,
             );
+            if let (Some(tree), Some(path)) = (&tree, args.flags.get("tree-out")) {
+                let text = if path.ends_with(".dot") {
+                    tree.to_dot()
+                } else {
+                    tree.to_json().pretty()
+                };
+                std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))?;
+            }
             eprintln!(
                 "status: {:?}; objective: {:?}; bound: {:.4}; nodes: {}; time: {:?}",
                 out.mip.status,
@@ -289,7 +310,11 @@ fn run(cmd: &str, args: &Args) -> Result<ExitCode, String> {
                     Json::from(out.mip.runtime.as_secs_f64()),
                 ),
             ]);
-            finish_telemetry(args, &telemetry, vec![("result".into(), result_section)])?;
+            let mut extra = vec![("result".into(), result_section)];
+            if let Some(sol) = &out.solution {
+                extra.push(("explain".into(), explain_solution(&inst, sol).to_json()));
+            }
+            finish_telemetry(args, &telemetry, extra)?;
             match out.solution {
                 Some(mut sol) => {
                     sol.reported_objective = out.mip.objective;
@@ -334,12 +359,36 @@ fn run(cmd: &str, args: &Args) -> Result<ExitCode, String> {
             finish_telemetry(
                 args,
                 &telemetry,
-                vec![("greedy".into(), greedy_section(&outcome))],
+                vec![
+                    ("greedy".into(), greedy_section(&outcome)),
+                    (
+                        "explain".into(),
+                        explain_solution(&inst, &outcome.solution).to_json(),
+                    ),
+                ],
             )?;
             write_or_print(
                 &SolutionDoc::from_solution(&outcome.solution).to_json(),
                 args.flags.get("output").map(String::as_str),
             )?;
+            Ok(ExitCode::SUCCESS)
+        }
+        "explain" => {
+            let ipath = args.positional.first().ok_or("missing INSTANCE path")?;
+            let spath = args.positional.get(1).ok_or("missing SOLUTION path")?;
+            let inst = read_instance(ipath)?;
+            let text = std::fs::read_to_string(spath).map_err(|e| format!("read {spath}: {e}"))?;
+            let json = Json::parse(&text).map_err(|e| format!("parse {spath}: {e}"))?;
+            let doc = SolutionDoc::from_json(&json).map_err(|e| format!("parse {spath}: {e}"))?;
+            let sol = doc.into_solution().map_err(|e| e.to_string())?;
+            let explanation = explain_solution(&inst, &sol);
+            match args.flags.get("output") {
+                Some(path) => {
+                    std::fs::write(path, explanation.to_json().pretty())
+                        .map_err(|e| format!("write {path}: {e}"))?;
+                }
+                None => print!("{}", explanation.render()),
+            }
             Ok(ExitCode::SUCCESS)
         }
         "verify" => {

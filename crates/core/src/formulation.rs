@@ -390,7 +390,14 @@ pub fn solve_tvnep(
     build_opts: BuildOptions,
     mip_opts: &MipOptions,
 ) -> TvnepOutcome {
+    let build_span = mip_opts.telemetry.span("model.build");
     let built = build_model(instance, formulation, objective, build_opts);
+    drop(
+        build_span
+            .arg("rows", built.stats.rows as f64)
+            .arg("cols", built.stats.cols as f64)
+            .arg("events_removed", built.stats.events_removed as f64),
+    );
     emit_build_stats(&mip_opts.telemetry, &built.stats, formulation);
     let result = tvnep_mip::solve_with(&built.mip, mip_opts);
     let solution = result.x.as_ref().map(|x| {

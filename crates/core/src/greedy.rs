@@ -69,6 +69,7 @@ pub fn greedy_csigma(instance: &Instance, opts: &GreedyOptions) -> GreedyOutcome
     telemetry.event_with(|| Event::SolveStart {
         what: "greedy".into(),
     });
+    let _greedy_span = telemetry.span("greedy.solve");
     let k = instance.num_requests();
     let maps = instance
         .fixed_node_mappings
@@ -97,6 +98,9 @@ pub fn greedy_csigma(instance: &Instance, opts: &GreedyOptions) -> GreedyOutcome
 
     for i in 0..k {
         let iter_clock = Instant::now();
+        let _iter_span = telemetry
+            .span("greedy.iteration")
+            .arg("request", order[i] as f64);
         let sub_requests: Vec<_> = working[..=i].to_vec();
         let sub_maps: Vec<_> = order[..=i].iter().map(|&oi| maps[oi].clone()).collect();
         let sub = Instance::new(

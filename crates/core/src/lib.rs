@@ -22,6 +22,7 @@ pub mod delta;
 pub mod discrete;
 pub mod embedding;
 pub mod events;
+pub mod explain;
 pub mod formulation;
 pub mod greedy;
 pub mod mapping;
@@ -30,6 +31,9 @@ pub mod states;
 pub use discrete::{build_discrete, discretization_gap, solve_discrete, DiscreteModel};
 pub use embedding::{build_embedding, build_embedding_with, EmbeddingVars, FlowMode, NodeMapVars};
 pub use events::{EventOptions, EventScheme, EventVars, SigmaClass};
+pub use explain::{
+    explain_solution, BindingConstraint, Blocker, Explanation, Fate, RequestExplanation, Resource,
+};
 pub use formulation::{
     build_model, solve_tvnep, AuxVars, BuildOptions, BuildStats, BuiltModel, Formulation,
     Objective, TvnepOutcome,

@@ -30,9 +30,10 @@
 use std::time::Duration;
 
 use tvnep_core::{
-    greedy_csigma, solve_discrete, solve_tvnep, BuildOptions, Formulation, GreedyOptions,
-    Objective, TvnepOutcome,
+    explain_solution, greedy_csigma, solve_discrete, solve_tvnep, BuildOptions, Fate, Formulation,
+    GreedyOptions, Objective, Resource, TvnepOutcome,
 };
+use tvnep_graph::{EdgeId, NodeId};
 use tvnep_lp::{LpStatus, Simplex};
 use tvnep_mip::{MipOptions, MipStatus};
 use tvnep_model::tol::{obj_eq, obj_le, OBJ_EQ_TOL, VERIFY_TOL};
@@ -57,11 +58,17 @@ pub enum Oracle {
     /// Every produced solution passes Definition 2.1 and reports a
     /// consistent objective.
     GroundTruth,
+    /// Every claim of the `explain` subsystem is recomputable from the
+    /// solution alone: named binding constraints are tight within
+    /// [`VERIFY_TOL`], and every rejection blocker identifies a node whose
+    /// capacity genuinely runs out.
+    ExplainConsistency,
 }
 
 /// All oracles, in execution order.
-pub const ORACLES: [Oracle; 6] = [
+pub const ORACLES: [Oracle; 7] = [
     Oracle::GroundTruth,
+    Oracle::ExplainConsistency,
     Oracle::CrossModelEquality,
     Oracle::RelaxationOrdering,
     Oracle::DiscreteLowerBound,
@@ -79,6 +86,7 @@ impl Oracle {
             Oracle::GreedyDominated => "greedy_dominated",
             Oracle::ThreadEquivalence => "thread_equivalence",
             Oracle::GroundTruth => "ground_truth",
+            Oracle::ExplainConsistency => "explain_consistency",
         }
     }
 
@@ -251,6 +259,138 @@ fn check_ground_truth(
     }
 }
 
+/// Independent recomputation of the load on one substrate resource at one
+/// instant, straight from the solution (open-interval activity, the
+/// verifier's sweep convention). Deliberately does not share code with
+/// `tvnep_core::explain`.
+fn load_at(instance: &Instance, solution: &TemporalSolution, res: Resource, t: f64) -> f64 {
+    solution
+        .scheduled
+        .iter()
+        .zip(&instance.requests)
+        .filter(|(s, _)| s.accepted && s.start < t && t < s.end)
+        .filter_map(|(s, r)| {
+            s.embedding.as_ref().map(|e| match res {
+                Resource::Node(n) => e.node_allocation(r, NodeId(n)),
+                Resource::Edge(l) => e.edge_allocation(r, EdgeId(l)),
+            })
+        })
+        .sum()
+}
+
+/// Recomputes every claim of the explanation for `solution` and reports any
+/// that cannot be reproduced (explain-consistency oracle).
+fn check_explain_consistency(
+    report: &mut CaseReport,
+    instance: &Instance,
+    producer: &str,
+    solution: &TemporalSolution,
+    tol: f64,
+) {
+    let ex = explain_solution(instance, solution);
+    for e in &ex.requests {
+        match &e.fate {
+            Fate::Accepted {
+                start,
+                end,
+                binding,
+                ..
+            } => {
+                for b in binding {
+                    if !(*start < b.at_time && b.at_time < *end) {
+                        report.violate(
+                            Oracle::ExplainConsistency,
+                            format!(
+                                "{producer}: request {} binding probe t={} outside \
+                                 active interval ({start}, {end})",
+                                e.request, b.at_time
+                            ),
+                        );
+                        continue;
+                    }
+                    let load = load_at(instance, solution, b.resource, b.at_time);
+                    if (load - b.load).abs() > tol {
+                        report.violate(
+                            Oracle::ExplainConsistency,
+                            format!(
+                                "{producer}: request {} claims load {} on {} at t={}, \
+                                 recomputed {load}",
+                                e.request,
+                                b.load,
+                                b.resource.describe(),
+                                b.at_time
+                            ),
+                        );
+                    }
+                    if b.capacity - load > tol {
+                        report.violate(
+                            Oracle::ExplainConsistency,
+                            format!(
+                                "{producer}: request {} claims {} binding at t={} but \
+                                 load {load} leaves slack {} > {tol}",
+                                e.request,
+                                b.resource.describe(),
+                                b.at_time,
+                                b.capacity - load
+                            ),
+                        );
+                    }
+                }
+            }
+            Fate::Rejected { blockers, .. } => {
+                let maps = instance.fixed_node_mappings.as_ref();
+                for b in blockers {
+                    if !(b.candidate_start < b.at_time
+                        && b.at_time < b.candidate_start + instance.requests[e.request].duration)
+                    {
+                        report.violate(
+                            Oracle::ExplainConsistency,
+                            format!(
+                                "{producer}: request {} blocker probe t={} outside the \
+                                 candidate occupancy starting at {}",
+                                e.request, b.at_time, b.candidate_start
+                            ),
+                        );
+                        continue;
+                    }
+                    // Recompute the pinned demand on the blamed node.
+                    let demand: f64 = maps
+                        .map(|m| {
+                            m[e.request]
+                                .iter()
+                                .enumerate()
+                                .filter(|&(_, &host)| host == NodeId(b.node))
+                                .map(|(v, _)| instance.requests[e.request].node_demand(NodeId(v)))
+                                .sum()
+                        })
+                        .unwrap_or(0.0);
+                    let load = load_at(instance, solution, Resource::Node(b.node), b.at_time);
+                    if (load - b.existing_load).abs() > tol || (demand - b.demand).abs() > tol {
+                        report.violate(
+                            Oracle::ExplainConsistency,
+                            format!(
+                                "{producer}: request {} blocker figures not reproducible: \
+                                 claimed load {} demand {}, recomputed {load} {demand}",
+                                e.request, b.existing_load, b.demand
+                            ),
+                        );
+                    }
+                    if load + demand <= b.capacity - tol {
+                        report.violate(
+                            Oracle::ExplainConsistency,
+                            format!(
+                                "{producer}: request {} blames node {} at t={} but \
+                                 load {load} + demand {demand} fits capacity {}",
+                                e.request, b.node, b.at_time, b.capacity
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Runs the configured oracle battery on `instance`.
 pub fn check_instance(instance: &Instance, opts: &OracleOptions) -> CaseReport {
     let mut report = CaseReport::default();
@@ -287,6 +427,14 @@ pub fn check_instance(instance: &Instance, opts: &OracleOptions) -> CaseReport {
                     optimal_obj,
                     opts.verify_tol,
                 );
+            }
+        }
+    }
+
+    if opts.wants(Oracle::ExplainConsistency) {
+        for (f, out) in formulations.iter().zip(&outcomes) {
+            if let Some(sol) = &out.solution {
+                check_explain_consistency(&mut report, instance, f.as_str(), sol, opts.verify_tol);
             }
         }
     }
@@ -537,6 +685,15 @@ pub fn check_instance(instance: &Instance, opts: &OracleOptions) -> CaseReport {
                     opts.verify_tol,
                 );
             }
+            if opts.wants(Oracle::ExplainConsistency) {
+                check_explain_consistency(
+                    &mut report,
+                    instance,
+                    "greedy",
+                    &greedy.solution,
+                    opts.verify_tol,
+                );
+            }
             match proven_optimum {
                 None => report.skip(
                     Oracle::GreedyDominated,
@@ -589,6 +746,17 @@ pub fn check_instance(instance: &Instance, opts: &OracleOptions) -> CaseReport {
                         );
                     }
                 }
+                if opts.wants(Oracle::ExplainConsistency) {
+                    if let Some(sol) = &par.solution {
+                        check_explain_consistency(
+                            &mut report,
+                            instance,
+                            &format!("csigma(threads={})", opts.threads_alt),
+                            sol,
+                            opts.verify_tol,
+                        );
+                    }
+                }
             }
             _ => report.skip(
                 Oracle::ThreadEquivalence,
@@ -632,6 +800,53 @@ mod tests {
             "{:?}",
             report.violations
         );
+    }
+
+    /// Acceptance criterion: the explain-consistency oracle passes over
+    /// three fixed fuzz seeds of the capacity-critical family.
+    #[test]
+    fn explain_consistency_passes_on_fixed_seeds() {
+        for seed in [7u64, 42, 1337] {
+            let case =
+                crate::gen::generate_family(crate::gen::Family::CapacityCriticalGrid, seed, 0);
+            let opts = OracleOptions {
+                oracles: vec![Oracle::ExplainConsistency, Oracle::GreedyDominated],
+                ..OracleOptions::default()
+            };
+            let report = check_instance(&case.instance, &opts);
+            assert!(
+                !report.violated(Oracle::ExplainConsistency),
+                "seed {seed}: {:?}",
+                report.violations
+            );
+        }
+    }
+
+    /// Acceptance criterion: on a capacity-critical instance, explain names
+    /// the exhausted resource for at least one rejected request.
+    #[test]
+    fn explain_names_blocker_for_rejection_on_capacity_critical_instance() {
+        for seed in [7u64, 42, 1337, 1, 2, 3] {
+            let case =
+                crate::gen::generate_family(crate::gen::Family::CapacityCriticalGrid, seed, 0);
+            if case.instance.fixed_node_mappings.is_none() {
+                continue;
+            }
+            let greedy = greedy_csigma(
+                &case.instance,
+                &GreedyOptions {
+                    subproblem: OracleOptions::default().mip_opts(1),
+                },
+            );
+            let ex = explain_solution(&case.instance, &greedy.solution);
+            let named = ex.requests.iter().any(
+                |e| matches!(&e.fate, Fate::Rejected { blockers, .. } if !blockers.is_empty()),
+            );
+            if named {
+                return; // found a rejection with a named exhausted node
+            }
+        }
+        panic!("no seed produced a rejection with a named blocking resource");
     }
 
     #[test]

@@ -34,7 +34,7 @@
 //! after a fresh factorization before being reported. Prolonged degeneracy
 //! switches pricing to Bland's rule.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::problem::{LpProblem, INF};
 use crate::sparse::CscMatrix;
@@ -212,6 +212,28 @@ pub struct Simplex {
     pub stats: SolveStats,
     /// Observability sink; disabled (free) by default.
     telemetry: Telemetry,
+    /// Cached `telemetry.spans_enabled()`, refreshed at every public solve
+    /// entry; the per-kernel clocks below only tick when it is true, so the
+    /// profiler costs one branch per kernel call when off.
+    spans_on: bool,
+    /// Wall-time accumulators for the hot kernels of the *current* solve.
+    /// One span per kernel call would swamp the buffers (simplex runs up to
+    /// `max_iters` iterations); the totals are emitted as one aggregate child
+    /// span each inside the enclosing `lp.solve`/`lp.solve_warm` span.
+    kernels: KernelClocks,
+}
+
+/// Accumulated nanoseconds and call counts per hot simplex kernel.
+#[derive(Debug, Clone, Copy, Default)]
+struct KernelClocks {
+    pricing_ns: u64,
+    pricing_calls: u64,
+    ftran_ns: u64,
+    ftran_calls: u64,
+    btran_ns: u64,
+    btran_calls: u64,
+    refactor_ns: u64,
+    refactor_calls: u64,
 }
 
 /// Cumulative solver statistics (updated across all solves of an instance).
@@ -345,6 +367,8 @@ impl Simplex {
             scratch_inv: vec![0.0; m * m],
             stats: SolveStats::default(),
             telemetry: Telemetry::disabled(),
+            spans_on: false,
+            kernels: KernelClocks::default(),
         };
         s.reset_basis();
         s
@@ -471,6 +495,16 @@ impl Simplex {
     /// contiguous row operations, then transposed into the column-major
     /// layout). Returns `false` on a singular basis.
     fn refactorize(&mut self) -> bool {
+        let t0 = self.spans_on.then(Instant::now);
+        let ok = self.refactorize_inner();
+        if let Some(t0) = t0 {
+            self.kernels.refactor_ns += t0.elapsed().as_nanos() as u64;
+            self.kernels.refactor_calls += 1;
+        }
+        ok
+    }
+
+    fn refactorize_inner(&mut self) -> bool {
         let m = self.m;
         // Row-major B: bmat[r*m + c] = B(r, c) where column c is basis[c].
         // The workspaces persist across refactorizations; only re-zero them.
@@ -591,6 +625,7 @@ impl Simplex {
 
     /// `w = B⁻¹ A_q` into `scratch_w`.
     fn ftran(&mut self, q: usize) {
+        let t0 = self.spans_on.then(Instant::now);
         let m = self.m;
         self.scratch_w[..m].iter_mut().for_each(|v| *v = 0.0);
         let (rows, vals) = self.cols.column(q);
@@ -599,6 +634,10 @@ impl Simplex {
             for (w, &b) in self.scratch_w.iter_mut().zip(col) {
                 *w += v * b;
             }
+        }
+        if let Some(t0) = t0 {
+            self.kernels.ftran_ns += t0.elapsed().as_nanos() as u64;
+            self.kernels.ftran_calls += 1;
         }
     }
 
@@ -627,6 +666,7 @@ impl Simplex {
     /// `y = c_B' B⁻¹` into `scratch_y`, with `c_B` read from `scratch_cb`
     /// (filled by [`Simplex::fill_basic_costs`]).
     fn btran_costs(&mut self) {
+        let t0 = self.spans_on.then(Instant::now);
         let m = self.m;
         for j in 0..m {
             let col = &self.binv[j * m..(j + 1) * m];
@@ -635,6 +675,10 @@ impl Simplex {
                 acc += c * b;
             }
             self.scratch_y[j] = acc;
+        }
+        if let Some(t0) = t0 {
+            self.kernels.btran_ns += t0.elapsed().as_nanos() as u64;
+            self.kernels.btran_calls += 1;
         }
     }
 
@@ -674,10 +718,58 @@ impl Simplex {
     pub fn solve(&mut self) -> LpStatus {
         let before = self.iterations;
         self.iter_base = before;
+        let profile = self.begin_profile();
         self.telemetry.event(Event::LpSolveStart { warm: false });
         let status = self.solve_inner();
         self.finish_lp_event(before, status);
+        self.end_profile("lp.solve", profile, before);
         status
+    }
+
+    /// Refreshes the cached span toggle and, when profiling, resets the
+    /// kernel clocks and returns the span start offset.
+    fn begin_profile(&mut self) -> Option<Duration> {
+        self.spans_on = self.telemetry.spans_enabled();
+        if self.spans_on {
+            self.kernels = KernelClocks::default();
+            Some(self.telemetry.elapsed())
+        } else {
+            None
+        }
+    }
+
+    /// Emits the solve span plus one aggregate child span per hot kernel.
+    /// The children are laid out sequentially from the parent's start (their
+    /// true intervals interleave per iteration, far below trace resolution);
+    /// each carries its call count, and the layout preserves the containment
+    /// and monotone-timestamp invariants Chrome's trace viewer requires.
+    fn end_profile(&mut self, name: &'static str, started: Option<Duration>, iters_before: usize) {
+        let Some(start) = started else { return };
+        let end = self.telemetry.elapsed();
+        let total = end.saturating_sub(start);
+        let iters = (self.iterations - iters_before) as f64;
+        self.telemetry
+            .record_span(name, start, total, vec![("iters", iters)]);
+        let k = self.kernels;
+        let mut cursor = start;
+        let limit = start + total;
+        for (kname, ns, calls) in [
+            ("lp.pricing", k.pricing_ns, k.pricing_calls),
+            ("lp.ftran", k.ftran_ns, k.ftran_calls),
+            ("lp.btran", k.btran_ns, k.btran_calls),
+            ("lp.refactorize", k.refactor_ns, k.refactor_calls),
+        ] {
+            if calls == 0 {
+                continue;
+            }
+            let mut dur = Duration::from_nanos(ns);
+            if cursor + dur > limit {
+                dur = limit.saturating_sub(cursor);
+            }
+            self.telemetry
+                .record_span(kname, cursor, dur, vec![("calls", calls as f64)]);
+            cursor += dur;
+        }
     }
 
     /// Emits the `LpSolveEnd` half of the event pair and records the
@@ -755,9 +847,11 @@ impl Simplex {
     pub fn solve_warm(&mut self) -> LpStatus {
         let before = self.iterations;
         self.iter_base = before;
+        let profile = self.begin_profile();
         self.telemetry.event(Event::LpSolveStart { warm: true });
         let status = self.solve_warm_inner();
         self.finish_lp_event(before, status);
+        self.end_profile("lp.solve_warm", profile, before);
         status
     }
 
@@ -1064,6 +1158,7 @@ impl Simplex {
             // from index 0 — the anti-cycling guarantee depends on it.
             self.fill_basic_costs(phase1, pert);
             self.btran_costs();
+            let price_t0 = self.spans_on.then(Instant::now);
             let pricing = if degen_run > self.params.degen_switch {
                 Pricing::Bland
             } else {
@@ -1120,6 +1215,10 @@ impl Simplex {
                 } else {
                     self.stats.pricing_full_scans += 1;
                 }
+            }
+            if let Some(t0) = price_t0 {
+                self.kernels.pricing_ns += t0.elapsed().as_nanos() as u64;
+                self.kernels.pricing_calls += 1;
             }
             let Some((q, _dq, sigma)) = entering else {
                 return LpStatus::Optimal;

@@ -13,6 +13,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::model::{MipModel, Sense, VarKind};
+use crate::tree::{NodeOutcome, SearchTree, TreeNode};
 use tvnep_lp::{LpStatus, Params, Simplex, SolveStats};
 use tvnep_telemetry::{Event, Telemetry};
 
@@ -123,6 +124,11 @@ pub struct MipOptions {
     /// nodes are drawn from a shared best-bound pool and every worker prunes
     /// against the shared incumbent immediately.
     pub threads: usize,
+    /// Search-tree capture sink: when set, every counted node is recorded
+    /// with parent link, branch decision, LP bound, depth and prune reason
+    /// (both drivers; the record count always equals the `mip.nodes`
+    /// metric). Export via [`SearchTree::to_dot`]/[`SearchTree::to_json`].
+    pub tree: Option<Arc<SearchTree>>,
 }
 
 impl std::fmt::Debug for MipOptions {
@@ -139,6 +145,7 @@ impl std::fmt::Debug for MipOptions {
             .field("lp_params", &self.lp_params)
             .field("cutoff", &self.cutoff)
             .field("threads", &self.threads)
+            .field("tree", &self.tree.as_ref().map(|t| t.len()))
             .finish()
     }
 }
@@ -157,6 +164,7 @@ impl Default for MipOptions {
             lp_params: None,
             cutoff: None,
             threads: 1,
+            tree: None,
         }
     }
 }
@@ -234,6 +242,10 @@ pub(crate) struct Node {
     /// fractional_part)` of the branching that created this node. Recorded
     /// once the node's own LP solves.
     pub(crate) pending_pseudo: Option<(usize, bool, f64, f64)>,
+    /// Search-tree capture: id of the node whose branching created this one
+    /// (`None` for the root) and the `(model column, went_up)` decision.
+    pub(crate) parent: Option<u64>,
+    pub(crate) branch: Option<(usize, bool)>,
 }
 
 // Min-heap on (bound, seq): BinaryHeap is a max-heap, so invert.
@@ -362,6 +374,7 @@ fn solve_sequential(model: &MipModel, opts: &MipOptions) -> MipResult {
     let telemetry = opts.telemetry.clone();
     simplex.set_telemetry(telemetry.clone());
     telemetry.event_with(|| Event::SolveStart { what: "mip".into() });
+    let _solve_span = telemetry.span("mip.solve");
     if let Some(p) = &opts.lp_params {
         simplex.set_params(p.clone());
     }
@@ -398,8 +411,25 @@ fn solve_sequential(model: &MipModel, opts: &MipOptions) -> MipResult {
         depth: 0,
         seq,
         pending_pseudo: None,
+        parent: None,
+        branch: None,
     });
     seq += 1;
+
+    // Search-tree capture: one record per counted node, bound reported in
+    // the user's sense, `None` when the relaxation never produced one.
+    let record_node = |id: u64, node: &Node, bound_min: f64, outcome: NodeOutcome| {
+        if let Some(t) = &opts.tree {
+            t.record(TreeNode {
+                id,
+                parent: node.parent,
+                depth: node.depth,
+                branch: node.branch,
+                bound: bound_min.is_finite().then_some(sign * bound_min),
+                outcome,
+            });
+        }
+    };
 
     let finish = |status: MipStatus,
                   incumbent: Option<(f64, Vec<f64>)>,
@@ -527,6 +557,11 @@ fn solve_sequential(model: &MipModel, opts: &MipOptions) -> MipResult {
             }
 
             nodes += 1;
+            let node_id = nodes;
+            let _node_span = telemetry
+                .span("mip.node")
+                .arg("node", node_id as f64)
+                .arg("depth", current.depth as f64);
             if let Some(every) = opts.log_every {
                 if nodes.is_multiple_of(every) {
                     let b = global_bound(&heap, Some(current.bound), &incumbent);
@@ -561,6 +596,7 @@ fn solve_sequential(model: &MipModel, opts: &MipOptions) -> MipResult {
             first_lp = false;
             if status == LpStatus::TimeLimit {
                 emit_node(nodes, current.depth, current.bound, 0);
+                record_node(node_id, &current, current.bound, NodeOutcome::TimeLimit);
                 let b = global_bound(&heap, Some(current.bound), &incumbent);
                 let st = if incumbent.is_some() {
                     MipStatus::Feasible
@@ -575,6 +611,7 @@ fn solve_sequential(model: &MipModel, opts: &MipOptions) -> MipResult {
                 status = simplex.solve();
                 if status == LpStatus::TimeLimit {
                     emit_node(nodes, current.depth, current.bound, 0);
+                    record_node(node_id, &current, current.bound, NodeOutcome::TimeLimit);
                     let b = global_bound(&heap, Some(current.bound), &incumbent);
                     let st = if incumbent.is_some() {
                         MipStatus::Feasible
@@ -587,12 +624,14 @@ fn solve_sequential(model: &MipModel, opts: &MipOptions) -> MipResult {
                     numerical_failures += 1;
                     if numerical_failures > 5 {
                         emit_node(nodes, current.depth, current.bound, 0);
+                        record_node(node_id, &current, current.bound, NodeOutcome::Numerical);
                         let b = global_bound(&heap, Some(current.bound), &incumbent);
                         return finish(MipStatus::Numerical, incumbent, b, nodes, &simplex);
                     }
                     // Treat the node as unresolved: requeue with its parent
                     // bound so it is revisited later (no pruning done).
                     emit_node(nodes, current.depth, current.bound, 0);
+                    record_node(node_id, &current, current.bound, NodeOutcome::Numerical);
                     current.seq = seq;
                     seq += 1;
                     heap.push(current);
@@ -602,10 +641,12 @@ fn solve_sequential(model: &MipModel, opts: &MipOptions) -> MipResult {
             match status {
                 LpStatus::Infeasible => {
                     emit_node(nodes, current.depth, current.bound, 0);
+                    record_node(node_id, &current, current.bound, NodeOutcome::Infeasible);
                     break; // prune
                 }
                 LpStatus::Unbounded => {
                     emit_node(nodes, current.depth, current.bound, 0);
+                    record_node(node_id, &current, current.bound, NodeOutcome::Unbounded);
                     if current.depth == 0 {
                         unbounded_root = true;
                         break 'outer;
@@ -648,11 +689,13 @@ fn solve_sequential(model: &MipModel, opts: &MipOptions) -> MipResult {
             // Prune by bound.
             if let Some(beat) = must_beat(&incumbent) {
                 if lp_obj >= beat - prune_eps(beat) {
+                    record_node(node_id, &current, current.bound, NodeOutcome::PrunedBound);
                     break;
                 }
             }
 
             if frac_vars.is_empty() {
+                record_node(node_id, &current, current.bound, NodeOutcome::Integral);
                 // Integer feasible: new incumbent?
                 let better =
                     must_beat(&incumbent).is_none_or(|beat| lp_obj < beat - prune_eps(beat));
@@ -700,6 +743,7 @@ fn solve_sequential(model: &MipModel, opts: &MipOptions) -> MipResult {
                         let io = incumbent.as_ref().map(|(o, _)| *o).expect("just set");
                         let gap = (io - b).abs() / io.abs().max(1e-10);
                         if gap <= opts.rel_gap {
+                            record_node(node_id, &current, current.bound, NodeOutcome::PrunedBound);
                             return finish(MipStatus::Optimal, incumbent, b, nodes, &simplex);
                         }
                     }
@@ -714,6 +758,7 @@ fn solve_sequential(model: &MipModel, opts: &MipOptions) -> MipResult {
                 if simplex.solve_warm() != LpStatus::Optimal {
                     // Should not happen (this exact LP solved above); requeue
                     // conservatively.
+                    record_node(node_id, &current, current.bound, NodeOutcome::Numerical);
                     current.seq = seq;
                     seq += 1;
                     heap.push(current);
@@ -752,6 +797,7 @@ fn solve_sequential(model: &MipModel, opts: &MipOptions) -> MipResult {
             let j = int_vars[bk];
             let xval = sol.x[j];
             let (lo, up) = current.bounds[bk];
+            record_node(node_id, &current, current.bound, NodeOutcome::Branched);
 
             // Children: down (x <= floor) and up (x >= ceil).
             let mut down_bounds = current.bounds.clone();
@@ -767,6 +813,8 @@ fn solve_sequential(model: &MipModel, opts: &MipOptions) -> MipResult {
                     seq
                 },
                 pending_pseudo: Some((bk, false, lp_obj, bfrac)),
+                parent: Some(node_id),
+                branch: Some((j, false)),
             };
             let up_node = Node {
                 bounds: up_bounds,
@@ -777,6 +825,8 @@ fn solve_sequential(model: &MipModel, opts: &MipOptions) -> MipResult {
                     seq
                 },
                 pending_pseudo: Some((bk, true, lp_obj, bfrac)),
+                parent: Some(node_id),
+                branch: Some((j, true)),
             };
 
             // Dive into the child on the nearer side of the fraction; the

@@ -26,9 +26,11 @@
 pub mod branch_and_bound;
 pub mod model;
 mod parallel;
+pub mod tree;
 
 pub use branch_and_bound::{
     solve, solve_with, Branching, MipOptions, MipProgress, MipResult, MipStatus, ProgressFn,
 };
 pub use model::{MipModel, Sense, VarKind, MIP_INF};
+pub use tree::{NodeOutcome, SearchTree, TreeNode};
 pub use tvnep_lp::{VarId, INF};

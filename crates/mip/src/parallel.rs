@@ -35,6 +35,7 @@ use crate::branch_and_bound::{
     MipProgress, MipResult, MipStatus, Node, PseudoCosts,
 };
 use crate::model::{MipModel, Sense, VarKind};
+use crate::tree::{NodeOutcome, TreeNode};
 use tvnep_lp::{LpProblem, LpStatus, Simplex, SolveStats};
 use tvnep_telemetry::{Event, Telemetry};
 
@@ -207,6 +208,7 @@ pub(crate) fn solve_parallel(model: &MipModel, opts: &MipOptions, threads: usize
     let lp_min = model.relaxation_min();
     let telemetry = opts.telemetry.clone();
     telemetry.event_with(|| Event::SolveStart { what: "mip".into() });
+    let _solve_span = telemetry.span("mip.solve");
     let int_vars: Vec<usize> = model
         .kinds()
         .iter()
@@ -245,6 +247,8 @@ pub(crate) fn solve_parallel(model: &MipModel, opts: &MipOptions, threads: usize
         depth: 0,
         seq: 0,
         pending_pseudo: None,
+        parent: None,
+        branch: None,
     });
 
     let outs: Vec<WorkerOut> = std::thread::scope(|scope| {
@@ -362,13 +366,10 @@ fn worker(
     start: Instant,
     main_tel: &Telemetry,
 ) -> WorkerOut {
-    // LP metrics go to a private registry (merged by the driver); mip-level
-    // events below go straight to the shared handle.
-    let worker_tel = if main_tel.is_enabled() {
-        Telemetry::metrics_only()
-    } else {
-        Telemetry::disabled()
-    };
+    // LP metrics and spans go to a private per-thread handle sharing the
+    // driver's epoch (merged by the driver after join); mip-level events
+    // below go straight to the shared handle.
+    let worker_tel = main_tel.worker(wid as u32 + 1);
     let mut simplex = Simplex::new(lp_min);
     simplex.set_telemetry(worker_tel.clone());
     if let Some(p) = &opts.lp_params {
@@ -387,6 +388,18 @@ fn worker(
             bound: sign * bound_min,
             frac_count,
         });
+    };
+    let record_node = |id: u64, node: &Node, bound_min: f64, outcome: NodeOutcome| {
+        if let Some(t) = &opts.tree {
+            t.record(TreeNode {
+                id,
+                parent: node.parent,
+                depth: node.depth,
+                branch: node.branch,
+                bound: bound_min.is_finite().then_some(sign * bound_min),
+                outcome,
+            });
+        }
     };
     let emit_incumbent = |obj_min: f64, bound_min: f64| {
         main_tel.counter_add("mip.incumbents", 1);
@@ -432,6 +445,10 @@ fn worker(
             }
 
             let node_id = shared.nodes.fetch_add(1, Ordering::Relaxed) + 1;
+            let _node_span = worker_tel
+                .span("mip.node")
+                .arg("node", node_id as f64)
+                .arg("depth", current.depth as f64);
             if let Some(every) = opts.log_every {
                 if node_id.is_multiple_of(every) {
                     let (mut b, open) = shared.global_bound();
@@ -473,6 +490,7 @@ fn worker(
             first_lp = false;
             if status == LpStatus::TimeLimit {
                 emit_node(node_id, current.depth, current.bound, 0);
+                record_node(node_id, &current, current.bound, NodeOutcome::TimeLimit);
                 shared.request_stop(Stop::Limit);
                 shared.requeue(current);
                 break;
@@ -483,12 +501,14 @@ fn worker(
                 status = simplex.solve();
                 if status == LpStatus::TimeLimit {
                     emit_node(node_id, current.depth, current.bound, 0);
+                    record_node(node_id, &current, current.bound, NodeOutcome::TimeLimit);
                     shared.request_stop(Stop::Limit);
                     shared.requeue(current);
                     break;
                 }
                 if matches!(status, LpStatus::Numerical | LpStatus::IterationLimit) {
                     emit_node(node_id, current.depth, current.bound, 0);
+                    record_node(node_id, &current, current.bound, NodeOutcome::Numerical);
                     let failures = shared.numerical_failures.fetch_add(1, Ordering::Relaxed) + 1;
                     if failures > 5 {
                         shared.request_stop(Stop::Numerical);
@@ -502,10 +522,12 @@ fn worker(
             match status {
                 LpStatus::Infeasible => {
                     emit_node(node_id, current.depth, current.bound, 0);
+                    record_node(node_id, &current, current.bound, NodeOutcome::Infeasible);
                     break; // prune
                 }
                 LpStatus::Unbounded => {
                     emit_node(node_id, current.depth, current.bound, 0);
+                    record_node(node_id, &current, current.bound, NodeOutcome::Unbounded);
                     shared.request_stop(Stop::Unbounded);
                     break;
                 }
@@ -542,11 +564,13 @@ fn worker(
             // Prune by bound.
             if let Some(beat) = shared.must_beat() {
                 if lp_obj >= beat - prune_eps(beat) {
+                    record_node(node_id, &current, current.bound, NodeOutcome::PrunedBound);
                     break;
                 }
             }
 
             if frac_vars.is_empty() {
+                record_node(node_id, &current, current.bound, NodeOutcome::Integral);
                 // Integer feasible: offer as incumbent. The dive ends here
                 // either way, so clear this worker's published bound before
                 // the gap check (mirrors the sequential driver, which
@@ -602,6 +626,7 @@ fn worker(
                         emit_incumbent(obj, b);
                         let gap = (obj - b).abs() / obj.abs().max(1e-10);
                         if gap <= opts.rel_gap {
+                            record_node(node_id, &current, current.bound, NodeOutcome::PrunedBound);
                             shared.request_stop(Stop::GapOptimal(b));
                             shared.requeue(current);
                             break;
@@ -615,6 +640,7 @@ fn worker(
                     simplex.set_var_bounds(j2, lo2, up2);
                 }
                 if simplex.solve_warm() != LpStatus::Optimal {
+                    record_node(node_id, &current, current.bound, NodeOutcome::Numerical);
                     shared.requeue(current);
                     break;
                 }
@@ -649,6 +675,7 @@ fn worker(
             let j = int_vars[bk];
             let xval = sol.x[j];
             let (lo, up) = current.bounds[bk];
+            record_node(node_id, &current, current.bound, NodeOutcome::Branched);
 
             // Children: down (x <= floor) and up (x >= ceil).
             let mut down_bounds = current.bounds.clone();
@@ -661,6 +688,8 @@ fn worker(
                 depth: current.depth + 1,
                 seq: 0, // assigned under the pool lock below
                 pending_pseudo: Some((bk, false, lp_obj, bfrac)),
+                parent: Some(node_id),
+                branch: Some((j, false)),
             };
             let up_node = Node {
                 bounds: up_bounds,
@@ -668,6 +697,8 @@ fn worker(
                 depth: current.depth + 1,
                 seq: 0,
                 pending_pseudo: Some((bk, true, lp_obj, bfrac)),
+                parent: Some(node_id),
+                branch: Some((j, true)),
             };
 
             // Dive into the child on the nearer side of the fraction; the

@@ -20,20 +20,26 @@
 
 pub mod json;
 mod metrics;
+pub mod span;
 mod timeline;
 
 pub use json::{Json, JsonError};
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use span::{chrome_trace, SpanGuard, SpanRecord};
 pub use timeline::{Event, SolveTimeline, TimedEvent};
 
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-struct Inner {
-    epoch: Instant,
+pub(crate) struct Inner {
+    pub(crate) epoch: Instant,
     metrics: Mutex<MetricsRegistry>,
     /// `None` when only the metrics registry was requested.
     timeline: Option<Mutex<SolveTimeline>>,
+    /// Completed profiler spans; `None` when span recording is off.
+    pub(crate) spans: Option<Mutex<Vec<SpanRecord>>>,
+    /// Logical thread id stamped onto spans (0 = driver, `w + 1` = worker).
+    pub(crate) tid: u32,
 }
 
 /// Cheap, clonable observability handle. All recording methods are no-ops on
@@ -45,8 +51,16 @@ impl std::fmt::Debug for Telemetry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match &self.0 {
             None => write!(f, "Telemetry(disabled)"),
-            Some(inner) if inner.timeline.is_some() => write!(f, "Telemetry(metrics+timeline)"),
-            Some(_) => write!(f, "Telemetry(metrics)"),
+            Some(inner) => {
+                let mut parts = vec!["metrics"];
+                if inner.timeline.is_some() {
+                    parts.push("timeline");
+                }
+                if inner.spans.is_some() {
+                    parts.push("spans");
+                }
+                write!(f, "Telemetry({})", parts.join("+"))
+            }
         }
     }
 }
@@ -59,20 +73,47 @@ impl Telemetry {
 
     /// Metrics registry only; [`Telemetry::event`] calls are dropped.
     pub fn metrics_only() -> Self {
-        Telemetry(Some(Arc::new(Inner {
-            epoch: Instant::now(),
-            metrics: Mutex::new(MetricsRegistry::new()),
-            timeline: None,
-        })))
+        Self::configure(false, false)
     }
 
     /// Metrics registry plus the full solve timeline.
     pub fn with_timeline() -> Self {
+        Self::configure(true, false)
+    }
+
+    /// Metrics registry plus span recording (the profiler toggle).
+    pub fn with_spans() -> Self {
+        Self::configure(false, true)
+    }
+
+    /// Metrics always on; timeline and span recording individually togglable.
+    pub fn configure(timeline: bool, spans: bool) -> Self {
         Telemetry(Some(Arc::new(Inner {
             epoch: Instant::now(),
             metrics: Mutex::new(MetricsRegistry::new()),
-            timeline: Some(Mutex::new(SolveTimeline::new())),
+            timeline: timeline.then(|| Mutex::new(SolveTimeline::new())),
+            spans: spans.then(|| Mutex::new(Vec::new())),
+            tid: 0,
         })))
+    }
+
+    /// A private per-worker handle sharing this handle's epoch: fresh metrics
+    /// registry, no timeline, span recording iff this handle records spans,
+    /// stamped with logical thread id `tid`. The parallel branch-and-bound
+    /// driver hands one to each worker and folds it back with
+    /// [`Telemetry::absorb_metrics`] after the workers join; the shared epoch
+    /// keeps worker span timestamps on the same clock as the driver's.
+    pub fn worker(&self, tid: u32) -> Telemetry {
+        match &self.0 {
+            None => Telemetry(None),
+            Some(inner) => Telemetry(Some(Arc::new(Inner {
+                epoch: inner.epoch,
+                metrics: Mutex::new(MetricsRegistry::new()),
+                timeline: None,
+                spans: inner.spans.is_some().then(|| Mutex::new(Vec::new())),
+                tid,
+            }))),
+        }
     }
 
     pub fn is_enabled(&self) -> bool {
@@ -81,6 +122,11 @@ impl Telemetry {
 
     pub fn timeline_enabled(&self) -> bool {
         matches!(&self.0, Some(inner) if inner.timeline.is_some())
+    }
+
+    /// True when this handle records profiler spans.
+    pub fn spans_enabled(&self) -> bool {
+        matches!(&self.0, Some(inner) if inner.spans.is_some())
     }
 
     /// Elapsed time since the handle was created (zero when disabled).
@@ -128,11 +174,69 @@ impl Telemetry {
         }
     }
 
+    /// Opens a profiler span that runs until the returned guard drops.
+    /// No-op (one `Option` check) unless span recording is on.
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        match &self.0 {
+            Some(inner) if inner.spans.is_some() => SpanGuard {
+                inner: Some(span::SpanGuardInner {
+                    start: inner.epoch.elapsed(),
+                    handle: inner.clone(),
+                    name,
+                    args: Vec::new(),
+                }),
+            },
+            _ => SpanGuard { inner: None },
+        }
+    }
+
+    /// Records a pre-measured span (used for aggregate kernel spans whose
+    /// start/duration are accumulated out-of-band). Dropped unless span
+    /// recording is on.
+    pub fn record_span(
+        &self,
+        name: &'static str,
+        start: Duration,
+        dur: Duration,
+        args: Vec<(&'static str, f64)>,
+    ) {
+        if let Some(inner) = &self.0 {
+            if let Some(spans) = &inner.spans {
+                spans.lock().unwrap().push(SpanRecord {
+                    name,
+                    start,
+                    dur,
+                    tid: inner.tid,
+                    args,
+                });
+            }
+        }
+    }
+
+    /// A copy of all spans recorded so far (empty when disabled).
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        match &self.0 {
+            Some(inner) => match &inner.spans {
+                Some(spans) => spans.lock().unwrap().clone(),
+                None => Vec::new(),
+            },
+            None => Vec::new(),
+        }
+    }
+
+    /// Renders all recorded spans as a Chrome trace-event document (see
+    /// [`span::chrome_trace`]); loadable in `chrome://tracing` / Perfetto.
+    pub fn export_chrome_trace(&self) -> Json {
+        chrome_trace(&self.spans())
+    }
+
     /// Folds another handle's metrics registry into this one (counters add,
-    /// gauges last-write, histograms merge bucket-wise). Used by the parallel
-    /// MIP solver: each worker thread records LP-engine metrics into a
-    /// private `metrics_only` handle and the driver absorbs them after the
-    /// workers join, so `--metrics-out` reports the same quantities
+    /// gauges last-write, histograms merge bucket-wise), and drains the other
+    /// handle's span buffer into ours (spans carry their own thread id, so
+    /// merged buffers stay attributable). Used by the parallel MIP solver:
+    /// each worker thread records into a private [`Telemetry::worker`] handle
+    /// and the driver absorbs them after the workers join, so
+    /// `--metrics-out` / `--chrome-trace` report the same quantities
     /// regardless of thread count. No-op when either handle is disabled;
     /// timeline events are not transferred (per-thread LP timelines have no
     /// global order).
@@ -145,6 +249,11 @@ impl Telemetry {
         }
         let theirs = other_inner.metrics.lock().unwrap();
         inner.metrics.lock().unwrap().merge_from(&theirs);
+        drop(theirs);
+        if let (Some(ours), Some(their_spans)) = (&inner.spans, &other_inner.spans) {
+            let mut moved = their_spans.lock().unwrap();
+            ours.lock().unwrap().append(&mut moved);
+        }
     }
 
     /// A point-in-time copy of the metrics registry (empty when disabled).
