@@ -1,21 +1,24 @@
 //! Regenerates the figures of the paper's Section VI as CSV series.
 //!
 //! ```text
-//! figures [fig3|fig4|fig5|fig6|fig7|fig8|fig9|all]
+//! figures [fig3|fig4|fig5|fig6|fig7|fig8|fig9|ablation|all]
 //!         [--seeds N] [--time-limit SECS] [--flex-step H] [--paper-scale]
-//!         [--threads N]
+//!         [--threads N] [--journal PATH] [--fresh]
 //! ```
 //!
-//! Output goes to stdout (CSV) with progress on stderr. See EXPERIMENTS.md
-//! for the recorded runs and the comparison against the paper.
+//! Output goes to stdout (CSV); progress is a live status line on stderr
+//! (one line per cell when stderr is not a terminal). The run is backed by
+//! the resumable campaign journal (`--journal`, default `figures.jsonl`):
+//! killing the process and re-running the same command resumes at the first
+//! unfinished cell and reproduces the same CSV. See EXPERIMENTS.md for the
+//! recorded runs and the comparison against the paper.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
+use tvnep_bench::campaign::{run_campaign, CampaignOptions, CellRecord};
 use tvnep_bench::HarnessConfig as HC;
-use tvnep_bench::{
-    print_csv, run_greedy_sweep, run_objective_sweep, run_sweep, CellResult, HarnessConfig,
-    CSV_HEADER,
-};
+use tvnep_bench::{csv_from_records_stdout, HarnessConfig};
 use tvnep_core::{
     build_discrete, build_model, discretization_gap, solve_tvnep, BuildOptions, EventOptions,
     Formulation, Objective,
@@ -23,12 +26,16 @@ use tvnep_core::{
 use tvnep_mip::MipOptions;
 use tvnep_workloads::generate;
 
+/// Heap accounting for the `peak_bytes` column.
+#[global_allocator]
+static ALLOC: tvnep_telemetry::CountingAlloc = tvnep_telemetry::CountingAlloc;
+
 /// Extra experiments beyond the paper's figures, backing DESIGN.md's design
 /// choices: (a) the discretization gap of a time-slotted baseline vs the
 /// continuous cΣ-Model (Section III's motivation), and (b) the effect of the
 /// Section IV-C cuts on the cΣ solve.
 fn ablation(cfg: &HC) {
-    println!("# ablation_discrete: seed,slots,disc_rows,csigma_rows,gap");
+    println!("# ablation_discrete: seed,slots,disc_rows,csigma_rows,gap,peak_bytes");
     let opts = MipOptions::with_time_limit(cfg.time_limit);
     for &seed in cfg.seeds.iter().take(2) {
         let inst = generate(&cfg.workload, seed).with_flexibility_after(2.0);
@@ -39,17 +46,19 @@ fn ablation(cfg: &HC) {
             BuildOptions::default_for(Formulation::CSigma),
         );
         for slots in [8usize, 16, 32] {
+            let probe = tvnep_telemetry::MemProbe::start();
             let disc = build_discrete(&inst, slots);
             let gap = discretization_gap(&inst, slots, &opts);
             println!(
-                "ablation_discrete,{seed},{slots},{},{},{}",
+                "ablation_discrete,{seed},{slots},{},{},{},{}",
                 disc.mip.num_rows(),
                 csigma.mip.num_rows(),
-                gap.map_or("NA".into(), |g| format!("{g:.4}"))
+                gap.map_or("NA".into(), |g| format!("{g:.4}")),
+                probe.finish(),
             );
         }
     }
-    println!("# ablation_cuts: seed,config,rows,ints,runtime_s,status");
+    println!("# ablation_cuts: seed,config,rows,ints,runtime_s,status,peak_bytes");
     for &seed in cfg.seeds.iter().take(2) {
         let inst = generate(&cfg.workload, seed).with_flexibility_after(1.0);
         for (name, ev) in [
@@ -78,6 +87,7 @@ fn ablation(cfg: &HC) {
                 },
             ),
         ] {
+            let probe = tvnep_telemetry::MemProbe::start();
             let built = build_model(
                 &inst,
                 Formulation::CSigma,
@@ -99,13 +109,35 @@ fn ablation(cfg: &HC) {
                 &opts,
             );
             println!(
-                "ablation_cuts,{seed},{name},{},{},{:.3},{:?}",
+                "ablation_cuts,{seed},{name},{},{},{:.3},{:?},{}",
                 built.mip.num_rows(),
                 built.mip.num_integers(),
                 t0.elapsed().as_secs_f64(),
-                run.mip.status
+                run.mip.status,
+                probe.finish(),
             );
         }
+    }
+}
+
+/// The campaign labels a figure target needs.
+fn labels_for(which: &str) -> Vec<String> {
+    let all = |names: &[&str]| names.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    match which {
+        "fig3" | "fig4" => all(&["csigma_access", "sigma_access", "delta_access"]),
+        "fig5" | "fig6" => all(&[
+            "csigma_earliness",
+            "csigma_nodeload",
+            "csigma_disable",
+            "csigma_makespan",
+        ]),
+        "fig7" => all(&["csigma_access", "greedy_access"]),
+        "fig8" | "fig9" => all(&["csigma_access"]),
+        "ablation" => Vec::new(),
+        _ => tvnep_bench::campaign::LABELS
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
     }
 }
 
@@ -113,6 +145,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which = "all".to_string();
     let mut cfg = HarnessConfig::default();
+    let mut journal = PathBuf::from("figures.jsonl");
+    let mut fresh = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -131,6 +165,11 @@ fn main() {
                 i += 1;
                 cfg.threads = args[i].parse().expect("--threads N");
             }
+            "--journal" => {
+                i += 1;
+                journal = PathBuf::from(&args[i]);
+            }
+            "--fresh" => fresh = true,
             "--flex-step" => {
                 i += 1;
                 let h: f64 = args[i].parse().expect("--flex-step H");
@@ -153,59 +192,62 @@ fn main() {
         i += 1;
     }
 
+    tvnep_telemetry::alloc::set_counting(true);
+    if fresh {
+        let _ = std::fs::remove_file(&journal);
+    }
+
     eprintln!(
-        "[figures] target={which} seeds={:?} flex={:?} limit={:?} threads={}",
+        "[figures] target={which} seeds={:?} flex={:?} limit={:?} threads={} journal={}",
         cfg.seeds,
         cfg.flexibilities,
         cfg.time_limit,
-        cfg.effective_threads()
+        cfg.effective_threads(),
+        journal.display(),
     );
-    println!("{CSV_HEADER}");
 
-    let want = |f: &str| which == "all" || which == f;
+    let labels = labels_for(&which);
+    let records: Vec<CellRecord> = if labels.is_empty() {
+        Vec::new()
+    } else {
+        let opts = CampaignOptions {
+            cfg: cfg.clone(),
+            labels,
+            journal_path: journal,
+            quiet: false,
+        };
+        let summary = run_campaign(&opts).unwrap_or_else(|e| {
+            eprintln!("[figures] campaign failed: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "[figures] {} cells ({} resumed from journal, {} run) in {:.1}s",
+            summary.records.len(),
+            summary.resumed,
+            summary.ran,
+            summary.wall.as_secs_f64()
+        );
+        summary.records
+    };
 
-    // Figures 3 & 4 share the formulation sweep; Figures 8 & 9 reuse the cΣ
-    // rows of the same sweep, so run each formulation at most once.
-    let mut csigma_rows: Option<Vec<CellResult>> = None;
-    if want("fig3") || want("fig4") || want("fig8") || want("fig9") || want("fig7") {
-        eprintln!("[figures] formulation sweep: cSigma");
-        let rows = run_sweep(&cfg, Formulation::CSigma);
-        print_csv("csigma_access", &rows);
-        csigma_rows = Some(rows);
+    if !records.is_empty() {
+        csv_from_records_stdout(&records);
     }
-    if want("fig3") || want("fig4") {
-        for (label, f) in [
-            ("sigma_access", Formulation::Sigma),
-            ("delta_access", Formulation::Delta),
-        ] {
-            eprintln!("[figures] formulation sweep: {label}");
-            let rows = run_sweep(&cfg, f);
-            print_csv(label, &rows);
-        }
-    }
-    if want("fig5") || want("fig6") {
-        for (label, o) in [
-            ("csigma_earliness", Objective::MaxEarliness),
-            (
-                "csigma_nodeload",
-                Objective::BalanceNodeLoad { fraction: 0.5 },
-            ),
-            ("csigma_disable", Objective::DisableLinks),
-            ("csigma_makespan", Objective::MinMakespan),
-        ] {
-            eprintln!("[figures] objective sweep: {label}");
-            let rows = run_objective_sweep(&cfg, o);
-            print_csv(label, &rows);
-        }
-    }
-    if want("fig7") {
-        eprintln!("[figures] greedy sweep");
-        let rows = run_greedy_sweep(&cfg);
-        print_csv("greedy_access", &rows);
+
+    let by_label = |label: &str| -> Vec<&CellRecord> {
+        records
+            .iter()
+            .filter(|r| r.label == label && !r.skipped)
+            .collect()
+    };
+
+    if which == "all" || which == "fig7" {
         // Relative performance summary (Fig 7): 1 − greedy/exact per cell.
-        if let Some(exact) = &csigma_rows {
+        let exact = by_label("csigma_access");
+        let greedy = by_label("greedy_access");
+        if !exact.is_empty() && !greedy.is_empty() {
             println!("# fig7_relative: label,seed,flex_h,greedy_rev,exact_rev,shortfall");
-            for (g, e) in rows.iter().zip(exact) {
+            for (g, e) in greedy.iter().zip(&exact) {
                 if let (Some(gr), Some(er)) = (g.objective, e.objective) {
                     if er > 1e-9 {
                         println!(
@@ -221,11 +263,12 @@ fn main() {
             }
         }
     }
-    if want("ablation") {
+    if which == "all" || which == "ablation" {
         ablation(&cfg);
     }
-    if let Some(rows) = &csigma_rows {
-        if want("fig9") {
+    if which == "all" || which == "fig9" {
+        let rows = by_label("csigma_access");
+        if !rows.is_empty() {
             // Relative improvement of the access-control objective compared
             // with flexibility 0 (per seed).
             println!("# fig9_relative: label,seed,flex_h,objective,improvement_vs_flex0");

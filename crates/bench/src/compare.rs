@@ -1,0 +1,326 @@
+//! Benchmark regression gate: diffs two `BENCH_campaign.json` documents
+//! (baseline vs candidate) with per-metric tolerances.
+//!
+//! The gate distinguishes two metric classes:
+//!
+//! * **Timing and memory** (`wall_s`, `peak_bytes`) are noisy across hosts
+//!   and runs; they get *percentage* tolerances with absolute floors so
+//!   microsecond cells cannot trip the gate on scheduler jitter.
+//! * **Search-effort counts** (`nodes`, `lp_iters`), plus status and
+//!   objective, are **exactly reproducible** for fixed seeds at
+//!   `threads = 1` — the sequential branch-and-bound path is deterministic —
+//!   so any drift there is a real behavioral change, not noise. These are
+//!   compared exactly whenever both runs used one thread.
+
+use tvnep_telemetry::Json;
+
+/// Per-metric tolerances.
+#[derive(Debug, Clone)]
+pub struct Tolerances {
+    /// Allowed wall-clock slowdown per cell, percent of baseline.
+    pub wall_pct: f64,
+    /// Allowed peak-heap growth per cell, percent of baseline.
+    pub mem_pct: f64,
+    /// Gate node/LP-iteration counts, status, and objective exactly when
+    /// both runs are single-threaded.
+    pub exact_counts: bool,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Self {
+            wall_pct: 20.0,
+            mem_pct: 25.0,
+            exact_counts: true,
+        }
+    }
+}
+
+/// Absolute floor under which wall-time differences are ignored (seconds):
+/// sub-50ms cells are all scheduler noise.
+const WALL_FLOOR_S: f64 = 0.05;
+/// Absolute floor under which peak-heap differences are ignored (bytes).
+const MEM_FLOOR_BYTES: f64 = (1 << 20) as f64;
+
+/// Outcome of a comparison.
+#[derive(Debug, Clone, Default)]
+pub struct CompareReport {
+    /// Human-readable regression descriptions; non-empty ⇒ gate fails.
+    pub regressions: Vec<String>,
+    /// Noteworthy improvements (informational).
+    pub improvements: Vec<String>,
+    /// Cells present in both documents and checked.
+    pub checked: usize,
+}
+
+impl CompareReport {
+    pub fn is_regression(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+}
+
+fn cell_map(doc: &Json) -> Result<Vec<(&str, &Json)>, String> {
+    let cells = doc
+        .get("cells")
+        .and_then(Json::as_array)
+        .ok_or("document has no 'cells' array")?;
+    cells
+        .iter()
+        .map(|c| {
+            c.get("cell")
+                .and_then(Json::as_str)
+                .map(|id| (id, c))
+                .ok_or_else(|| "cell entry without 'cell' id".to_string())
+        })
+        .collect()
+}
+
+fn num(cell: &Json, key: &str) -> Option<f64> {
+    cell.get(key).and_then(Json::as_f64)
+}
+
+/// Compares a candidate campaign document against a baseline. Returns an
+/// error (not a regression) when either document is structurally not a
+/// campaign benchmark.
+pub fn compare_docs(
+    baseline: &Json,
+    candidate: &Json,
+    tol: &Tolerances,
+) -> Result<CompareReport, String> {
+    for (name, doc) in [("baseline", baseline), ("candidate", candidate)] {
+        match doc.get("bench").and_then(Json::as_str) {
+            Some("campaign") => {}
+            Some(other) => {
+                return Err(format!(
+                    "{name} is a '{other}' benchmark document; bench-compare gates \
+                     'campaign' documents"
+                ))
+            }
+            None => return Err(format!("{name} has no 'bench' discriminator")),
+        }
+    }
+
+    let base_cells = cell_map(baseline)?;
+    let cand_cells = cell_map(candidate)?;
+    let mut report = CompareReport::default();
+
+    for (id, base) in &base_cells {
+        let Some((_, cand)) = cand_cells.iter().find(|(cid, _)| cid == id) else {
+            report
+                .regressions
+                .push(format!("{id}: cell missing from candidate"));
+            continue;
+        };
+        report.checked += 1;
+
+        let base_skip = base.get("skipped").and_then(Json::as_bool).unwrap_or(false);
+        let cand_skip = cand.get("skipped").and_then(Json::as_bool).unwrap_or(false);
+        if base_skip != cand_skip {
+            report.regressions.push(format!(
+                "{id}: skipped changed {base_skip} -> {cand_skip} (cell population drifted)"
+            ));
+            continue;
+        }
+        if base_skip {
+            continue;
+        }
+
+        // Wall clock: percentage tolerance with an absolute floor.
+        if let (Some(bw), Some(cw)) = (num(base, "wall_s"), num(cand, "wall_s")) {
+            let slack = (bw * tol.wall_pct / 100.0).max(WALL_FLOOR_S);
+            if cw > bw + slack {
+                report.regressions.push(format!(
+                    "{id}: wall {bw:.3}s -> {cw:.3}s (+{:.1}%, tolerance {:.1}%)",
+                    (cw - bw) / bw.max(1e-9) * 100.0,
+                    tol.wall_pct
+                ));
+            } else if cw < bw - slack {
+                report.improvements.push(format!(
+                    "{id}: wall {bw:.3}s -> {cw:.3}s (-{:.1}%)",
+                    (bw - cw) / bw.max(1e-9) * 100.0
+                ));
+            }
+        }
+
+        // Peak heap: same scheme; 0 means "not measured", never gated.
+        if let (Some(bm), Some(cm)) = (num(base, "peak_bytes"), num(cand, "peak_bytes")) {
+            if bm > 0.0 && cm > 0.0 {
+                let slack = (bm * tol.mem_pct / 100.0).max(MEM_FLOOR_BYTES);
+                if cm > bm + slack {
+                    report.regressions.push(format!(
+                        "{id}: peak heap {:.1} MiB -> {:.1} MiB (+{:.1}%, tolerance {:.1}%)",
+                        bm / (1 << 20) as f64,
+                        cm / (1 << 20) as f64,
+                        (cm - bm) / bm * 100.0,
+                        tol.mem_pct
+                    ));
+                } else if cm < bm - slack {
+                    report.improvements.push(format!(
+                        "{id}: peak heap {:.1} MiB -> {:.1} MiB (-{:.1}%)",
+                        bm / (1 << 20) as f64,
+                        cm / (1 << 20) as f64,
+                        (bm - cm) / bm * 100.0
+                    ));
+                }
+            }
+        }
+
+        // Deterministic quantities: exact for single-threaded pairs.
+        let both_seq = num(base, "threads") == Some(1.0) && num(cand, "threads") == Some(1.0);
+        if tol.exact_counts && both_seq {
+            let bs = base.get("status").and_then(Json::as_str).unwrap_or("");
+            let cs = cand.get("status").and_then(Json::as_str).unwrap_or("");
+            if bs != cs {
+                report
+                    .regressions
+                    .push(format!("{id}: status changed {bs} -> {cs}"));
+            }
+            for key in ["nodes", "lp_iters"] {
+                if let (Some(b), Some(c)) = (num(base, key), num(cand, key)) {
+                    if b != c {
+                        report.regressions.push(format!(
+                            "{id}: {key} changed {b} -> {c} (deterministic at threads=1)"
+                        ));
+                    }
+                }
+            }
+            let bo = num(base, "objective");
+            let co = num(cand, "objective");
+            match (bo, co) {
+                (Some(b), Some(c)) if (b - c).abs() > 1e-9 * b.abs().max(1.0) => {
+                    report
+                        .regressions
+                        .push(format!("{id}: objective changed {b} -> {c}"));
+                }
+                (Some(b), None) => report
+                    .regressions
+                    .push(format!("{id}: objective {b} lost (candidate found none)")),
+                _ => {}
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Renders the report for the CLI.
+pub fn render_report(report: &CompareReport, tol: &Tolerances) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "bench-compare: {} cells checked (wall ±{}%, mem ±{}%, exact counts: {})\n",
+        report.checked, tol.wall_pct, tol.mem_pct, tol.exact_counts
+    ));
+    for i in &report.improvements {
+        out.push_str(&format!("  improved  {i}\n"));
+    }
+    for r in &report.regressions {
+        out.push_str(&format!("  REGRESSED {r}\n"));
+    }
+    if report.regressions.is_empty() {
+        out.push_str("PASS: no regressions\n");
+    } else {
+        out.push_str(&format!(
+            "FAIL: {} regression(s)\n",
+            report.regressions.len()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(cells: &[(&str, f64, u64, u64, &str, f64)]) -> Json {
+        // (id, wall_s, nodes, lp_iters, status, objective)
+        let cells: Vec<Json> = cells
+            .iter()
+            .map(|(id, wall, nodes, iters, status, obj)| {
+                Json::Obj(vec![
+                    ("cell".into(), Json::from(*id)),
+                    ("skipped".into(), Json::from(false)),
+                    ("wall_s".into(), Json::from(*wall)),
+                    ("status".into(), Json::from(*status)),
+                    ("objective".into(), Json::from(*obj)),
+                    ("nodes".into(), Json::from(*nodes)),
+                    ("lp_iters".into(), Json::from(*iters)),
+                    ("threads".into(), Json::from(1u64)),
+                    ("peak_bytes".into(), Json::from(100u64 << 20)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("bench".into(), Json::from("campaign")),
+            ("cells".into(), Json::Arr(cells)),
+        ])
+    }
+
+    #[test]
+    fn identical_docs_pass() {
+        let d = doc(&[("a/seed=1/flex=0", 1.0, 10, 100, "Optimal", 5.0)]);
+        let r = compare_docs(&d, &d, &Tolerances::default()).unwrap();
+        assert!(!r.is_regression());
+        assert_eq!(r.checked, 1);
+    }
+
+    #[test]
+    fn wall_regression_beyond_tolerance_fails() {
+        let base = doc(&[("a/seed=1/flex=0", 1.0, 10, 100, "Optimal", 5.0)]);
+        let cand = doc(&[("a/seed=1/flex=0", 1.5, 10, 100, "Optimal", 5.0)]);
+        let r = compare_docs(&base, &cand, &Tolerances::default()).unwrap();
+        assert!(r.is_regression());
+        assert!(r.regressions[0].contains("wall"));
+        // Same 50% slowdown passes with a 60% tolerance.
+        let loose = Tolerances {
+            wall_pct: 60.0,
+            ..Default::default()
+        };
+        assert!(!compare_docs(&base, &cand, &loose).unwrap().is_regression());
+    }
+
+    #[test]
+    fn tiny_cells_are_shielded_by_the_absolute_floor() {
+        // 3ms -> 9ms is +200% but far below the 50ms floor.
+        let base = doc(&[("a/seed=1/flex=0", 0.003, 10, 100, "Optimal", 5.0)]);
+        let cand = doc(&[("a/seed=1/flex=0", 0.009, 10, 100, "Optimal", 5.0)]);
+        assert!(!compare_docs(&base, &cand, &Tolerances::default())
+            .unwrap()
+            .is_regression());
+    }
+
+    #[test]
+    fn node_count_drift_is_exact_at_one_thread() {
+        let base = doc(&[("a/seed=1/flex=0", 1.0, 10, 100, "Optimal", 5.0)]);
+        let cand = doc(&[("a/seed=1/flex=0", 1.0, 11, 100, "Optimal", 5.0)]);
+        let r = compare_docs(&base, &cand, &Tolerances::default()).unwrap();
+        assert!(r.is_regression());
+        assert!(r.regressions[0].contains("nodes"));
+        // Disabled exact gate lets it through.
+        let loose = Tolerances {
+            exact_counts: false,
+            ..Default::default()
+        };
+        assert!(!compare_docs(&base, &cand, &loose).unwrap().is_regression());
+    }
+
+    #[test]
+    fn missing_cell_and_status_change_fail() {
+        let base = doc(&[
+            ("a/seed=1/flex=0", 1.0, 10, 100, "Optimal", 5.0),
+            ("a/seed=2/flex=0", 1.0, 10, 100, "Optimal", 5.0),
+        ]);
+        let cand = doc(&[("a/seed=1/flex=0", 1.0, 10, 100, "Feasible", 5.0)]);
+        let r = compare_docs(&base, &cand, &Tolerances::default()).unwrap();
+        assert_eq!(r.regressions.len(), 2);
+        assert!(r.regressions.iter().any(|m| m.contains("missing")));
+        assert!(r.regressions.iter().any(|m| m.contains("status")));
+    }
+
+    #[test]
+    fn non_campaign_docs_are_rejected() {
+        let other = Json::Obj(vec![("bench".into(), Json::from("parallel_baseline"))]);
+        let d = doc(&[]);
+        assert!(compare_docs(&other, &d, &Tolerances::default()).is_err());
+        assert!(compare_docs(&d, &other, &Tolerances::default()).is_err());
+        assert!(compare_docs(&Json::Null, &d, &Tolerances::default()).is_err());
+    }
+}

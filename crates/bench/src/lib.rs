@@ -1,8 +1,8 @@
 //! # tvnep-bench — evaluation harness
 //!
 //! Regenerates every figure of the paper's Section VI (see DESIGN.md §4 for
-//! the experiment index). The `figures` binary drives [`run_sweep`] /
-//! [`run_objective_sweep`] / [`run_greedy_sweep`] and prints one CSV row per
+//! the experiment index). The `figures` binary drives the per-cell runners
+//! below through the resumable [`campaign`] layer and prints one CSV row per
 //! (scenario, flexibility) cell, mirroring the quantities the paper plots:
 //!
 //! * Fig 3 — runtime per formulation (time-limit-capped);
@@ -12,13 +12,25 @@
 //! * Fig 7 — greedy cΣᴳ_A revenue relative to the cΣ-Model's;
 //! * Fig 8 — number of requests embedded by the cΣ-Model;
 //! * Fig 9 — access-control objective relative to zero flexibility.
+//!
+//! The unit of work is one *cell* — a `(label, seed, flexibility)` triple —
+//! so the [`campaign`] journal can checkpoint after every solve and a killed
+//! run resumes at the first unfinished cell. Each cell runner wraps the
+//! whole solve (including any greedy warm-up) in a
+//! [`tvnep_telemetry::MemProbe`], so the `peak_bytes` column reports the
+//! high-water mark of live heap bytes per cell when the driving binary has
+//! installed [`tvnep_telemetry::CountingAlloc`].
+
+pub mod campaign;
+pub mod compare;
+pub mod journal;
 
 use std::time::{Duration, Instant};
 
 use tvnep_core::{greedy_csigma, solve_tvnep, BuildOptions, Formulation, GreedyOptions, Objective};
 use tvnep_mip::{MipOptions, MipStatus};
 use tvnep_model::{is_feasible, Instance};
-use tvnep_telemetry::Telemetry;
+use tvnep_telemetry::{MemProbe, Telemetry};
 use tvnep_workloads::{generate, WorkloadConfig};
 
 /// One solver run's record.
@@ -49,6 +61,9 @@ pub struct CellResult {
     pub verified: Option<bool>,
     /// Branch-and-bound worker threads used for the run (1 = sequential).
     pub threads: usize,
+    /// Peak live heap bytes while the cell ran; 0 when the driving binary
+    /// has no [`tvnep_telemetry::CountingAlloc`] or counting is off.
+    pub peak_bytes: u64,
 }
 
 /// Harness configuration.
@@ -113,79 +128,187 @@ fn instance_for(cfg: &HarnessConfig, seed: u64, flex: f64) -> Instance {
     generate(&cfg.workload, seed).with_flexibility_after(flex)
 }
 
+/// Runs one formulation / access-control cell — the unit behind
+/// [`run_sweep`] and the campaign runner.
+pub fn run_formulation_cell(
+    cfg: &HarnessConfig,
+    formulation: Formulation,
+    seed: u64,
+    flex: f64,
+) -> CellResult {
+    let probe = MemProbe::start();
+    let inst = instance_for(cfg, seed, flex);
+    let telemetry = Telemetry::metrics_only();
+    let mut opts = MipOptions::with_time_limit(cfg.time_limit);
+    opts.telemetry = telemetry.clone();
+    opts.threads = cfg.threads;
+    let mut greedy_obj = None;
+    let mut greedy_acc = None;
+    if cfg.greedy_cutoff {
+        let mut sub = MipOptions::with_time_limit(cfg.time_limit / 4);
+        sub.threads = cfg.threads;
+        let g = greedy_csigma(&inst, &GreedyOptions { subproblem: sub });
+        let rev = g.solution.revenue(&inst);
+        greedy_obj = Some(rev);
+        greedy_acc = Some(g.solution.accepted_count());
+        // Search only for strictly better solutions.
+        opts.cutoff = Some(rev - 1e-6);
+    }
+    let t0 = Instant::now();
+    let run = solve_tvnep(
+        &inst,
+        formulation,
+        Objective::AccessControl,
+        BuildOptions::default_for(formulation),
+        &opts,
+    );
+    let runtime = t0.elapsed();
+    // Merge the greedy cutoff back in: if branch and bound proved
+    // nothing better exists, the greedy solution is optimal.
+    let (status, objective) = match (run.mip.status, run.mip.objective, greedy_obj) {
+        (MipStatus::NoBetterThanCutoff, _, Some(g)) => (MipStatus::Optimal, Some(g)),
+        (MipStatus::NoSolution, None, Some(g)) => (MipStatus::Feasible, Some(g)),
+        (MipStatus::Infeasible, None, Some(g)) => (MipStatus::Optimal, Some(g)),
+        (st, o, g) => {
+            let best = match (o, g) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            };
+            (st, best)
+        }
+    };
+    let gap = objective.map(|o| ((run.mip.best_bound - o).abs() / o.abs().max(1e-10)).max(0.0));
+    let verified = run.solution.as_ref().map(|s| is_feasible(&inst, s));
+    // When branch and bound holds the incumbent, count from it;
+    // otherwise the greedy cutoff solution is the incumbent.
+    let accepted = run
+        .solution
+        .as_ref()
+        .map(|s| s.accepted_count())
+        .or(greedy_acc);
+    CellResult {
+        seed,
+        flex,
+        runtime,
+        status,
+        objective,
+        best_bound: run.mip.best_bound,
+        gap: match status {
+            MipStatus::Optimal => Some(0.0),
+            _ => gap,
+        },
+        accepted,
+        nodes: run.mip.nodes,
+        lp_iterations: telemetry.snapshot().counter("lp.iterations"),
+        verified,
+        threads: cfg.effective_threads(),
+        peak_bytes: probe.finish(),
+    }
+}
+
+/// Runs one fixed-request-set objective cell on the cΣ-Model. Returns `None`
+/// when the greedy pass accepts no request at all — there is no embeddable
+/// set to optimize over, so the cell is skipped (and journaled as such by
+/// the campaign runner, which keeps resume deterministic).
+pub fn run_objective_cell(
+    cfg: &HarnessConfig,
+    objective: Objective,
+    seed: u64,
+    flex: f64,
+) -> Option<CellResult> {
+    let probe = MemProbe::start();
+    let inst = instance_for(cfg, seed, flex);
+    // Fixed-set objectives need an embeddable request set: keep the
+    // subset the greedy accepts (the paper plots the number of
+    // requests per flexibility in Fig 8 for the same reason).
+    let mut sub = MipOptions::with_time_limit(cfg.time_limit / 4);
+    sub.threads = cfg.threads;
+    let g = greedy_csigma(&inst, &GreedyOptions { subproblem: sub });
+    let keep: Vec<usize> = (0..inst.num_requests())
+        .filter(|&r| g.accepted[r])
+        .collect();
+    if keep.is_empty() {
+        return None;
+    }
+    let maps = inst
+        .fixed_node_mappings
+        .as_ref()
+        .expect("generator pins mappings");
+    let sub = Instance::new(
+        inst.substrate.clone(),
+        keep.iter().map(|&r| inst.requests[r].clone()).collect(),
+        inst.horizon,
+        Some(keep.iter().map(|&r| maps[r].clone()).collect()),
+    );
+    let telemetry = Telemetry::metrics_only();
+    let mut opts = MipOptions::with_time_limit(cfg.time_limit);
+    opts.telemetry = telemetry.clone();
+    opts.threads = cfg.threads;
+    let t0 = Instant::now();
+    let run = solve_tvnep(
+        &sub,
+        Formulation::CSigma,
+        objective,
+        BuildOptions::default_for(Formulation::CSigma),
+        &opts,
+    );
+    let runtime = t0.elapsed();
+    let verified = run.solution.as_ref().map(|s| is_feasible(&sub, s));
+    Some(CellResult {
+        seed,
+        flex,
+        runtime,
+        status: run.mip.status,
+        objective: run.mip.objective,
+        best_bound: run.mip.best_bound,
+        gap: run.mip.gap,
+        accepted: Some(keep.len()),
+        nodes: run.mip.nodes,
+        lp_iterations: telemetry.snapshot().counter("lp.iterations"),
+        verified,
+        threads: cfg.effective_threads(),
+        peak_bytes: probe.finish(),
+    })
+}
+
+/// Runs one greedy cell (Figure 7 numerator; the runtime column backs the
+/// "seconds, not hours" claim of Section VI-B2).
+pub fn run_greedy_cell(cfg: &HarnessConfig, seed: u64, flex: f64) -> CellResult {
+    let probe = MemProbe::start();
+    let inst = instance_for(cfg, seed, flex);
+    let telemetry = Telemetry::metrics_only();
+    let mut subproblem = MipOptions::with_time_limit(cfg.time_limit / 4);
+    subproblem.telemetry = telemetry.clone();
+    subproblem.threads = cfg.threads;
+    let t0 = Instant::now();
+    let g = greedy_csigma(&inst, &GreedyOptions { subproblem });
+    let runtime = t0.elapsed();
+    let rev = g.solution.revenue(&inst);
+    let ok = is_feasible(&inst, &g.solution);
+    CellResult {
+        seed,
+        flex,
+        runtime,
+        status: MipStatus::Feasible,
+        objective: Some(rev),
+        best_bound: f64::NAN,
+        gap: None,
+        accepted: Some(g.solution.accepted_count()),
+        nodes: g.total_nodes,
+        lp_iterations: telemetry.snapshot().counter("lp.iterations"),
+        verified: Some(ok),
+        threads: cfg.effective_threads(),
+        peak_bytes: probe.finish(),
+    }
+}
+
 /// Runs one formulation under the access-control objective over the whole
 /// (seed × flexibility) grid — the data behind Figures 3, 4, 8 and 9.
 pub fn run_sweep(cfg: &HarnessConfig, formulation: Formulation) -> Vec<CellResult> {
     let mut out = Vec::new();
     for &seed in &cfg.seeds {
         for &flex in &cfg.flexibilities {
-            let inst = instance_for(cfg, seed, flex);
-            let telemetry = Telemetry::metrics_only();
-            let mut opts = MipOptions::with_time_limit(cfg.time_limit);
-            opts.telemetry = telemetry.clone();
-            opts.threads = cfg.threads;
-            let mut greedy_obj = None;
-            let mut greedy_acc = None;
-            if cfg.greedy_cutoff {
-                let mut sub = MipOptions::with_time_limit(cfg.time_limit / 4);
-                sub.threads = cfg.threads;
-                let g = greedy_csigma(&inst, &GreedyOptions { subproblem: sub });
-                let rev = g.solution.revenue(&inst);
-                greedy_obj = Some(rev);
-                greedy_acc = Some(g.solution.accepted_count());
-                // Search only for strictly better solutions.
-                opts.cutoff = Some(rev - 1e-6);
-            }
-            let t0 = Instant::now();
-            let run = solve_tvnep(
-                &inst,
-                formulation,
-                Objective::AccessControl,
-                BuildOptions::default_for(formulation),
-                &opts,
-            );
-            let runtime = t0.elapsed();
-            // Merge the greedy cutoff back in: if branch and bound proved
-            // nothing better exists, the greedy solution is optimal.
-            let (status, objective) = match (run.mip.status, run.mip.objective, greedy_obj) {
-                (MipStatus::NoBetterThanCutoff, _, Some(g)) => (MipStatus::Optimal, Some(g)),
-                (MipStatus::NoSolution, None, Some(g)) => (MipStatus::Feasible, Some(g)),
-                (MipStatus::Infeasible, None, Some(g)) => (MipStatus::Optimal, Some(g)),
-                (st, o, g) => {
-                    let best = match (o, g) {
-                        (Some(a), Some(b)) => Some(a.max(b)),
-                        (a, b) => a.or(b),
-                    };
-                    (st, best)
-                }
-            };
-            let gap =
-                objective.map(|o| ((run.mip.best_bound - o).abs() / o.abs().max(1e-10)).max(0.0));
-            let verified = run.solution.as_ref().map(|s| is_feasible(&inst, s));
-            // When branch and bound holds the incumbent, count from it;
-            // otherwise the greedy cutoff solution is the incumbent.
-            let accepted = run
-                .solution
-                .as_ref()
-                .map(|s| s.accepted_count())
-                .or(greedy_acc);
-            out.push(CellResult {
-                seed,
-                flex,
-                runtime,
-                status,
-                objective,
-                best_bound: run.mip.best_bound,
-                gap: match status {
-                    MipStatus::Optimal => Some(0.0),
-                    _ => gap,
-                },
-                accepted,
-                nodes: run.mip.nodes,
-                lp_iterations: telemetry.snapshot().counter("lp.iterations"),
-                verified,
-                threads: cfg.effective_threads(),
-            });
+            out.push(run_formulation_cell(cfg, formulation, seed, flex));
         }
     }
     out
@@ -196,92 +319,20 @@ pub fn run_objective_sweep(cfg: &HarnessConfig, objective: Objective) -> Vec<Cel
     let mut out = Vec::new();
     for &seed in &cfg.seeds {
         for &flex in &cfg.flexibilities {
-            let inst = instance_for(cfg, seed, flex);
-            // Fixed-set objectives need an embeddable request set: keep the
-            // subset the greedy accepts (the paper plots the number of
-            // requests per flexibility in Fig 8 for the same reason).
-            let mut sub = MipOptions::with_time_limit(cfg.time_limit / 4);
-            sub.threads = cfg.threads;
-            let g = greedy_csigma(&inst, &GreedyOptions { subproblem: sub });
-            let keep: Vec<usize> = (0..inst.num_requests())
-                .filter(|&r| g.accepted[r])
-                .collect();
-            if keep.is_empty() {
-                continue;
+            if let Some(cell) = run_objective_cell(cfg, objective, seed, flex) {
+                out.push(cell);
             }
-            let maps = inst
-                .fixed_node_mappings
-                .as_ref()
-                .expect("generator pins mappings");
-            let sub = Instance::new(
-                inst.substrate.clone(),
-                keep.iter().map(|&r| inst.requests[r].clone()).collect(),
-                inst.horizon,
-                Some(keep.iter().map(|&r| maps[r].clone()).collect()),
-            );
-            let telemetry = Telemetry::metrics_only();
-            let mut opts = MipOptions::with_time_limit(cfg.time_limit);
-            opts.telemetry = telemetry.clone();
-            opts.threads = cfg.threads;
-            let t0 = Instant::now();
-            let run = solve_tvnep(
-                &sub,
-                Formulation::CSigma,
-                objective,
-                BuildOptions::default_for(Formulation::CSigma),
-                &opts,
-            );
-            let runtime = t0.elapsed();
-            let verified = run.solution.as_ref().map(|s| is_feasible(&sub, s));
-            out.push(CellResult {
-                seed,
-                flex,
-                runtime,
-                status: run.mip.status,
-                objective: run.mip.objective,
-                best_bound: run.mip.best_bound,
-                gap: run.mip.gap,
-                accepted: Some(keep.len()),
-                nodes: run.mip.nodes,
-                lp_iterations: telemetry.snapshot().counter("lp.iterations"),
-                verified,
-                threads: cfg.effective_threads(),
-            });
         }
     }
     out
 }
 
-/// One greedy run per cell (Figure 7 numerator; the runtime column backs the
-/// "seconds, not hours" claim of Section VI-B2).
+/// One greedy run per cell (Figure 7 numerator).
 pub fn run_greedy_sweep(cfg: &HarnessConfig) -> Vec<CellResult> {
     let mut out = Vec::new();
     for &seed in &cfg.seeds {
         for &flex in &cfg.flexibilities {
-            let inst = instance_for(cfg, seed, flex);
-            let telemetry = Telemetry::metrics_only();
-            let mut subproblem = MipOptions::with_time_limit(cfg.time_limit / 4);
-            subproblem.telemetry = telemetry.clone();
-            subproblem.threads = cfg.threads;
-            let t0 = Instant::now();
-            let g = greedy_csigma(&inst, &GreedyOptions { subproblem });
-            let runtime = t0.elapsed();
-            let rev = g.solution.revenue(&inst);
-            let ok = is_feasible(&inst, &g.solution);
-            out.push(CellResult {
-                seed,
-                flex,
-                runtime,
-                status: MipStatus::Feasible,
-                objective: Some(rev),
-                best_bound: f64::NAN,
-                gap: None,
-                accepted: Some(g.solution.accepted_count()),
-                nodes: g.total_nodes,
-                lp_iterations: telemetry.snapshot().counter("lp.iterations"),
-                verified: Some(ok),
-                threads: cfg.effective_threads(),
-            });
+            out.push(run_greedy_cell(cfg, seed, flex));
         }
     }
     out
@@ -290,24 +341,25 @@ pub fn run_greedy_sweep(cfg: &HarnessConfig) -> Vec<CellResult> {
 /// Prints results as CSV rows with a `label` column.
 pub fn print_csv(label: &str, rows: &[CellResult]) {
     for r in rows {
-        println!(
-            "{label},{},{},{:.3},{:?},{},{:.4},{},{},{},{},{},{}",
-            r.seed,
-            r.flex,
-            r.runtime.as_secs_f64(),
-            r.status,
-            r.objective.map_or("NA".into(), |o| format!("{o:.4}")),
-            r.best_bound,
-            r.gap.map_or("inf".into(), |g| format!("{g:.4}")),
-            r.accepted.map_or("NA".into(), |a| a.to_string()),
-            r.nodes,
-            r.lp_iterations,
-            r.verified.map_or("NA".into(), |v| v.to_string()),
-            r.threads,
-        );
+        println!("{}", csv_row(label, r));
     }
+}
+
+/// One CSV row matching [`CSV_HEADER`]. Delegates to
+/// [`campaign::CellRecord`], the single source of row formatting, so a live
+/// run and a journal replay produce identical bytes by construction.
+pub fn csv_row(label: &str, r: &CellResult) -> String {
+    campaign::CellRecord::from_result(label, r)
+        .csv_row()
+        .expect("live results are never skipped")
+}
+
+/// Prints the full CSV (header plus one row per non-skipped record) to
+/// stdout.
+pub fn csv_from_records_stdout(records: &[campaign::CellRecord]) {
+    print!("{}", campaign::csv_from_records(records));
 }
 
 /// CSV header matching [`print_csv`].
 pub const CSV_HEADER: &str = "label,seed,flex_h,runtime_s,status,objective,best_bound,gap,\
-                              accepted,nodes,lp_iters,verified,threads";
+                              accepted,nodes,lp_iters,verified,threads,peak_bytes";

@@ -1,0 +1,98 @@
+//! Schema round-trip tests for the `BENCH_*.json` documents: everything the
+//! harness writes must survive `pretty` → `parse` exactly (the property the
+//! journal replay and the regression gate rely on), and the documents
+//! committed at the repo root must still parse and carry their gate keys.
+
+use std::path::PathBuf;
+
+use tvnep_bench::campaign::{bench_doc, run_campaign, CampaignOptions};
+use tvnep_bench::HarnessConfig;
+use tvnep_telemetry::Json;
+use tvnep_workloads::WorkloadConfig;
+
+fn get<'a>(doc: &'a Json, key: &str) -> &'a Json {
+    doc.get(key)
+        .unwrap_or_else(|| panic!("missing key {key:?}"))
+}
+
+#[test]
+fn campaign_bench_doc_round_trips() {
+    let dir = std::env::temp_dir().join(format!("tvnep-schemas-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = CampaignOptions {
+        cfg: HarnessConfig {
+            workload: WorkloadConfig::tiny(),
+            seeds: vec![1],
+            flexibilities: vec![0.0, 1.0],
+            threads: 1,
+            ..HarnessConfig::default()
+        },
+        labels: vec!["csigma_access".into(), "greedy_access".into()],
+        journal_path: dir.join("journal.jsonl"),
+        quiet: true,
+    };
+    let summary = run_campaign(&opts).expect("campaign");
+    let doc = bench_doc(&summary, &opts);
+
+    // Exact print/parse round trip — byte-stable replay depends on this.
+    let reparsed = Json::parse(&doc.pretty()).expect("re-parse bench doc");
+    assert_eq!(reparsed, doc);
+
+    // The keys the regression gate consumes.
+    assert_eq!(get(&doc, "bench").as_str(), Some("campaign"));
+    assert!(get(&doc, "schema_version").as_f64().is_some());
+    get(&doc, "config");
+    get(&doc, "host");
+    let Json::Arr(cells) = get(&doc, "cells") else {
+        panic!("cells is not an array")
+    };
+    assert_eq!(cells.len(), 4);
+    for cell in cells {
+        for key in [
+            "cell",
+            "skipped",
+            "wall_s",
+            "status",
+            "nodes",
+            "lp_iters",
+            "threads",
+            "peak_bytes",
+        ] {
+            get(cell, key);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn committed_bench_documents_still_parse() {
+    let root: PathBuf = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    for (file, required) in [
+        ("BENCH_parallel.json", vec!["bench", "runs"]),
+        (
+            "BENCH_introspection.json",
+            vec![
+                "bench",
+                "runs",
+                "spans_off_overhead_pct",
+                "alloc_off_overhead_pct",
+                "alloc_ns_per_op_off",
+                "alloc_ns_per_op_on",
+                "tolerance_pct",
+            ],
+        ),
+        (
+            "BENCH_campaign.json",
+            vec!["bench", "schema_version", "config", "host", "cells"],
+        ),
+    ] {
+        let path = root.join(file);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let doc = Json::parse(&text).unwrap_or_else(|e| panic!("parse {file}: {e}"));
+        for key in required {
+            assert!(doc.get(key).is_some(), "{file} lost key {key:?}");
+        }
+        assert_eq!(Json::parse(&doc.pretty()).as_ref(), Ok(&doc), "{file}");
+    }
+}

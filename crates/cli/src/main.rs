@@ -17,6 +17,11 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
+use tvnep_bench::campaign::{
+    bench_doc, csv_from_records, expand_labels, run_campaign, CampaignOptions,
+};
+use tvnep_bench::compare::{compare_docs, render_report, Tolerances};
+use tvnep_bench::HarnessConfig;
 use tvnep_core::{
     explain_solution, greedy_csigma, solve_tvnep, BuildOptions, Formulation, GreedyOptions,
     GreedyOutcome, Objective,
@@ -30,6 +35,11 @@ use tvnep_model::{verify_with_tol, Instance};
 use tvnep_telemetry::{Json, Telemetry};
 use tvnep_workloads::{generate, WorkloadConfig};
 
+/// Heap accounting behind `--alloc` and the `campaign` peak-memory column.
+/// Counting is off by default; the disabled path is one relaxed load.
+#[global_allocator]
+static ALLOC: tvnep_telemetry::CountingAlloc = tvnep_telemetry::CountingAlloc;
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  tvnep-cli generate [--preset tiny|small|medium|paper] [--seed N] \
@@ -39,9 +49,15 @@ fn usage() -> ExitCode {
          tvnep-cli greedy INSTANCE [--time-limit SECS] [--threads N] [-o FILE] \
          [--metrics-out FILE] [--trace] [--chrome-trace FILE]\n  \
          tvnep-cli explain INSTANCE SOLUTION [-o FILE]\n  \
-         tvnep-cli verify INSTANCE SOLUTION\n  tvnep-cli info INSTANCE\n  \
+         tvnep-cli verify INSTANCE SOLUTION [--json] [-o FILE]\n  tvnep-cli info INSTANCE\n  \
          tvnep-cli fuzz [--seed N] [--cases N] [--time-cap SECS] \
-         [--solve-time-limit SECS] [--threads N] [--corpus-dir DIR]"
+         [--solve-time-limit SECS] [--threads N] [--corpus-dir DIR]\n  \
+         tvnep-cli campaign [SELECTOR] [--preset tiny|small|medium|paper] [--seeds N] \
+         [--flexes 0,1,2] [--time-limit SECS] [--threads N] [--out-dir DIR] \
+         [--bench-out FILE] [--fresh] [--quiet]\n  \
+         tvnep-cli bench-compare BASELINE.json CANDIDATE.json [--wall-tol-pct P] \
+         [--mem-tol-pct P] [--no-exact-counts]\n\n\
+         solve/greedy also accept --alloc (heap accounting in --metrics-out)."
     );
     ExitCode::from(1)
 }
@@ -70,7 +86,14 @@ struct Args {
 }
 
 /// Flags that take no value; everything else consumes the next token.
-const BOOL_FLAGS: &[&str] = &["trace"];
+const BOOL_FLAGS: &[&str] = &[
+    "trace",
+    "alloc",
+    "json",
+    "fresh",
+    "quiet",
+    "no-exact-counts",
+];
 
 fn parse_args(raw: &[String]) -> Args {
     let mut positional = Vec::new();
@@ -142,10 +165,21 @@ fn finish_telemetry(
         let mut doc = telemetry.export_json();
         if let Json::Obj(fields) = &mut doc {
             fields.extend(extra);
+            if args.flags.contains_key("alloc") {
+                fields.push(("alloc".into(), tvnep_telemetry::alloc::stats().to_json()));
+            }
         }
         std::fs::write(path, doc.pretty()).map_err(|e| format!("write {path}: {e}"))?;
     }
     Ok(())
+}
+
+/// `--alloc` turns heap accounting on for the whole command so the
+/// `alloc` section of `--metrics-out` reflects the full solve.
+fn enable_alloc_if_requested(args: &Args) {
+    if args.flags.contains_key("alloc") {
+        tvnep_telemetry::alloc::set_counting(true);
+    }
 }
 
 fn greedy_section(outcome: &GreedyOutcome) -> Json {
@@ -233,6 +267,7 @@ fn run(cmd: &str, args: &Args) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         "solve" => {
+            enable_alloc_if_requested(args);
             let path = args.positional.first().ok_or("missing INSTANCE path")?;
             let inst = read_instance(path)?;
             let formulation = match args
@@ -331,6 +366,7 @@ fn run(cmd: &str, args: &Args) -> Result<ExitCode, String> {
             }
         }
         "greedy" => {
+            enable_alloc_if_requested(args);
             let path = args.positional.first().ok_or("missing INSTANCE path")?;
             let inst = read_instance(path)?;
             let secs: u64 = args
@@ -400,14 +436,32 @@ fn run(cmd: &str, args: &Args) -> Result<ExitCode, String> {
             let doc = SolutionDoc::from_json(&json).map_err(|e| format!("parse {spath}: {e}"))?;
             let sol = doc.into_solution().map_err(|e| e.to_string())?;
             let violations = verify_with_tol(&inst, &sol, VERIFY_TOL);
-            if violations.is_empty() {
+            if args.flags.contains_key("json") {
+                let doc = Json::Obj(vec![
+                    ("feasible".into(), Json::from(violations.is_empty())),
+                    ("tolerance".into(), Json::from(VERIFY_TOL)),
+                    (
+                        "violations".into(),
+                        Json::Arr(
+                            violations
+                                .iter()
+                                .map(tvnep_harness::format::violation_to_json)
+                                .collect(),
+                        ),
+                    ),
+                ]);
+                write_or_print(&doc, args.flags.get("output").map(String::as_str))?;
+            } else if violations.is_empty() {
                 println!("OK: solution satisfies Definition 2.1");
-                Ok(ExitCode::SUCCESS)
             } else {
                 println!("INFEASIBLE: {} violation(s)", violations.len());
                 for v in violations.iter().take(20) {
                     println!("  {v:?}");
                 }
+            }
+            if violations.is_empty() {
+                Ok(ExitCode::SUCCESS)
+            } else {
                 Ok(ExitCode::from(2))
             }
         }
@@ -446,6 +500,103 @@ fn run(cmd: &str, args: &Args) -> Result<ExitCode, String> {
                 }
             );
             Ok(ExitCode::SUCCESS)
+        }
+        "campaign" => {
+            let selector = args.positional.first().map(String::as_str).unwrap_or("all");
+            let labels = expand_labels(selector)?;
+            let mut cfg = HarnessConfig::default();
+            if let Some(preset) = args.flags.get("preset") {
+                cfg.workload = match preset.as_str() {
+                    "tiny" => WorkloadConfig::tiny(),
+                    "small" => WorkloadConfig::small(),
+                    "medium" => WorkloadConfig::medium(),
+                    "paper" => WorkloadConfig::paper(),
+                    other => return Err(format!("unknown preset {other}")),
+                };
+            }
+            if let Some(n) = args.flags.get("seeds") {
+                let n: u64 = n.parse().map_err(|e| format!("--seeds: {e}"))?;
+                cfg.seeds = (1..=n).collect();
+            }
+            if let Some(list) = args.flags.get("flexes") {
+                cfg.flexibilities = list
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|e| format!("--flexes: {e}")))
+                    .collect::<Result<Vec<f64>, String>>()?;
+            }
+            if let Some(s) = args.flags.get("time-limit") {
+                let secs: u64 = s.parse().map_err(|e| format!("--time-limit: {e}"))?;
+                cfg.time_limit = Duration::from_secs(secs);
+            }
+            cfg.threads = threads_for(args)?;
+            let out_dir = PathBuf::from(
+                args.flags
+                    .get("out-dir")
+                    .map(String::as_str)
+                    .unwrap_or("campaign-out"),
+            );
+            std::fs::create_dir_all(&out_dir)
+                .map_err(|e| format!("create {}: {e}", out_dir.display()))?;
+            let journal_path = out_dir.join("journal.jsonl");
+            if args.flags.contains_key("fresh") {
+                let _ = std::fs::remove_file(&journal_path);
+            }
+            tvnep_telemetry::alloc::set_counting(true);
+            let opts = CampaignOptions {
+                cfg,
+                labels,
+                journal_path,
+                quiet: args.flags.contains_key("quiet"),
+            };
+            let summary = run_campaign(&opts).map_err(|e| format!("campaign: {e}"))?;
+            let csv_path = out_dir.join("results.csv");
+            std::fs::write(&csv_path, csv_from_records(&summary.records))
+                .map_err(|e| format!("write {}: {e}", csv_path.display()))?;
+            let bench_path = args
+                .flags
+                .get("bench-out")
+                .map(PathBuf::from)
+                .unwrap_or_else(|| out_dir.join("BENCH_campaign.json"));
+            std::fs::write(&bench_path, bench_doc(&summary, &opts).pretty())
+                .map_err(|e| format!("write {}: {e}", bench_path.display()))?;
+            eprintln!(
+                "campaign: {} cells ({} resumed, {} run) in {:.1}s -> {} + {}",
+                summary.records.len(),
+                summary.resumed,
+                summary.ran,
+                summary.wall.as_secs_f64(),
+                csv_path.display(),
+                bench_path.display()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "bench-compare" => {
+            let bpath = args.positional.first().ok_or("missing BASELINE path")?;
+            let cpath = args.positional.get(1).ok_or("missing CANDIDATE path")?;
+            let read_doc = |path: &str| -> Result<Json, String> {
+                let text =
+                    std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+                Json::parse(&text).map_err(|e| format!("parse {path}: {e}"))
+            };
+            let baseline = read_doc(bpath)?;
+            let candidate = read_doc(cpath)?;
+            let mut tol = Tolerances::default();
+            if let Some(p) = args.flags.get("wall-tol-pct") {
+                tol.wall_pct = p.parse().map_err(|e| format!("--wall-tol-pct: {e}"))?;
+            }
+            if let Some(p) = args.flags.get("mem-tol-pct") {
+                tol.mem_pct = p.parse().map_err(|e| format!("--mem-tol-pct: {e}"))?;
+            }
+            if args.flags.contains_key("no-exact-counts") {
+                tol.exact_counts = false;
+            }
+            let report = compare_docs(&baseline, &candidate, &tol)?;
+            print!("{}", render_report(&report, &tol));
+            if report.is_regression() {
+                Ok(ExitCode::from(2))
+            } else {
+                Ok(ExitCode::SUCCESS)
+            }
         }
         "fuzz" => {
             let get_u64 = |key: &str, default: u64| -> Result<u64, String> {

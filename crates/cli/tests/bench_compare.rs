@@ -1,0 +1,133 @@
+//! Regression-gate test: `tvnep-cli bench-compare` must pass a document
+//! against itself, and fail (exit code 2) once a 50 % wall-time regression
+//! or a node-count drift is injected into the candidate.
+
+use std::path::Path;
+use std::process::{Command, Stdio};
+
+use tvnep_telemetry::Json;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_tvnep-cli")
+}
+
+/// Rewrites every cell of a `BENCH_campaign.json` document in place.
+fn map_cells(doc: &mut Json, f: impl Fn(&mut Vec<(String, Json)>)) {
+    let Json::Obj(fields) = doc else {
+        panic!("bench doc is not an object")
+    };
+    for (k, v) in fields {
+        if k == "cells" {
+            let Json::Arr(cells) = v else {
+                panic!("cells is not an array")
+            };
+            for cell in cells {
+                if let Json::Obj(cf) = cell {
+                    f(cf);
+                }
+            }
+        }
+    }
+}
+
+fn compare(baseline: &Path, candidate: &Path) -> (Option<i32>, String) {
+    let out = Command::new(bin())
+        .args([
+            "bench-compare",
+            &baseline.display().to_string(),
+            &candidate.display().to_string(),
+        ])
+        .stderr(Stdio::null())
+        .output()
+        .expect("spawn tvnep-cli");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn bench_compare_gates_injected_regressions() {
+    let dir = std::env::temp_dir().join(format!("tvnep-compare-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out_dir = dir.join("campaign");
+
+    // Produce a real baseline with a tiny fixed-seed campaign.
+    let out = Command::new(bin())
+        .args([
+            "campaign",
+            "csigma",
+            "--preset",
+            "tiny",
+            "--seeds",
+            "1",
+            "--flexes",
+            "0,1",
+            "--time-limit",
+            "60",
+            "--threads",
+            "1",
+            "--out-dir",
+            &out_dir.display().to_string(),
+            "--quiet",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("spawn tvnep-cli");
+    assert!(out.success());
+    let baseline_path = out_dir.join("BENCH_campaign.json");
+    let baseline =
+        Json::parse(&std::fs::read_to_string(&baseline_path).unwrap()).expect("parse baseline");
+
+    // Identical documents: PASS, exit 0.
+    let (code, stdout) = compare(&baseline_path, &baseline_path);
+    assert_eq!(code, Some(0), "self-compare failed:\n{stdout}");
+    assert!(stdout.contains("PASS"), "missing PASS line:\n{stdout}");
+
+    // +50 % wall time (plus 1 s so the absolute jitter floor cannot shield
+    // the tiny cells): FAIL, exit 2.
+    let mut slow = baseline.clone();
+    map_cells(&mut slow, |cell| {
+        for (k, v) in cell {
+            if k == "wall_s" {
+                if let Json::Num(n) = v {
+                    *n = *n * 1.5 + 1.0;
+                }
+            }
+        }
+    });
+    let slow_path = dir.join("candidate_slow.json");
+    std::fs::write(&slow_path, slow.pretty()).unwrap();
+    let (code, stdout) = compare(&baseline_path, &slow_path);
+    assert_eq!(code, Some(2), "wall regression not gated:\n{stdout}");
+    assert!(stdout.contains("FAIL"), "missing FAIL line:\n{stdout}");
+
+    // Node-count drift at threads=1: FAIL even with huge wall tolerance.
+    let mut drift = baseline.clone();
+    map_cells(&mut drift, |cell| {
+        for (k, v) in cell {
+            if k == "nodes" {
+                if let Json::Num(n) = v {
+                    *n += 1.0;
+                }
+            }
+        }
+    });
+    let drift_path = dir.join("candidate_drift.json");
+    std::fs::write(&drift_path, drift.pretty()).unwrap();
+    let out = Command::new(bin())
+        .args([
+            "bench-compare",
+            &baseline_path.display().to_string(),
+            &drift_path.display().to_string(),
+            "--wall-tol-pct",
+            "10000",
+        ])
+        .stderr(Stdio::null())
+        .output()
+        .expect("spawn tvnep-cli");
+    assert_eq!(out.status.code(), Some(2), "node drift not gated");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

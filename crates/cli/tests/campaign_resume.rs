@@ -1,0 +1,122 @@
+//! Crash-recovery test for `tvnep-cli campaign`: SIGKILL the process
+//! mid-campaign, corrupt the journal tail (as a torn write would), resume,
+//! and require the final CSV to be byte-identical across resumes and to
+//! match a clean run on every deterministic column.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_tvnep-cli")
+}
+
+fn campaign_args(dir: &Path) -> Vec<String> {
+    [
+        "campaign",
+        "csigma,greedy",
+        "--preset",
+        "tiny",
+        "--seeds",
+        "2",
+        "--flexes",
+        "0,1,2",
+        "--time-limit",
+        "60",
+        "--threads",
+        "1",
+        "--out-dir",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .chain([dir.display().to_string()])
+    .collect()
+}
+
+/// Runs the campaign to completion and returns the final CSV bytes.
+fn run_to_completion(dir: &Path) -> String {
+    let out = Command::new(bin())
+        .args(campaign_args(dir))
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .output()
+        .expect("spawn tvnep-cli");
+    assert!(out.status.success(), "campaign run failed: {}", out.status);
+    std::fs::read_to_string(dir.join("results.csv")).expect("read results.csv")
+}
+
+/// Drops the wall-clock columns (`runtime_s`, `peak_bytes`) that legitimately
+/// differ between runs; everything else is deterministic at `--threads 1`.
+fn deterministic_columns(csv: &str) -> String {
+    csv.lines()
+        .map(|line| {
+            line.split(',')
+                .enumerate()
+                .filter(|(i, _)| *i != 3 && *i != 13)
+                .map(|(_, c)| c)
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn campaign_survives_sigkill_and_resumes_byte_identical() {
+    let base: PathBuf = std::env::temp_dir().join(format!("tvnep-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let clean = base.join("clean");
+    let killed = base.join("killed");
+
+    // Reference: the same campaign run start-to-finish without interruption.
+    let clean_csv = run_to_completion(&clean);
+    assert!(clean_csv.lines().count() > 1, "reference CSV is empty");
+
+    // Start the campaign elsewhere and SIGKILL it once progress is on disk.
+    let mut child = Command::new(bin())
+        .args(campaign_args(&killed))
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn tvnep-cli");
+    let journal = killed.join("journal.jsonl");
+    for _ in 0..5000 {
+        let done_cells = std::fs::read_to_string(&journal)
+            .map(|t| t.matches("cell_finished").count())
+            .unwrap_or(0);
+        if done_cells >= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let _ = child.kill(); // SIGKILL on Unix — no destructors, no flush
+    let _ = child.wait();
+
+    // Simulate a torn final write: a partial JSON line with no newline.
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&journal)
+            .expect("journal must exist after kill");
+        f.write_all(b"{\"event\":\"cell_started\",\"cell\":\"csig")
+            .unwrap();
+    }
+
+    // Resume to completion, then resume again (a pure no-op replay).
+    let resumed_csv = run_to_completion(&killed);
+    let replay_csv = run_to_completion(&killed);
+    assert_eq!(
+        resumed_csv, replay_csv,
+        "CSV is not a pure function of the journal"
+    );
+
+    // All deterministic columns must match the uninterrupted reference.
+    assert_eq!(
+        deterministic_columns(&resumed_csv),
+        deterministic_columns(&clean_csv),
+        "resumed campaign diverged from the clean run"
+    );
+
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -1,0 +1,61 @@
+//! End-to-end check that the heap accounting is measurably correct: the
+//! peak reported while building a Δ-Model must cover the model's own
+//! structural size, and the live counter must fall back to (near) the
+//! baseline once the model is dropped.
+//!
+//! Single test function on purpose: the allocation counters are
+//! process-global, and the default test harness runs `#[test]` functions
+//! concurrently.
+
+use tvnep_core::{build_model, BuildOptions, Formulation, Objective};
+use tvnep_telemetry::{alloc, MemProbe};
+use tvnep_workloads::{generate, WorkloadConfig};
+
+#[global_allocator]
+static ALLOC: tvnep_telemetry::CountingAlloc = tvnep_telemetry::CountingAlloc;
+
+#[test]
+fn allocator_accounts_for_delta_model_build() {
+    alloc::set_counting(true);
+    let inst = generate(&WorkloadConfig::tiny(), 3).with_flexibility_after(1.0);
+
+    let baseline_live = alloc::stats().live_bytes;
+    let probe = MemProbe::start();
+    let built = build_model(
+        &inst,
+        Formulation::Delta,
+        Objective::AccessControl,
+        BuildOptions::default_for(Formulation::Delta),
+    );
+    let model_bytes = built.mip.memory_bytes() as u64;
+    let peak = probe.finish();
+
+    // The structural gauge is a lower bound on what was really allocated:
+    // every vector it counts is a live heap block while the model exists.
+    assert!(model_bytes > 0, "Δ-model structural size is zero");
+    assert!(
+        peak >= model_bytes,
+        "peak {peak} B while building < structural model size {model_bytes} B"
+    );
+    let live_with_model = alloc::stats().live_bytes;
+    assert!(
+        live_with_model >= baseline_live + model_bytes,
+        "live {live_with_model} B with model held < baseline {baseline_live} B \
+         + model {model_bytes} B"
+    );
+
+    // Dropping the model must return the live counter to ~baseline
+    // (64 KiB slack for allocator bookkeeping and harness noise).
+    drop(built);
+    let live_after = alloc::stats().live_bytes;
+    assert!(
+        live_after <= baseline_live + 64 * 1024,
+        "live {live_after} B after drop, baseline was {baseline_live} B"
+    );
+
+    // With counting off the probe reports 0 — callers need no branching.
+    alloc::set_counting(false);
+    let off_probe = MemProbe::start();
+    std::hint::black_box(vec![0u8; 1 << 16]);
+    assert_eq!(off_probe.finish(), 0);
+}

@@ -568,6 +568,72 @@ impl SolutionDoc {
     }
 }
 
+/// Machine-readable form of a verifier [`Violation`]: a `kind` tag plus the
+/// violation's fields, so tooling can consume `tvnep-cli verify --json`
+/// output without parsing the `Debug` rendering.
+pub fn violation_to_json(v: &tvnep_model::Violation) -> Json {
+    use tvnep_model::Violation as V;
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    let kind = match v {
+        V::ShapeMismatch => "shape_mismatch",
+        V::WrongDuration { request } => {
+            fields.push(("request".into(), Json::from(*request)));
+            "wrong_duration"
+        }
+        V::OutsideWindow { request } => {
+            fields.push(("request".into(), Json::from(*request)));
+            "outside_window"
+        }
+        V::MissingEmbedding { request } => {
+            fields.push(("request".into(), Json::from(*request)));
+            "missing_embedding"
+        }
+        V::FlowConservation {
+            request,
+            link,
+            at,
+            imbalance,
+        } => {
+            fields.push(("request".into(), Json::from(*request)));
+            fields.push(("link".into(), Json::from(*link)));
+            fields.push(("at_node".into(), Json::from(at.0)));
+            fields.push(("imbalance".into(), Json::from(*imbalance)));
+            "flow_conservation"
+        }
+        V::FlowRange { request, link } => {
+            fields.push(("request".into(), Json::from(*request)));
+            fields.push(("link".into(), Json::from(*link)));
+            "flow_range"
+        }
+        V::NodeCapacity {
+            node,
+            time,
+            load,
+            capacity,
+        } => {
+            fields.push(("node".into(), Json::from(node.0)));
+            fields.push(("time".into(), Json::from(*time)));
+            fields.push(("load".into(), Json::from(*load)));
+            fields.push(("capacity".into(), Json::from(*capacity)));
+            "node_capacity"
+        }
+        V::EdgeCapacity {
+            edge,
+            time,
+            load,
+            capacity,
+        } => {
+            fields.push(("edge".into(), Json::from(edge.0)));
+            fields.push(("time".into(), Json::from(*time)));
+            fields.push(("load".into(), Json::from(*load)));
+            fields.push(("capacity".into(), Json::from(*capacity)));
+            "edge_capacity"
+        }
+    };
+    fields.insert(0, ("kind".into(), Json::from(kind)));
+    Json::Obj(fields)
+}
+
 /// Renders a solve timeline as one human-readable line per event:
 /// `[  0.004321s] lp_solve_end iters=17 status=optimal obj=3.5`.
 pub fn render_trace(events: &[TimedEvent]) -> String {

@@ -126,6 +126,23 @@ impl LpProblem {
         self.rows.len()
     }
 
+    /// Heap bytes held by the problem data (vector capacities): objective,
+    /// bound arrays, and the per-row sparse term lists. Feeds the
+    /// `mem.mip.model_bytes` gauge.
+    pub fn memory_bytes(&self) -> usize {
+        let f = std::mem::size_of::<f64>();
+        let term = std::mem::size_of::<(usize, f64)>();
+        let row_vec = std::mem::size_of::<Vec<(usize, f64)>>();
+        (self.obj.capacity()
+            + self.var_lo.capacity()
+            + self.var_up.capacity()
+            + self.row_lo.capacity()
+            + self.row_up.capacity())
+            * f
+            + self.rows.capacity() * row_vec
+            + self.rows.iter().map(|r| r.capacity() * term).sum::<usize>()
+    }
+
     /// Objective coefficients.
     pub fn objective(&self) -> &[f64] {
         &self.obj

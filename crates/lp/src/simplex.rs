@@ -402,6 +402,35 @@ impl Simplex {
         self.iterations
     }
 
+    /// Heap bytes held by this solver instance: the constraint matrix, the
+    /// dense basis inverse, and every scratch/factorization workspace
+    /// (capacities, not lengths). Exported as the `mem.lp.simplex_bytes`
+    /// gauge — the "LP scratch" line of the paper's model-size discussion,
+    /// dominated by the three dense `m × m` buffers.
+    pub fn memory_bytes(&self) -> usize {
+        let f = std::mem::size_of::<f64>();
+        let u = std::mem::size_of::<usize>();
+        self.cols.memory_bytes()
+            + (self.obj.capacity()
+                + self.obj_pert.capacity()
+                + self.lo.capacity()
+                + self.up.capacity()
+                + self.xb.capacity()
+                + self.binv.capacity()
+                + self.scratch_w.capacity()
+                + self.scratch_y.capacity()
+                + self.scratch_cb.capacity()
+                + self.scratch_d.capacity()
+                + self.scratch_rho.capacity()
+                + self.scratch_alpha.capacity()
+                + self.scratch_rhs.capacity()
+                + self.scratch_bmat.capacity()
+                + self.scratch_inv.capacity())
+                * f
+            + self.basis.capacity() * u
+            + self.status.capacity() * std::mem::size_of::<VarStatus>()
+    }
+
     /// Resets to the all-slack basis with structural variables at the bound
     /// closest to zero.
     pub fn reset_basis(&mut self) {

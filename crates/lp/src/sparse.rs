@@ -137,6 +137,14 @@ impl CscMatrix {
         self.values.len()
     }
 
+    /// Heap bytes held by the three backing vectors (capacities, not
+    /// lengths) — the structural-memory gauge the telemetry layer exports.
+    pub fn memory_bytes(&self) -> usize {
+        self.col_ptr.capacity() * std::mem::size_of::<usize>()
+            + self.row_idx.capacity() * std::mem::size_of::<usize>()
+            + self.values.capacity() * std::mem::size_of::<f64>()
+    }
+
     /// Sparse view of column `c` as parallel `(row, value)` slices.
     pub fn column(&self, c: usize) -> (&[usize], &[f64]) {
         let span = self.col_ptr[c]..self.col_ptr[c + 1];

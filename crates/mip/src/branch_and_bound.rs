@@ -356,6 +356,8 @@ pub fn solve_with(model: &MipModel, opts: &MipOptions) -> MipResult {
     let threads = opts.effective_threads();
     if opts.telemetry.is_enabled() {
         opts.telemetry.gauge_set("mip.threads", threads as f64);
+        opts.telemetry
+            .gauge_set("mem.mip.model_bytes", model.memory_bytes() as f64);
     }
     if threads > 1 {
         return crate::parallel::solve_parallel(model, opts, threads);
@@ -398,6 +400,16 @@ fn solve_sequential(model: &MipModel, opts: &MipOptions) -> MipResult {
 
     let mut pseudo = PseudoCosts::new(int_vars.len());
     let mut heap: BinaryHeap<Node> = BinaryHeap::new();
+    // Node-pool accounting: every node carries a bounds box of
+    // `int_vars.len()` pairs, so pool bytes are a pure function of the peak
+    // open-node count (the `+ 1` in the tracker is the in-flight dive node,
+    // which lives outside the heap).
+    let node_bytes =
+        std::mem::size_of::<Node>() + int_vars.len() * std::mem::size_of::<(f64, f64)>();
+    let pool_peak = std::cell::Cell::new(0usize);
+    let note_pool = |heap: &BinaryHeap<Node>| {
+        pool_peak.set(pool_peak.get().max(heap.len() + 1));
+    };
     let mut seq: u64 = 0;
     let mut nodes: u64 = 0;
     let mut incumbent: Option<(f64, Vec<f64>)> = None; // minimize sense
@@ -414,6 +426,7 @@ fn solve_sequential(model: &MipModel, opts: &MipOptions) -> MipResult {
         parent: None,
         branch: None,
     });
+    note_pool(&heap);
     seq += 1;
 
     // Search-tree capture: one record per counted node, bound reported in
@@ -464,6 +477,17 @@ fn solve_sequential(model: &MipModel, opts: &MipOptions) -> MipResult {
             }
             telemetry.gauge_set("mip.final_gap", result.gap_or_inf());
             telemetry.gauge_set("mip.runtime_s", result.runtime.as_secs_f64());
+            // Structural memory gauges: LP engine scratch (basis inverse +
+            // factorization workspaces), peak open-node pool, and — when a
+            // search tree is attached — its record store.
+            telemetry.gauge_set("mem.lp.simplex_bytes", simplex.memory_bytes() as f64);
+            telemetry.gauge_set(
+                "mem.mip.node_pool_peak_bytes",
+                (pool_peak.get() * node_bytes) as f64,
+            );
+            if let Some(t) = &opts.tree {
+                telemetry.gauge_set("mem.mip.tree_bytes", t.memory_bytes() as f64);
+            }
             telemetry.event_with(|| Event::SolveEnd {
                 what: "mip".into(),
                 status: status.as_str().to_string(),
@@ -635,6 +659,7 @@ fn solve_sequential(model: &MipModel, opts: &MipOptions) -> MipResult {
                     current.seq = seq;
                     seq += 1;
                     heap.push(current);
+                    note_pool(&heap);
                     break;
                 }
             }
@@ -762,6 +787,7 @@ fn solve_sequential(model: &MipModel, opts: &MipOptions) -> MipResult {
                     current.seq = seq;
                     seq += 1;
                     heap.push(current);
+                    note_pool(&heap);
                     break;
                 }
             }
@@ -837,6 +863,7 @@ fn solve_sequential(model: &MipModel, opts: &MipOptions) -> MipResult {
                 (up_node, down)
             };
             heap.push(other);
+            note_pool(&heap);
             current = dive_node;
         }
         // nothing: continue outer loop

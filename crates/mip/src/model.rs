@@ -142,6 +142,14 @@ impl MipModel {
         self.lp.num_rows()
     }
 
+    /// Heap bytes held by the model: the underlying LP plus the integrality
+    /// vector. This is the quantity compared against the paper's Δ vs cΣ
+    /// model-size discussion (the Δ formulation's row count grows with the
+    /// discretized horizon, and this gauge makes that visible per solve).
+    pub fn memory_bytes(&self) -> usize {
+        self.lp.memory_bytes() + self.kinds.capacity() * std::mem::size_of::<VarKind>()
+    }
+
     /// Number of integer (incl. binary) variables.
     pub fn num_integers(&self) -> usize {
         self.kinds

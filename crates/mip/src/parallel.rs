@@ -76,6 +76,15 @@ struct Pool {
     seq: u64,
     /// Set on exhaustion or an explicit stop; workers drain out.
     done: bool,
+    /// Peak open-node count (heap + in-flight dives), maintained under the
+    /// lock; feeds the `mem.mip.node_pool_peak_bytes` gauge.
+    peak: usize,
+}
+
+impl Pool {
+    fn note_peak(&mut self) {
+        self.peak = self.peak.max(self.heap.len() + self.active);
+    }
 }
 
 struct Shared {
@@ -118,6 +127,7 @@ impl Shared {
         node.seq = pool.seq;
         pool.seq += 1;
         pool.heap.push(node);
+        pool.note_peak();
         self.work_ready.notify_one();
     }
 
@@ -132,6 +142,7 @@ impl Shared {
             }
             if let Some(node) = pool.heap.pop() {
                 pool.active += 1;
+                pool.note_peak();
                 self.worker_bounds[wid].store(pack(node.bound), Ordering::Relaxed);
                 return Some(node);
             }
@@ -195,6 +206,9 @@ impl Shared {
 /// What each worker hands back for the end-of-solve merge.
 struct WorkerOut {
     lp_iterations: usize,
+    /// Final heap footprint of this worker's private simplex (summed across
+    /// workers into the `mem.lp.simplex_bytes` gauge).
+    simplex_bytes: usize,
     stats: SolveStats,
     telemetry: Telemetry,
 }
@@ -228,6 +242,7 @@ pub(crate) fn solve_parallel(model: &MipModel, opts: &MipOptions, threads: usize
             active: 0,
             seq: 1,
             done: false,
+            peak: 1,
         }),
         work_ready: Condvar::new(),
         cutoff: AtomicU64::new(pack(cutoff_min.unwrap_or(f64::INFINITY))),
@@ -275,9 +290,11 @@ pub(crate) fn solve_parallel(model: &MipModel, opts: &MipOptions, threads: usize
     // run over the same tree.
     let mut stats = SolveStats::default();
     let mut lp_iterations = 0usize;
+    let mut simplex_bytes = 0usize;
     for out in &outs {
         stats.merge_from(&out.stats);
         lp_iterations += out.lp_iterations;
+        simplex_bytes += out.simplex_bytes;
         telemetry.absorb_metrics(&out.telemetry);
     }
 
@@ -346,6 +363,19 @@ pub(crate) fn solve_parallel(model: &MipModel, opts: &MipOptions, threads: usize
         }
         telemetry.gauge_set("mip.final_gap", result.gap_or_inf());
         telemetry.gauge_set("mip.runtime_s", result.runtime.as_secs_f64());
+        // Structural memory gauges, mirroring the sequential driver: LP
+        // scratch summed over all worker simplexes, the peak of the shared
+        // open-node pool, and the attached search tree if any.
+        telemetry.gauge_set("mem.lp.simplex_bytes", simplex_bytes as f64);
+        let node_bytes =
+            std::mem::size_of::<Node>() + int_vars.len() * std::mem::size_of::<(f64, f64)>();
+        telemetry.gauge_set(
+            "mem.mip.node_pool_peak_bytes",
+            (pool.peak * node_bytes) as f64,
+        );
+        if let Some(t) = &opts.tree {
+            telemetry.gauge_set("mem.mip.tree_bytes", t.memory_bytes() as f64);
+        }
         telemetry.event_with(|| Event::SolveEnd {
             what: "mip".into(),
             status: status.as_str().to_string(),
@@ -715,6 +745,7 @@ fn worker(
                 sibling.seq = pool.seq + 1;
                 pool.seq += 2;
                 pool.heap.push(sibling);
+                pool.note_peak();
                 shared.work_ready.notify_one();
             }
             current = dive_node;
@@ -724,6 +755,7 @@ fn worker(
 
     WorkerOut {
         lp_iterations: simplex.iterations(),
+        simplex_bytes: simplex.memory_bytes(),
         stats: simplex.stats,
         telemetry: worker_tel,
     }

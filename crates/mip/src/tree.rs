@@ -101,6 +101,12 @@ impl SearchTree {
         self.nodes.lock().unwrap().is_empty()
     }
 
+    /// Heap bytes held by the node store (capacity, not length). Exported as
+    /// the `mem.mip.tree_bytes` gauge when a tree is attached to the solve.
+    pub fn memory_bytes(&self) -> usize {
+        self.nodes.lock().unwrap().capacity() * std::mem::size_of::<TreeNode>()
+    }
+
     /// Graphviz DOT rendering: one `nID` vertex per counted node (label:
     /// id, branch, bound, outcome) and one edge per parent link.
     pub fn to_dot(&self) -> String {

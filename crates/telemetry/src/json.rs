@@ -234,8 +234,18 @@ fn write_number(out: &mut String, v: f64) {
 }
 
 fn write_string(out: &mut String, s: &str) {
-    use fmt::Write;
     out.push('"');
+    escape_into(out, s);
+    out.push('"');
+}
+
+/// Appends `s` to `out` with JSON string escaping applied (quotes,
+/// backslashes, and control characters; no surrounding quotes). This is the
+/// one escaped-writer for the whole workspace — every producer of JSON text
+/// (the serializer here, journal writers, ad-hoc exporters) must route
+/// through it rather than re-implementing the escape table.
+pub fn escape_into(out: &mut String, s: &str) {
+    use fmt::Write;
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -249,7 +259,13 @@ fn write_string(out: &mut String, s: &str) {
             c => out.push(c),
         }
     }
-    out.push('"');
+}
+
+/// [`escape_into`] into a fresh string, *without* surrounding quotes.
+pub fn escaped(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_into(&mut out, s);
+    out
 }
 
 /// Parse failure with a byte offset into the input.
@@ -523,6 +539,26 @@ mod tests {
         let mut s = String::new();
         write_number(&mut s, f64::INFINITY);
         assert_eq!(s, "null");
+    }
+
+    #[test]
+    fn escape_covers_quotes_backslashes_and_control_chars() {
+        assert_eq!(escaped("plain"), "plain");
+        assert_eq!(escaped("say \"hi\""), "say \\\"hi\\\"");
+        assert_eq!(escaped("back\\slash"), "back\\\\slash");
+        assert_eq!(escaped("a\nb\rc\td"), "a\\nb\\rc\\td");
+        // Other control chars take the \u00xx form.
+        assert_eq!(escaped("\u{0})\u{1f}"), "\\u0000)\\u001f");
+        // Non-ASCII passes through unescaped (JSON is UTF-8).
+        assert_eq!(escaped("é😀"), "é😀");
+
+        // Everything escape_into emits must round-trip through the parser.
+        for hostile in ["q\"b\\s\nn\rr\tt", "\u{0}\u{1}\u{1f}", "mixé😀\"\\"] {
+            let mut quoted = String::from("\"");
+            escape_into(&mut quoted, hostile);
+            quoted.push('"');
+            assert_eq!(Json::parse(&quoted).unwrap().as_str(), Some(hostile));
+        }
     }
 
     #[test]

@@ -18,11 +18,13 @@
 //! The [`json`] module provides the self-contained JSON value type used to
 //! export snapshots (and reused by the CLI for instance/solution I/O).
 
+pub mod alloc;
 pub mod json;
 mod metrics;
 pub mod span;
 mod timeline;
 
+pub use alloc::{AllocStats, CountingAlloc, MemProbe};
 pub use json::{Json, JsonError};
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use span::{chrome_trace, SpanGuard, SpanRecord};
@@ -184,6 +186,10 @@ impl Telemetry {
                     handle: inner.clone(),
                     name,
                     args: Vec::new(),
+                    // Allocation attribution: cumulative allocated bytes at
+                    // open; the drop records the delta as an `alloc_bytes`
+                    // arg. `None` when heap accounting is off.
+                    alloc_start: alloc::counting_enabled().then(alloc::bytes_allocated),
                 }),
             },
             _ => SpanGuard { inner: None },

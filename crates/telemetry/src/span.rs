@@ -50,6 +50,9 @@ pub(crate) struct SpanGuardInner {
     pub(crate) name: &'static str,
     pub(crate) start: Duration,
     pub(crate) args: Vec<(&'static str, f64)>,
+    /// Cumulative [`crate::alloc::bytes_allocated`] at span open; `None`
+    /// when heap accounting was off at that point.
+    pub(crate) alloc_start: Option<u64>,
 }
 
 impl SpanGuard {
@@ -64,8 +67,12 @@ impl SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        if let Some(g) = self.inner.take() {
+        if let Some(mut g) = self.inner.take() {
             let dur = g.handle.epoch.elapsed().saturating_sub(g.start);
+            if let Some(base) = g.alloc_start {
+                let delta = crate::alloc::bytes_allocated().saturating_sub(base);
+                g.args.push(("alloc_bytes", delta as f64));
+            }
             if let Some(spans) = &g.handle.spans {
                 spans.lock().unwrap().push(SpanRecord {
                     name: g.name,
