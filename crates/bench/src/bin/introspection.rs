@@ -1,15 +1,24 @@
 //! Observability overhead microbench: solves the same fixed-seed cΣ cell
 //! with (1) telemetry fully disabled, (2) metrics-only telemetry — the span
-//! toggle present but **off** — and (3) spans **on**, plus the heap
+//! toggle present but **off** — and (3) spans **on**, plus the progress
+//! event stream off/on, the numerical-health watchdog off/on, and the heap
 //! accounting toggle off/on, and writes `BENCH_introspection.json` with the
 //! wall times and overhead percentages.
 //!
-//! Two "<2 % when disabled" budgets are asserted here:
+//! Four "<2 % when disabled" budgets are asserted here:
 //!
 //! * **Spans off**: with `Telemetry::spans_enabled() == false` every kernel
 //!   timing site in the simplex collapses to one cached-bool branch, so the
 //!   spans-off configuration must stay within `--tolerance-pct` (default
 //!   2.0) of the fully-disabled baseline.
+//! * **Events off**: a telemetry handle that is *present* (so every
+//!   `is_enabled` check takes the enabled path) but with the progress
+//!   stream off reduces every emission site in the B&B and simplex to one
+//!   cached-bool branch; it must stay within the tolerance of the disabled
+//!   baseline.
+//! * **Watchdog off**: explicit LP parameters with `watchdog: false` (the
+//!   default) must be indistinguishable from the baseline — the residual /
+//!   pivot bookkeeping has to vanish behind its own cached bool.
 //! * **Allocator counting off**: this binary installs
 //!   [`tvnep_telemetry::CountingAlloc`], so *every* configuration already
 //!   pays the counting-off path (one relaxed load + branch per allocation).
@@ -34,44 +43,91 @@ use tvnep_workloads::{generate, WorkloadConfig};
 #[global_allocator]
 static ALLOC: tvnep_telemetry::CountingAlloc = tvnep_telemetry::CountingAlloc;
 
-/// Minimum wall time over repeated solves of the cell under `make_tel`.
-/// The minimum is the noise-robust statistic for overhead comparisons: every
-/// sample contains the true work plus non-negative scheduling noise.
-fn measure(
-    label: &str,
-    inst: &tvnep_model::Instance,
-    budget: Duration,
-    make_tel: impl Fn() -> Telemetry,
-) -> (Duration, Duration, usize) {
-    let solve = |tel: Telemetry| {
-        let mut opts = MipOptions::with_time_limit(Duration::from_secs(60));
-        opts.telemetry = tel;
-        let out = solve_tvnep(
-            inst,
-            Formulation::CSigma,
-            Objective::AccessControl,
-            BuildOptions::default_for(Formulation::CSigma),
-            &opts,
-        );
-        std::hint::black_box(out.mip.nodes)
-    };
-    solve(make_tel()); // warm-up
-    let mut times = Vec::new();
-    let start = Instant::now();
-    while times.len() < 5 || (start.elapsed() < budget && times.len() < 500) {
-        let tel = make_tel();
-        let t0 = Instant::now();
-        solve(tel);
-        times.push(t0.elapsed());
+/// One measured configuration of the solve loop.
+struct Config {
+    label: &'static str,
+    lp_params: Option<tvnep_lp::Params>,
+    make_tel: fn() -> Telemetry,
+    /// Heap-accounting mode during this config's timed solves.
+    count_allocs: bool,
+    times: Vec<Duration>,
+}
+
+impl Config {
+    fn new(label: &'static str, make_tel: fn() -> Telemetry) -> Self {
+        Self {
+            label,
+            lp_params: None,
+            make_tel,
+            count_allocs: false,
+            times: Vec::new(),
+        }
     }
-    times.sort();
-    let min = times[0];
-    let median = times[times.len() / 2];
-    eprintln!(
-        "[introspection] {label:<9} samples={:<4} min={min:.3?} median={median:.3?}",
-        times.len()
+
+    fn with_lp(mut self, p: tvnep_lp::Params) -> Self {
+        self.lp_params = Some(p);
+        self
+    }
+
+    fn with_alloc_counting(mut self) -> Self {
+        self.count_allocs = true;
+        self
+    }
+
+    /// Noise-robust statistics over the collected samples: the minimum
+    /// (every sample is true work plus non-negative noise) and the median.
+    fn stats(&self) -> (Duration, Duration, usize) {
+        let mut t = self.times.clone();
+        t.sort();
+        (t[0], t[t.len() / 2], t.len())
+    }
+}
+
+fn solve_once(inst: &tvnep_model::Instance, cfg: &Config) -> Duration {
+    let mut opts = MipOptions::with_time_limit(Duration::from_secs(60));
+    opts.telemetry = (cfg.make_tel)();
+    opts.lp_params = cfg.lp_params.clone();
+    alloc::set_counting(cfg.count_allocs);
+    let t0 = Instant::now();
+    let out = solve_tvnep(
+        inst,
+        Formulation::CSigma,
+        Objective::AccessControl,
+        BuildOptions::default_for(Formulation::CSigma),
+        &opts,
     );
-    (min, median, times.len())
+    let dt = t0.elapsed();
+    alloc::set_counting(false);
+    std::hint::black_box(out.mip.nodes);
+    dt
+}
+
+/// Samples every configuration round-robin inside one shared time budget.
+/// Interleaving is the point: host-load drift over the measurement window
+/// (CI runners, shared boxes) then lands on all configurations alike instead
+/// of biasing whichever config happened to own the noisy window, so the
+/// minima stay comparable.
+fn measure_all(inst: &tvnep_model::Instance, budget: Duration, configs: &mut [Config]) {
+    for cfg in configs.iter() {
+        solve_once(inst, cfg); // warm-up
+    }
+    let start = Instant::now();
+    let total = budget * configs.len() as u32;
+    let mut rounds = 0usize;
+    while rounds < 5 || (start.elapsed() < total && rounds < 500) {
+        for cfg in configs.iter_mut() {
+            let dt = solve_once(inst, cfg);
+            cfg.times.push(dt);
+        }
+        rounds += 1;
+    }
+    for cfg in configs.iter() {
+        let (min, median, n) = cfg.stats();
+        eprintln!(
+            "[introspection] {:<12} samples={n:<4} min={min:.3?} median={median:.3?}",
+            cfg.label
+        );
+    }
 }
 
 /// Nanoseconds per heap round-trip (allocate + free a small boxed slice)
@@ -131,16 +187,46 @@ fn main() {
             .unwrap_or(1)
     );
 
-    let (dis_min, dis_med, dis_n) = measure("disabled", &inst, budget, Telemetry::disabled);
-    let (off_min, off_med, off_n) = measure("spans-off", &inst, budget, Telemetry::metrics_only);
-    let (on_min, on_med, on_n) = measure("spans-on", &inst, budget, Telemetry::with_spans);
-    // Allocator accounting: re-measure the disabled configuration (counting
-    // still off — the noise floor for the wrapper's disabled path), then
-    // with counting on.
-    let (aoff_min, aoff_med, aoff_n) = measure("alloc-off", &inst, budget, Telemetry::disabled);
-    alloc::set_counting(true);
-    let (aon_min, aon_med, aon_n) = measure("alloc-on", &inst, budget, Telemetry::disabled);
-    alloc::set_counting(false);
+    let mut configs = vec![
+        Config::new("disabled", Telemetry::disabled),
+        Config::new("spans-off", Telemetry::metrics_only),
+        Config::new("spans-on", Telemetry::with_spans),
+        // Progress events: the handle exists but the stream is off (every
+        // emission site takes its cached-bool branch), then fully on.
+        Config::new("events-off", || {
+            Telemetry::configure_all(false, false, false)
+        }),
+        Config::new("events-on", Telemetry::with_progress),
+        // Numerical-health watchdog: explicit params with the flag off (the
+        // production default) vs on.
+        Config::new("watchdog-off", Telemetry::disabled).with_lp(tvnep_lp::Params::default()),
+        Config::new("watchdog-on", Telemetry::disabled).with_lp(tvnep_lp::Params {
+            watchdog: true,
+            ..tvnep_lp::Params::default()
+        }),
+        // Allocator accounting: re-measure the disabled configuration
+        // (counting still off — the noise floor for the wrapper's disabled
+        // path), then with counting on.
+        Config::new("alloc-off", Telemetry::disabled),
+        Config::new("alloc-on", Telemetry::disabled).with_alloc_counting(),
+    ];
+    measure_all(&inst, budget, &mut configs);
+    let stats = |label: &str| {
+        configs
+            .iter()
+            .find(|c| c.label == label)
+            .expect("known label")
+            .stats()
+    };
+    let (dis_min, dis_med, dis_n) = stats("disabled");
+    let (off_min, off_med, off_n) = stats("spans-off");
+    let (on_min, on_med, on_n) = stats("spans-on");
+    let (eoff_min, eoff_med, eoff_n) = stats("events-off");
+    let (eon_min, eon_med, eon_n) = stats("events-on");
+    let (woff_min, woff_med, woff_n) = stats("watchdog-off");
+    let (won_min, won_med, won_n) = stats("watchdog-on");
+    let (aoff_min, aoff_med, aoff_n) = stats("alloc-off");
+    let (aon_min, aon_med, aon_n) = stats("alloc-on");
     let alloc_ns_off = alloc_ns_per_op();
     alloc::set_counting(true);
     let alloc_ns_on = alloc_ns_per_op();
@@ -149,11 +235,23 @@ fn main() {
     let pct = |a: Duration, b: Duration| (a.as_secs_f64() / b.as_secs_f64() - 1.0) * 100.0;
     let off_overhead_pct = pct(off_min, dis_min);
     let on_overhead_pct = pct(on_min, dis_min);
+    let events_off_overhead_pct = pct(eoff_min, dis_min);
+    let events_on_overhead_pct = pct(eon_min, dis_min);
+    let watchdog_off_overhead_pct = pct(woff_min, dis_min);
+    let watchdog_on_overhead_pct = pct(won_min, dis_min);
     let alloc_off_overhead_pct = pct(aoff_min, dis_min);
     let alloc_on_overhead_pct = pct(aon_min, dis_min);
     eprintln!(
         "[introspection] spans-off overhead {off_overhead_pct:+.3}% \
          (budget {tolerance_pct}%), spans-on {on_overhead_pct:+.3}%"
+    );
+    eprintln!(
+        "[introspection] events-off overhead {events_off_overhead_pct:+.3}% \
+         (budget {tolerance_pct}%), events-on {events_on_overhead_pct:+.3}%"
+    );
+    eprintln!(
+        "[introspection] watchdog-off overhead {watchdog_off_overhead_pct:+.3}% \
+         (budget {tolerance_pct}%), watchdog-on {watchdog_on_overhead_pct:+.3}%"
     );
     eprintln!(
         "[introspection] alloc-off overhead {alloc_off_overhead_pct:+.3}% \
@@ -189,6 +287,10 @@ fn main() {
                 run("disabled", dis_min, dis_med, dis_n),
                 run("spans_off", off_min, off_med, off_n),
                 run("spans_on", on_min, on_med, on_n),
+                run("events_off", eoff_min, eoff_med, eoff_n),
+                run("events_on", eon_min, eon_med, eon_n),
+                run("watchdog_off", woff_min, woff_med, woff_n),
+                run("watchdog_on", won_min, won_med, won_n),
                 run("alloc_off", aoff_min, aoff_med, aoff_n),
                 run("alloc_on", aon_min, aon_med, aon_n),
             ]),
@@ -198,6 +300,22 @@ fn main() {
             Json::from(off_overhead_pct),
         ),
         ("spans_on_overhead_pct".into(), Json::from(on_overhead_pct)),
+        (
+            "events_off_overhead_pct".into(),
+            Json::from(events_off_overhead_pct),
+        ),
+        (
+            "events_on_overhead_pct".into(),
+            Json::from(events_on_overhead_pct),
+        ),
+        (
+            "watchdog_off_overhead_pct".into(),
+            Json::from(watchdog_off_overhead_pct),
+        ),
+        (
+            "watchdog_on_overhead_pct".into(),
+            Json::from(watchdog_on_overhead_pct),
+        ),
         (
             "alloc_off_overhead_pct".into(),
             Json::from(alloc_off_overhead_pct),
@@ -217,6 +335,16 @@ fn main() {
         assert!(
             off_overhead_pct < tolerance_pct,
             "spans-disabled overhead {off_overhead_pct:.3}% exceeds the \
+             {tolerance_pct}% budget"
+        );
+        assert!(
+            events_off_overhead_pct < tolerance_pct,
+            "events-disabled overhead {events_off_overhead_pct:.3}% exceeds the \
+             {tolerance_pct}% budget"
+        );
+        assert!(
+            watchdog_off_overhead_pct < tolerance_pct,
+            "watchdog-disabled overhead {watchdog_off_overhead_pct:.3}% exceeds the \
              {tolerance_pct}% budget"
         );
         assert!(

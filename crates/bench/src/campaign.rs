@@ -24,15 +24,16 @@
 
 use std::io::{self, IsTerminal, Write as _};
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use tvnep_core::{Formulation, Objective};
-use tvnep_telemetry::{alloc, Json};
+use tvnep_telemetry::{alloc, parse_ndjson, Json, SolveEvent};
 
 use crate::journal::{read_journal, JournalWriter};
 use crate::{
-    run_formulation_cell, run_greedy_cell, run_objective_cell, CellResult, HarnessConfig,
-    CSV_HEADER,
+    cell_telemetry, run_formulation_cell_with, run_greedy_cell_with, run_objective_cell_with,
+    CellResult, HarnessConfig, CSV_HEADER,
 };
 
 /// What a cell runs.
@@ -179,6 +180,11 @@ pub struct CellRecord {
     pub verified: Option<bool>,
     pub threads: u64,
     pub peak_bytes: u64,
+    /// Time to first incumbent of the main solve (seconds), from the
+    /// progress event stream. `None` for greedy cells or incumbent-free runs.
+    pub tti_s: Option<f64>,
+    /// Numerical-health verdict of the main solve; `None` for greedy cells.
+    pub health: Option<String>,
 }
 
 impl CellRecord {
@@ -200,6 +206,8 @@ impl CellRecord {
             verified: r.verified,
             threads: r.threads as u64,
             peak_bytes: r.peak_bytes,
+            tti_s: r.tti_s,
+            health: r.health.clone(),
         }
     }
 
@@ -221,6 +229,8 @@ impl CellRecord {
             verified: None,
             threads: 0,
             peak_bytes: 0,
+            tti_s: None,
+            health: None,
         }
     }
 
@@ -245,6 +255,13 @@ impl CellRecord {
             ),
             ("threads".into(), Json::from(self.threads)),
             ("peak_bytes".into(), Json::from(self.peak_bytes)),
+            ("tti_s".into(), opt_num(self.tti_s)),
+            (
+                "health".into(),
+                self.health
+                    .as_deref()
+                    .map_or(Json::Null, |h| Json::from(h.to_string())),
+            ),
         ])
     }
 
@@ -275,6 +292,10 @@ impl CellRecord {
             verified: doc.get("verified").and_then(Json::as_bool),
             threads: doc.get("threads")?.as_u64()?,
             peak_bytes: doc.get("peak_bytes")?.as_u64()?,
+            // Optional: absent in journals written before the progress
+            // stream existed, tolerated so old journals still replay.
+            tti_s: opt_num("tti_s"),
+            health: doc.get("health").and_then(Json::as_str).map(str::to_string),
         })
     }
 
@@ -291,7 +312,7 @@ impl CellRecord {
             return None;
         }
         Some(format!(
-            "{},{},{},{:.3},{},{},{:.4},{},{},{},{},{},{},{}",
+            "{},{},{},{:.3},{},{},{:.4},{},{},{},{},{},{},{},{},{}",
             self.label,
             self.seed,
             self.flex,
@@ -306,6 +327,8 @@ impl CellRecord {
             self.verified.map_or("NA".into(), |v| v.to_string()),
             self.threads,
             self.peak_bytes,
+            self.tti_s.map_or("NA".into(), |t| format!("{t:.3}")),
+            self.health.as_deref().unwrap_or("NA"),
         ))
     }
 }
@@ -428,6 +451,76 @@ fn fmt_eta(d: Duration) -> String {
     format!("{:02}:{:02}:{:02}", s / 3600, (s / 60) % 60, s % 60)
 }
 
+/// The sticky status line's shared state: the per-cell prefix written by the
+/// campaign loop plus the in-flight incumbent/bound/gap pushed by the live
+/// progress sink while a cell's solve runs.
+#[derive(Default)]
+struct LiveLine {
+    prefix: String,
+    incumbent: Option<f64>,
+    bound: Option<f64>,
+    gap: Option<f64>,
+}
+
+impl LiveLine {
+    fn suffix(&self) -> String {
+        let mut s = String::new();
+        if let Some(i) = self.incumbent {
+            s.push_str(&format!(" | inc {i:.2}"));
+        }
+        if let Some(b) = self.bound {
+            if b.is_finite() {
+                s.push_str(&format!(" | bound {b:.2}"));
+            }
+        }
+        if let Some(g) = self.gap {
+            if g.is_finite() {
+                s.push_str(&format!(" | gap {:.1}%", g * 100.0));
+            }
+        }
+        s
+    }
+}
+
+/// `Write` adapter handed to [`tvnep_telemetry::Telemetry`] as the progress
+/// sink of the in-flight cell: parses each streamed NDJSON line and redraws
+/// the sticky status line whenever the incumbent/bound/gap moves.
+struct LiveSinkWriter {
+    line: Arc<Mutex<LiveLine>>,
+}
+
+impl io::Write for LiveSinkWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let Ok(text) = std::str::from_utf8(buf) else {
+            return Ok(buf.len());
+        };
+        for rec in parse_ndjson(text) {
+            let mut line = self.line.lock().unwrap();
+            match rec.event {
+                SolveEvent::IncumbentFound {
+                    obj, bound, gap, ..
+                }
+                | SolveEvent::GapUpdate {
+                    obj, bound, gap, ..
+                } => {
+                    line.incumbent = Some(obj);
+                    line.bound = Some(bound);
+                    line.gap = Some(gap);
+                }
+                SolveEvent::BoundImproved { bound, .. } => line.bound = Some(bound),
+                _ => continue,
+            }
+            eprint!("\r{}{}\x1b[K", line.prefix, line.suffix());
+            let _ = io::stderr().flush();
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
 /// Live progress: a sticky status line when stderr is a terminal, one line
 /// per cell otherwise (CI logs).
 struct Progress {
@@ -435,6 +528,7 @@ struct Progress {
     started: Instant,
     sticky: bool,
     quiet: bool,
+    line: Arc<Mutex<LiveLine>>,
 }
 
 impl Progress {
@@ -444,7 +538,18 @@ impl Progress {
             started: Instant::now(),
             sticky: std::io::stderr().is_terminal(),
             quiet,
+            line: Arc::new(Mutex::new(LiveLine::default())),
         }
+    }
+
+    /// A progress sink for the next cell's telemetry, when the sticky line
+    /// is active (no per-event output in CI logs).
+    fn live_sink(&self) -> Option<Box<dyn io::Write + Send>> {
+        (self.sticky && !self.quiet).then(|| {
+            Box::new(LiveSinkWriter {
+                line: Arc::clone(&self.line),
+            }) as Box<dyn io::Write + Send>
+        })
     }
 
     fn report(&self, done: usize, ran: usize, current: &str) {
@@ -460,17 +565,21 @@ impl Progress {
         let rss = alloc::peak_rss_bytes()
             .map(|b| format!("{} MiB", b / (1 << 20)))
             .unwrap_or_else(|| "n/a".into());
+        let prefix = format!(
+            "[campaign] {done}/{} cells | eta {eta} | peak rss {rss} | {current}",
+            self.total
+        );
         if self.sticky {
-            eprint!(
-                "\r[campaign] {done}/{} cells | eta {eta} | peak rss {rss} | {current}\x1b[K",
-                self.total
-            );
+            let mut line = self.line.lock().unwrap();
+            // New cell: clear the previous solve's in-flight values.
+            *line = LiveLine {
+                prefix,
+                ..LiveLine::default()
+            };
+            eprint!("\r{}\x1b[K", line.prefix);
             let _ = std::io::stderr().flush();
         } else {
-            eprintln!(
-                "[campaign] {done}/{} cells | eta {eta} | peak rss {rss} | {current}",
-                self.total
-            );
+            eprintln!("{prefix}");
         }
     }
 
@@ -481,19 +590,26 @@ impl Progress {
     }
 }
 
-fn run_cell(cfg: &HarnessConfig, cell: &PlannedCell) -> CellRecord {
+fn run_cell(cfg: &HarnessConfig, cell: &PlannedCell, progress: &Progress) -> CellRecord {
+    let telemetry = cell_telemetry();
+    if let Some(sink) = progress.live_sink() {
+        telemetry.attach_progress_sink(sink);
+    }
     match kind_for(&cell.label).expect("planned labels are canonical") {
         CellKind::Formulation(f) => CellRecord::from_result(
             &cell.label,
-            &run_formulation_cell(cfg, f, cell.seed, cell.flex),
+            &run_formulation_cell_with(cfg, f, cell.seed, cell.flex, &telemetry),
         ),
-        CellKind::Objective(o) => match run_objective_cell(cfg, o, cell.seed, cell.flex) {
-            Some(r) => CellRecord::from_result(&cell.label, &r),
-            None => CellRecord::skipped(cell),
-        },
-        CellKind::Greedy => {
-            CellRecord::from_result(&cell.label, &run_greedy_cell(cfg, cell.seed, cell.flex))
+        CellKind::Objective(o) => {
+            match run_objective_cell_with(cfg, o, cell.seed, cell.flex, &telemetry) {
+                Some(r) => CellRecord::from_result(&cell.label, &r),
+                None => CellRecord::skipped(cell),
+            }
         }
+        CellKind::Greedy => CellRecord::from_result(
+            &cell.label,
+            &run_greedy_cell_with(cfg, cell.seed, cell.flex, &telemetry),
+        ),
     }
 }
 
@@ -570,7 +686,7 @@ pub fn run_campaign(opts: &CampaignOptions) -> io::Result<CampaignSummary> {
             ("event".into(), Json::from("cell_started")),
             ("cell".into(), Json::from(id.as_str())),
         ]))?;
-        let rec = run_cell(&opts.cfg, cell);
+        let rec = run_cell(&opts.cfg, cell, &progress);
         journal.write(&Json::Obj(vec![
             ("event".into(), Json::from("cell_finished")),
             ("cell".into(), Json::from(id.as_str())),
@@ -619,10 +735,18 @@ pub fn bench_doc(summary: &CampaignSummary, opts: &CampaignOptions) -> Json {
                     "objective".into(),
                     r.objective.map_or(Json::Null, Json::from),
                 ),
+                ("gap".into(), r.gap.map_or(Json::Null, Json::from)),
                 ("nodes".into(), Json::from(r.nodes)),
                 ("lp_iters".into(), Json::from(r.lp_iterations)),
                 ("threads".into(), Json::from(r.threads)),
                 ("peak_bytes".into(), Json::from(r.peak_bytes)),
+                ("tti_s".into(), r.tti_s.map_or(Json::Null, Json::from)),
+                (
+                    "health".into(),
+                    r.health
+                        .as_deref()
+                        .map_or(Json::Null, |h| Json::from(h.to_string())),
+                ),
             ])
         })
         .collect();
@@ -702,6 +826,8 @@ mod tests {
             verified: Some(true),
             threads: 1,
             peak_bytes: 1 << 20,
+            tti_s: Some(0.042),
+            health: Some("ok".into()),
         };
         let text = rec.to_json().to_string();
         let back = CellRecord::from_json(&Json::parse(&text).unwrap()).unwrap();
@@ -753,6 +879,8 @@ mod tests {
             verified: Some(true),
             threads: 1,
             peak_bytes: 4096,
+            tti_s: Some(0.01),
+            health: Some("ok".into()),
         };
         let via_record = CellRecord::from_result("csigma_access", &r)
             .csv_row()

@@ -28,9 +28,10 @@ pub mod journal;
 use std::time::{Duration, Instant};
 
 use tvnep_core::{greedy_csigma, solve_tvnep, BuildOptions, Formulation, GreedyOptions, Objective};
+use tvnep_lp::Params as LpParams;
 use tvnep_mip::{MipOptions, MipStatus};
 use tvnep_model::{is_feasible, Instance};
-use tvnep_telemetry::{MemProbe, Telemetry};
+use tvnep_telemetry::{summarize_solves, MemProbe, Telemetry};
 use tvnep_workloads::{generate, WorkloadConfig};
 
 /// One solver run's record.
@@ -64,6 +65,13 @@ pub struct CellResult {
     /// Peak live heap bytes while the cell ran; 0 when the driving binary
     /// has no [`tvnep_telemetry::CountingAlloc`] or counting is off.
     pub peak_bytes: u64,
+    /// Time from the main solve's start to its first incumbent, from the
+    /// progress event stream. `None` when no incumbent was found (or for
+    /// greedy cells, which have no incumbent notion).
+    pub tti_s: Option<f64>,
+    /// Numerical-health verdict of the main solve (`ok` / `degenerate-stall`
+    /// / `drift` / `cycling-suspected`); `None` for greedy cells.
+    pub health: Option<String>,
 }
 
 /// Harness configuration.
@@ -128,6 +136,33 @@ fn instance_for(cfg: &HarnessConfig, seed: u64, flex: f64) -> Instance {
     generate(&cfg.workload, seed).with_flexibility_after(flex)
 }
 
+/// The telemetry handle every cell runner uses: metrics plus the progress
+/// event stream, which backs the `tti_s` column and the campaign runner's
+/// live incumbent/bound/gap status line.
+pub fn cell_telemetry() -> Telemetry {
+    Telemetry::configure_all(false, false, true)
+}
+
+/// Watchdog-enabled LP parameters for the exact cell solves, so every
+/// journaled cell carries a numerical-health verdict.
+fn watched_lp_params() -> LpParams {
+    LpParams {
+        watchdog: true,
+        ..LpParams::default()
+    }
+}
+
+/// Time from the *last* `mip` solve's start to its first incumbent, read
+/// back from the progress stream (the warm-up greedy runs earlier solves).
+fn tti_from(telemetry: &Telemetry) -> Option<f64> {
+    let records = telemetry.progress_records();
+    summarize_solves(&records)
+        .into_iter()
+        .rev()
+        .find(|s| s.what == "mip")
+        .and_then(|s| s.time_to_first_incumbent_s)
+}
+
 /// Runs one formulation / access-control cell — the unit behind
 /// [`run_sweep`] and the campaign runner.
 pub fn run_formulation_cell(
@@ -136,12 +171,24 @@ pub fn run_formulation_cell(
     seed: u64,
     flex: f64,
 ) -> CellResult {
+    run_formulation_cell_with(cfg, formulation, seed, flex, &cell_telemetry())
+}
+
+/// [`run_formulation_cell`] with a caller-supplied telemetry handle (the
+/// campaign runner attaches a live progress sink to it).
+pub fn run_formulation_cell_with(
+    cfg: &HarnessConfig,
+    formulation: Formulation,
+    seed: u64,
+    flex: f64,
+    telemetry: &Telemetry,
+) -> CellResult {
     let probe = MemProbe::start();
     let inst = instance_for(cfg, seed, flex);
-    let telemetry = Telemetry::metrics_only();
     let mut opts = MipOptions::with_time_limit(cfg.time_limit);
     opts.telemetry = telemetry.clone();
     opts.threads = cfg.threads;
+    opts.lp_params = Some(watched_lp_params());
     let mut greedy_obj = None;
     let mut greedy_acc = None;
     if cfg.greedy_cutoff {
@@ -203,6 +250,8 @@ pub fn run_formulation_cell(
         verified,
         threads: cfg.effective_threads(),
         peak_bytes: probe.finish(),
+        tti_s: tti_from(telemetry),
+        health: run.mip.health.clone(),
     }
 }
 
@@ -215,6 +264,17 @@ pub fn run_objective_cell(
     objective: Objective,
     seed: u64,
     flex: f64,
+) -> Option<CellResult> {
+    run_objective_cell_with(cfg, objective, seed, flex, &cell_telemetry())
+}
+
+/// [`run_objective_cell`] with a caller-supplied telemetry handle.
+pub fn run_objective_cell_with(
+    cfg: &HarnessConfig,
+    objective: Objective,
+    seed: u64,
+    flex: f64,
+    telemetry: &Telemetry,
 ) -> Option<CellResult> {
     let probe = MemProbe::start();
     let inst = instance_for(cfg, seed, flex);
@@ -240,10 +300,10 @@ pub fn run_objective_cell(
         inst.horizon,
         Some(keep.iter().map(|&r| maps[r].clone()).collect()),
     );
-    let telemetry = Telemetry::metrics_only();
     let mut opts = MipOptions::with_time_limit(cfg.time_limit);
     opts.telemetry = telemetry.clone();
     opts.threads = cfg.threads;
+    opts.lp_params = Some(watched_lp_params());
     let t0 = Instant::now();
     let run = solve_tvnep(
         &sub,
@@ -268,15 +328,26 @@ pub fn run_objective_cell(
         verified,
         threads: cfg.effective_threads(),
         peak_bytes: probe.finish(),
+        tti_s: tti_from(telemetry),
+        health: run.mip.health.clone(),
     })
 }
 
 /// Runs one greedy cell (Figure 7 numerator; the runtime column backs the
 /// "seconds, not hours" claim of Section VI-B2).
 pub fn run_greedy_cell(cfg: &HarnessConfig, seed: u64, flex: f64) -> CellResult {
+    run_greedy_cell_with(cfg, seed, flex, &cell_telemetry())
+}
+
+/// [`run_greedy_cell`] with a caller-supplied telemetry handle.
+pub fn run_greedy_cell_with(
+    cfg: &HarnessConfig,
+    seed: u64,
+    flex: f64,
+    telemetry: &Telemetry,
+) -> CellResult {
     let probe = MemProbe::start();
     let inst = instance_for(cfg, seed, flex);
-    let telemetry = Telemetry::metrics_only();
     let mut subproblem = MipOptions::with_time_limit(cfg.time_limit / 4);
     subproblem.telemetry = telemetry.clone();
     subproblem.threads = cfg.threads;
@@ -299,6 +370,10 @@ pub fn run_greedy_cell(cfg: &HarnessConfig, seed: u64, flex: f64) -> CellResult 
         verified: Some(ok),
         threads: cfg.effective_threads(),
         peak_bytes: probe.finish(),
+        // The greedy heuristic has no incumbent/bound notion; the admit/
+        // reject decisions are streamed as request events instead.
+        tti_s: None,
+        health: None,
     }
 }
 
@@ -362,4 +437,4 @@ pub fn csv_from_records_stdout(records: &[campaign::CellRecord]) {
 
 /// CSV header matching [`print_csv`].
 pub const CSV_HEADER: &str = "label,seed,flex_h,runtime_s,status,objective,best_bound,gap,\
-                              accepted,nodes,lp_iters,verified,threads,peak_bytes";
+                              accepted,nodes,lp_iters,verified,threads,peak_bytes,tti_s,health";

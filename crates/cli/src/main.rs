@@ -29,10 +29,14 @@ use tvnep_core::{
 use tvnep_harness::format::{render_trace, InstanceDoc, SolutionDoc};
 use tvnep_harness::oracle::OracleOptions;
 use tvnep_harness::{run_fuzz, FuzzConfig, FuzzReport};
+use tvnep_lp::Params as LpParams;
 use tvnep_mip::{MipOptions, SearchTree};
 use tvnep_model::tol::VERIFY_TOL;
 use tvnep_model::{verify_with_tol, Instance};
-use tvnep_telemetry::{Json, Telemetry};
+use tvnep_telemetry::{
+    gap_curve_csv, health_rank, parse_ndjson, summarize_solves, Json, SolveEvent, SolveSummary,
+    Telemetry,
+};
 use tvnep_workloads::{generate, WorkloadConfig};
 
 /// Heap accounting behind `--alloc` and the `campaign` peak-memory column.
@@ -45,16 +49,20 @@ fn usage() -> ExitCode {
         "usage:\n  tvnep-cli generate [--preset tiny|small|medium|paper] [--seed N] \
          [--flex H] [-o FILE]\n  tvnep-cli solve INSTANCE [--formulation delta|sigma|csigma] \
          [--objective access|earliness|load|links|makespan] [--time-limit SECS] [--threads N] \
-         [-o FILE] [--metrics-out FILE] [--trace] [--chrome-trace FILE] [--tree-out FILE]\n  \
+         [-o FILE] [--metrics-out FILE] [--trace] [--chrome-trace FILE] [--tree-out FILE] \
+         [--progress FILE|-] [--watchdog]\n  \
          tvnep-cli greedy INSTANCE [--time-limit SECS] [--threads N] [-o FILE] \
-         [--metrics-out FILE] [--trace] [--chrome-trace FILE]\n  \
+         [--metrics-out FILE] [--trace] [--chrome-trace FILE] [--progress FILE|-] \
+         [--watchdog]\n  \
+         tvnep-cli report LOG [--csv FILE] (LOG: progress NDJSON, campaign journal, \
+         or BENCH_campaign.json)\n  \
          tvnep-cli explain INSTANCE SOLUTION [-o FILE]\n  \
          tvnep-cli verify INSTANCE SOLUTION [--json] [-o FILE]\n  tvnep-cli info INSTANCE\n  \
          tvnep-cli fuzz [--seed N] [--cases N] [--time-cap SECS] \
          [--solve-time-limit SECS] [--threads N] [--corpus-dir DIR]\n  \
          tvnep-cli campaign [SELECTOR] [--preset tiny|small|medium|paper] [--seeds N] \
          [--flexes 0,1,2] [--time-limit SECS] [--threads N] [--out-dir DIR] \
-         [--bench-out FILE] [--fresh] [--quiet]\n  \
+         [--bench-out FILE] [--fresh] [--quiet] [--require-parallel]\n  \
          tvnep-cli bench-compare BASELINE.json CANDIDATE.json [--wall-tol-pct P] \
          [--mem-tol-pct P] [--no-exact-counts]\n\n\
          solve/greedy also accept --alloc (heap accounting in --metrics-out)."
@@ -93,6 +101,8 @@ const BOOL_FLAGS: &[&str] = &[
     "fresh",
     "quiet",
     "no-exact-counts",
+    "watchdog",
+    "require-parallel",
 ];
 
 fn parse_args(raw: &[String]) -> Args {
@@ -134,16 +144,61 @@ fn threads_for(args: &Args) -> Result<usize, String> {
         .map(|t| t.unwrap_or(0))
 }
 
-fn telemetry_for(args: &Args) -> Telemetry {
+fn telemetry_for(args: &Args) -> Result<Telemetry, String> {
     let trace = args.flags.contains_key("trace");
     let spans = args.flags.contains_key("chrome-trace");
     let metrics = args.flags.contains_key("metrics-out");
-    if trace || spans {
-        Telemetry::configure(trace, spans)
+    let progress = args.flags.contains_key("progress") || args.flags.contains_key("watchdog");
+    let telemetry = if trace || spans || progress {
+        Telemetry::configure_all(trace, spans, progress)
     } else if metrics {
         Telemetry::metrics_only()
     } else {
         Telemetry::disabled()
+    };
+    if let Some(dest) = args.flags.get("progress") {
+        let sink: Box<dyn std::io::Write + Send> = if dest == "-" {
+            Box::new(std::io::stdout())
+        } else {
+            Box::new(std::fs::File::create(dest).map_err(|e| format!("--progress {dest}: {e}"))?)
+        };
+        telemetry.attach_progress_sink(sink);
+    }
+    Ok(telemetry)
+}
+
+/// `--watchdog`: numerical-health checks at every LP refactorization, with
+/// the verdict reported in the result section and the progress stream.
+fn lp_params_for(args: &Args) -> Option<LpParams> {
+    args.flags.contains_key("watchdog").then(|| LpParams {
+        watchdog: true,
+        ..LpParams::default()
+    })
+}
+
+/// Streams the top wall-time span sinks into the progress log so `report`
+/// can print them (needs both `--chrome-trace` spans and `--progress`).
+fn emit_span_sinks(telemetry: &Telemetry) {
+    if !telemetry.progress_enabled() {
+        return;
+    }
+    let mut totals: Vec<(&'static str, f64, u64)> = Vec::new();
+    for span in telemetry.spans() {
+        match totals.iter_mut().find(|(n, _, _)| *n == span.name) {
+            Some(t) => {
+                t.1 += span.dur.as_secs_f64();
+                t.2 += 1;
+            }
+            None => totals.push((span.name, span.dur.as_secs_f64(), 1)),
+        }
+    }
+    totals.sort_by(|a, b| b.1.total_cmp(&a.1));
+    for (name, total_s, calls) in totals.into_iter().take(3) {
+        telemetry.progress(SolveEvent::SpanSink {
+            name: name.to_string(),
+            total_s,
+            calls,
+        });
     }
 }
 
@@ -300,10 +355,11 @@ fn run(cmd: &str, args: &Args) -> Result<ExitCode, String> {
                 .map(|s| s.parse().map_err(|e| format!("--time-limit: {e}")))
                 .transpose()?
                 .unwrap_or(60);
-            let telemetry = telemetry_for(args);
+            let telemetry = telemetry_for(args)?;
             let mut mip_opts = MipOptions::with_time_limit(Duration::from_secs(secs));
             mip_opts.telemetry = telemetry.clone();
             mip_opts.threads = threads_for(args)?;
+            mip_opts.lp_params = lp_params_for(args);
             let tree = args
                 .flags
                 .get("tree-out")
@@ -324,13 +380,19 @@ fn run(cmd: &str, args: &Args) -> Result<ExitCode, String> {
                 };
                 std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))?;
             }
+            emit_span_sinks(&telemetry);
             eprintln!(
-                "status: {:?}; objective: {:?}; bound: {:.4}; nodes: {}; time: {:?}",
+                "status: {:?}; objective: {:?}; bound: {:.4}; nodes: {}; time: {:?}{}",
                 out.mip.status,
                 out.mip.objective,
                 out.mip.best_bound,
                 out.mip.nodes,
-                out.mip.runtime
+                out.mip.runtime,
+                out.mip
+                    .health
+                    .as_deref()
+                    .map(|h| format!("; health: {h}"))
+                    .unwrap_or_default()
             );
             let result_section = Json::Obj(vec![
                 ("status".into(), Json::from(out.mip.status.as_str())),
@@ -343,6 +405,13 @@ fn run(cmd: &str, args: &Args) -> Result<ExitCode, String> {
                 (
                     "runtime_s".into(),
                     Json::from(out.mip.runtime.as_secs_f64()),
+                ),
+                (
+                    "health".into(),
+                    out.mip
+                        .health
+                        .as_deref()
+                        .map_or(Json::Null, |h| Json::from(h.to_string())),
                 ),
             ]);
             let mut extra = vec![("result".into(), result_section)];
@@ -375,16 +444,18 @@ fn run(cmd: &str, args: &Args) -> Result<ExitCode, String> {
                 .map(|s| s.parse().map_err(|e| format!("--time-limit: {e}")))
                 .transpose()?
                 .unwrap_or(30);
-            let telemetry = telemetry_for(args);
+            let telemetry = telemetry_for(args)?;
             let mut subproblem = MipOptions::with_time_limit(Duration::from_secs(secs));
             subproblem.telemetry = telemetry.clone();
             subproblem.threads = threads_for(args)?;
+            subproblem.lp_params = lp_params_for(args);
             let opts = GreedyOptions { subproblem };
             let outcome = if inst.fixed_node_mappings.is_some() {
                 greedy_csigma(&inst, &opts)
             } else {
                 tvnep_core::greedy_with_lp_mappings(&inst, &opts)
             };
+            emit_span_sinks(&telemetry);
             eprintln!(
                 "greedy: accepted {}/{} in {:?} ({} subproblem nodes)",
                 outcome.solution.accepted_count(),
@@ -502,6 +573,17 @@ fn run(cmd: &str, args: &Args) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         "campaign" => {
+            if args.flags.contains_key("require-parallel") {
+                let par = std::thread::available_parallelism()
+                    .map(usize::from)
+                    .unwrap_or(1);
+                if par < 2 {
+                    return Err(format!(
+                        "--require-parallel: host reports only {par} core(s); threads>1 wall \
+                         times on this machine would be oversubscription, not parallelism"
+                    ));
+                }
+            }
             let selector = args.positional.first().map(String::as_str).unwrap_or("all");
             let labels = expand_labels(selector)?;
             let mut cfg = HarnessConfig::default();
@@ -568,6 +650,39 @@ fn run(cmd: &str, args: &Args) -> Result<ExitCode, String> {
                 csv_path.display(),
                 bench_path.display()
             );
+            Ok(ExitCode::SUCCESS)
+        }
+        "report" => {
+            let path = args.positional.first().ok_or("missing LOG path")?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            let csv_out = args.flags.get("csv").map(String::as_str);
+            let first_line = text.lines().find(|l| !l.trim().is_empty()).unwrap_or("");
+            let first = Json::parse(first_line).ok();
+            let is_journal = first
+                .as_ref()
+                .and_then(|j| j.get("event"))
+                .and_then(Json::as_str)
+                == Some("campaign_started");
+            if is_journal {
+                return report_campaign_cells(&journal_cells(&text), csv_out);
+            }
+            if let Ok(doc) = Json::parse(&text) {
+                if doc.get("bench").and_then(Json::as_str) == Some("campaign") {
+                    return report_campaign_cells(&bench_doc_cells(&doc), csv_out);
+                }
+            }
+            let records = parse_ndjson(&text);
+            if records.is_empty() {
+                return Err(format!("{path}: no progress events found"));
+            }
+            for (i, s) in summarize_solves(&records).iter().enumerate() {
+                print_solve_summary(i, s);
+            }
+            if let Some(out) = csv_out {
+                std::fs::write(out, gap_curve_csv(&records))
+                    .map_err(|e| format!("write {out}: {e}"))?;
+                eprintln!("gap curve -> {out}");
+            }
             Ok(ExitCode::SUCCESS)
         }
         "bench-compare" => {
@@ -655,6 +770,162 @@ fn run(cmd: &str, args: &Args) -> Result<ExitCode, String> {
             }
         }
         _ => Ok(usage()),
+    }
+}
+
+/// One row of `tvnep-cli report` in campaign mode, sourced from either a
+/// journal's `cell_finished` records or a `BENCH_campaign.json` cells array.
+struct ReportCell {
+    id: String,
+    skipped: bool,
+    status: String,
+    wall_s: f64,
+    objective: Option<f64>,
+    gap: Option<f64>,
+    tti_s: Option<f64>,
+    health: Option<String>,
+}
+
+/// Extracts finished cells from a campaign journal, first record per cell id
+/// winning (matching the resume semantics of `csv_from_journal`).
+fn journal_cells(text: &str) -> Vec<ReportCell> {
+    let mut seen: Vec<String> = Vec::new();
+    let mut out = Vec::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        // A torn trailing line (crash mid-write) ends the readable prefix.
+        let Ok(ev) = Json::parse(line) else { break };
+        if ev.get("event").and_then(Json::as_str) != Some("cell_finished") {
+            continue;
+        }
+        let Some(rec) = ev
+            .get("record")
+            .and_then(tvnep_bench::campaign::CellRecord::from_json)
+        else {
+            continue;
+        };
+        let id = rec.cell_id();
+        if seen.contains(&id) {
+            continue;
+        }
+        seen.push(id.clone());
+        out.push(ReportCell {
+            id,
+            skipped: rec.skipped,
+            status: rec.status,
+            wall_s: rec.runtime_s,
+            objective: rec.objective,
+            gap: rec.gap,
+            tti_s: rec.tti_s,
+            health: rec.health,
+        });
+    }
+    out
+}
+
+fn bench_doc_cells(doc: &Json) -> Vec<ReportCell> {
+    let Some(Json::Arr(cells)) = doc.get("cells") else {
+        return Vec::new();
+    };
+    cells
+        .iter()
+        .filter_map(|c| {
+            Some(ReportCell {
+                id: c.get("cell")?.as_str()?.to_string(),
+                skipped: c.get("skipped").and_then(Json::as_bool).unwrap_or(false),
+                status: c.get("status")?.as_str()?.to_string(),
+                wall_s: c.get("wall_s")?.as_f64()?,
+                objective: c.get("objective").and_then(Json::as_f64),
+                gap: c.get("gap").and_then(Json::as_f64),
+                tti_s: c.get("tti_s").and_then(Json::as_f64),
+                health: c.get("health").and_then(Json::as_str).map(str::to_string),
+            })
+        })
+        .collect()
+}
+
+fn report_campaign_cells(cells: &[ReportCell], csv_out: Option<&str>) -> Result<ExitCode, String> {
+    if cells.is_empty() {
+        return Err("no finished cells found".into());
+    }
+    let fmt_obj = |v: Option<f64>| v.map_or("NA".to_string(), |o| format!("{o:.4}"));
+    let fmt_gap = |v: Option<f64>| v.map_or("inf".to_string(), |g| format!("{g:.4}"));
+    let fmt_tti = |v: Option<f64>| v.map_or("NA".to_string(), |t| format!("{t:.3}s"));
+    for c in cells {
+        if c.skipped {
+            println!("{}: skipped", c.id);
+            continue;
+        }
+        println!(
+            "{}: status={} wall={:.3}s obj={} gap={} tti={} health={}",
+            c.id,
+            c.status,
+            c.wall_s,
+            fmt_obj(c.objective),
+            fmt_gap(c.gap),
+            fmt_tti(c.tti_s),
+            c.health.as_deref().unwrap_or("NA"),
+        );
+    }
+    if let Some(worst) = cells
+        .iter()
+        .filter_map(|c| c.health.as_deref())
+        .max_by_key(|h| health_rank(h))
+    {
+        println!("worst health: {worst}");
+    }
+    if let Some(out) = csv_out {
+        let mut csv = String::from("cell,status,wall_s,objective,gap,tti_s,health\n");
+        for c in cells.iter().filter(|c| !c.skipped) {
+            csv.push_str(&format!(
+                "{},{},{:.3},{},{},{},{}\n",
+                c.id,
+                c.status,
+                c.wall_s,
+                fmt_obj(c.objective),
+                fmt_gap(c.gap),
+                c.tti_s.map_or("NA".to_string(), |t| format!("{t:.3}")),
+                c.health.as_deref().unwrap_or("NA"),
+            ));
+        }
+        std::fs::write(out, csv).map_err(|e| format!("write {out}: {e}"))?;
+        eprintln!("cell summary -> {out}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn print_solve_summary(i: usize, s: &SolveSummary) {
+    let what = if s.what.is_empty() { "?" } else { &s.what };
+    println!(
+        "solve {i} [{what}] status={} t=[{:.3}s..{:.3}s]",
+        if s.status.is_empty() {
+            "(truncated)"
+        } else {
+            &s.status
+        },
+        s.began_s,
+        s.ended_s,
+    );
+    println!(
+        "  objective={:.6} bound={:.6} gap={} nodes={} lp_iters={}",
+        s.objective,
+        s.bound,
+        if s.final_gap.is_finite() {
+            format!("{:.4}%", s.final_gap * 100.0)
+        } else {
+            "inf".into()
+        },
+        s.nodes,
+        s.lp_iters,
+    );
+    let fmt_t = |v: Option<f64>| v.map_or("NA".to_string(), |t| format!("{t:.3}s"));
+    println!(
+        "  time-to-first-incumbent={} time-to-1%-gap={} health={}",
+        fmt_t(s.time_to_first_incumbent_s),
+        fmt_t(s.time_to_gap1_s),
+        s.health,
+    );
+    for (name, total_s, calls) in &s.span_sinks {
+        println!("  span sink: {name} {total_s:.4}s over {calls} call(s)");
     }
 }
 

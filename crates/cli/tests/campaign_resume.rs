@@ -45,14 +45,15 @@ fn run_to_completion(dir: &Path) -> String {
     std::fs::read_to_string(dir.join("results.csv")).expect("read results.csv")
 }
 
-/// Drops the wall-clock columns (`runtime_s`, `peak_bytes`) that legitimately
-/// differ between runs; everything else is deterministic at `--threads 1`.
+/// Drops the wall-clock columns (`runtime_s`, `peak_bytes`, `tti_s`) that
+/// legitimately differ between runs; everything else is deterministic at
+/// `--threads 1`.
 fn deterministic_columns(csv: &str) -> String {
     csv.lines()
         .map(|line| {
             line.split(',')
                 .enumerate()
-                .filter(|(i, _)| *i != 3 && *i != 13)
+                .filter(|(i, _)| *i != 3 && *i != 13 && *i != 14)
                 .map(|(_, c)| c)
                 .collect::<Vec<_>>()
                 .join(",")

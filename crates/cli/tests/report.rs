@@ -1,0 +1,156 @@
+//! End-to-end test of the progress stream and `tvnep-cli report`: solve a
+//! generated instance with `--progress`, then require the report to parse
+//! the stream back and agree with what the solve printed.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_tvnep-cli")
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tvnep-report-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn report_parses_back_a_real_progress_stream() {
+    let dir = tmp_dir("stream");
+    let inst = dir.join("instance.json");
+    let progress = dir.join("progress.ndjson");
+    let csv = dir.join("gap.csv");
+
+    let out = Command::new(bin())
+        .args(["generate", "--preset", "tiny", "--seed", "3", "--flex", "1"])
+        .args(["-o", inst.to_str().unwrap()])
+        .output()
+        .expect("spawn generate");
+    assert!(out.status.success(), "generate failed: {out:?}");
+
+    let out = Command::new(bin())
+        .args([
+            "solve",
+            inst.to_str().unwrap(),
+            "--threads",
+            "1",
+            "--watchdog",
+        ])
+        .args(["--progress", progress.to_str().unwrap()])
+        .args(["-o", dir.join("solution.json").to_str().unwrap()])
+        .output()
+        .expect("spawn solve");
+    assert!(out.status.success(), "solve failed: {out:?}");
+    let solve_stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert!(
+        solve_stderr.contains("health: ok"),
+        "watchdog verdict missing from solve output: {solve_stderr}"
+    );
+
+    let out = Command::new(bin())
+        .args(["report", progress.to_str().unwrap()])
+        .args(["--csv", csv.to_str().unwrap()])
+        .output()
+        .expect("spawn report");
+    assert!(out.status.success(), "report failed: {out:?}");
+    let report = String::from_utf8_lossy(&out.stdout).to_string();
+
+    // The report's headline numbers must match what the solve printed:
+    // status, a closed gap, and the watchdog verdict.
+    assert!(
+        report.contains("solve 0 [mip] status=optimal"),
+        "unexpected report header: {report}"
+    );
+    assert!(report.contains("gap=0.0000%"), "gap not closed: {report}");
+    assert!(report.contains("health=ok"), "health missing: {report}");
+    assert!(
+        report.contains("time-to-first-incumbent="),
+        "tti missing: {report}"
+    );
+
+    // The objective printed by report must equal the solve's objective.
+    let obj_line = report
+        .lines()
+        .find(|l| l.trim_start().starts_with("objective="))
+        .expect("objective line");
+    let report_obj: f64 = obj_line
+        .trim_start()
+        .strip_prefix("objective=")
+        .unwrap()
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .parse()
+        .expect("parse report objective");
+    let solve_obj: f64 = solve_stderr
+        .split("objective: Some(")
+        .nth(1)
+        .expect("solve objective")
+        .split(')')
+        .next()
+        .unwrap()
+        .parse()
+        .expect("parse solve objective");
+    assert!(
+        (report_obj - solve_obj).abs() < 1e-4,
+        "report objective {report_obj} != solve objective {solve_obj}"
+    );
+
+    // The gap CSV exists, has the documented header, and a terminal
+    // incumbent row whose value matches the objective.
+    let gap_csv = std::fs::read_to_string(&csv).expect("read gap csv");
+    let mut lines = gap_csv.lines();
+    assert_eq!(
+        lines.next(),
+        Some("t_s,event,node,incumbent,bound,gap"),
+        "gap CSV header changed"
+    );
+    let last_incumbent = gap_csv
+        .lines()
+        .rfind(|l| l.contains(",incumbent_found,"))
+        .expect("at least one incumbent row");
+    let inc: f64 = last_incumbent.split(',').nth(3).unwrap().parse().unwrap();
+    assert!(
+        (inc - solve_obj).abs() < 1e-4,
+        "last incumbent {inc} != objective {solve_obj}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn report_renders_campaign_journal_and_bench_doc() {
+    let dir = tmp_dir("campaign");
+    let out = Command::new(bin())
+        .args(["campaign", "csigma", "--preset", "tiny", "--seeds", "1"])
+        .args(["--flexes", "0,1", "--time-limit", "60", "--threads", "1"])
+        .args(["--out-dir", dir.to_str().unwrap(), "--quiet"])
+        .output()
+        .expect("spawn campaign");
+    assert!(out.status.success(), "campaign failed: {out:?}");
+
+    for log in ["journal.jsonl", "BENCH_campaign.json"] {
+        let out = Command::new(bin())
+            .args(["report", dir.join(log).to_str().unwrap()])
+            .output()
+            .expect("spawn report");
+        assert!(out.status.success(), "report {log} failed: {out:?}");
+        let text = String::from_utf8_lossy(&out.stdout).to_string();
+        // One line per cell, carrying the per-cell tti and health columns.
+        assert!(
+            text.contains("csigma_access/seed=1/flex=0:"),
+            "{log}: missing cell line: {text}"
+        );
+        assert!(
+            text.contains("tti=") && text.contains("health="),
+            "{log}: missing tti/health: {text}"
+        );
+        assert!(
+            text.contains("worst health:"),
+            "{log}: missing worst-health verdict: {text}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -20,6 +20,10 @@
 //! * **Greedy dominated** (§V): cΣᴳ_A revenue never beats the joint optimum.
 //! * **Thread equivalence** (PR-2 parallel solver): `threads=1` and
 //!   `threads=N` prove the same optimal objective.
+//! * **Progress monotone** (anytime streaming): the progress event stream,
+//!   replayed in time order, shows only improving incumbents and only
+//!   tightening bounds, and its final `solve_done` event agrees with the
+//!   returned result — at `threads=1` and `threads=N` alike.
 //! * **Ground truth**: every produced [`TemporalSolution`] passes the
 //!   independent Definition-2.1 verifier, and reported objectives match the
 //!   recomputed revenue.
@@ -38,6 +42,7 @@ use tvnep_lp::{LpStatus, Simplex};
 use tvnep_mip::{MipOptions, MipStatus};
 use tvnep_model::tol::{obj_eq, obj_le, OBJ_EQ_TOL, VERIFY_TOL};
 use tvnep_model::{verify_with_tol, Instance, TemporalSolution};
+use tvnep_telemetry::{SolveEvent, Telemetry};
 
 /// The oracle families; each violation carries the one that fired.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,10 +68,15 @@ pub enum Oracle {
     /// [`VERIFY_TOL`], and every rejection blocker identifies a node whose
     /// capacity genuinely runs out.
     ExplainConsistency,
+    /// The anytime progress stream is sound at any thread count: replayed in
+    /// time order, incumbents only improve, the dual bound only tightens,
+    /// and the final `solve_done` event agrees with the returned
+    /// [`tvnep_mip::MipResult`].
+    ProgressMonotone,
 }
 
 /// All oracles, in execution order.
-pub const ORACLES: [Oracle; 7] = [
+pub const ORACLES: [Oracle; 8] = [
     Oracle::GroundTruth,
     Oracle::ExplainConsistency,
     Oracle::CrossModelEquality,
@@ -74,6 +84,7 @@ pub const ORACLES: [Oracle; 7] = [
     Oracle::DiscreteLowerBound,
     Oracle::GreedyDominated,
     Oracle::ThreadEquivalence,
+    Oracle::ProgressMonotone,
 ];
 
 impl Oracle {
@@ -87,6 +98,7 @@ impl Oracle {
             Oracle::ThreadEquivalence => "thread_equivalence",
             Oracle::GroundTruth => "ground_truth",
             Oracle::ExplainConsistency => "explain_consistency",
+            Oracle::ProgressMonotone => "progress_monotone",
         }
     }
 
@@ -765,7 +777,116 @@ pub fn check_instance(instance: &Instance, opts: &OracleOptions) -> CaseReport {
         }
     }
 
+    // --- (d) Anytime progress stream is sound at every thread count.
+    if opts.wants(Oracle::ProgressMonotone) {
+        for threads in [1, opts.threads_alt] {
+            let telemetry = Telemetry::with_progress();
+            let mut mo = opts.mip_opts(threads);
+            mo.telemetry = telemetry.clone();
+            let out = solve_tvnep(
+                instance,
+                Formulation::CSigma,
+                Objective::AccessControl,
+                BuildOptions::default_for(Formulation::CSigma),
+                &mo,
+            );
+            report.solves += 1;
+            check_progress_stream(&mut report, &telemetry, &out, threads);
+        }
+    }
+
     report
+}
+
+/// Replays one progress stream in time order and asserts its anytime
+/// invariants. The access-control objective maximizes revenue, so incumbents
+/// must be non-decreasing and the dual bound non-increasing.
+fn check_progress_stream(
+    report: &mut CaseReport,
+    telemetry: &Telemetry,
+    out: &TvnepOutcome,
+    threads: usize,
+) {
+    let mut records = telemetry.progress_records();
+    records.sort_by_key(|r| r.t);
+    if records.is_empty() {
+        report.violate(
+            Oracle::ProgressMonotone,
+            format!("threads={threads}: solve produced no progress events"),
+        );
+        return;
+    }
+    let mut last_inc = f64::NEG_INFINITY;
+    let mut last_bound = f64::INFINITY;
+    for r in &records {
+        match &r.event {
+            SolveEvent::IncumbentFound { obj, .. } => {
+                if *obj < last_inc - OBJ_EQ_TOL {
+                    report.violate(
+                        Oracle::ProgressMonotone,
+                        format!("threads={threads}: incumbent regressed {last_inc} -> {obj}"),
+                    );
+                }
+                last_inc = obj.max(last_inc);
+            }
+            SolveEvent::BoundImproved { bound, .. } => {
+                if *bound > last_bound + OBJ_EQ_TOL {
+                    report.violate(
+                        Oracle::ProgressMonotone,
+                        format!("threads={threads}: bound loosened {last_bound} -> {bound}"),
+                    );
+                }
+                last_bound = bound.min(last_bound);
+            }
+            _ => {}
+        }
+    }
+    let done = records.iter().rev().find_map(|r| match &r.event {
+        SolveEvent::SolveDone {
+            status,
+            objective,
+            nodes,
+            ..
+        } => Some((status.clone(), *objective, *nodes)),
+        _ => None,
+    });
+    match done {
+        None => report.violate(
+            Oracle::ProgressMonotone,
+            format!("threads={threads}: stream has no solve_done event"),
+        ),
+        Some((status, objective, nodes)) => {
+            if status != out.mip.status.as_str() {
+                report.violate(
+                    Oracle::ProgressMonotone,
+                    format!(
+                        "threads={threads}: solve_done status {status:?} != result {:?}",
+                        out.mip.status.as_str()
+                    ),
+                );
+            }
+            if let Some(obj) = out.mip.objective {
+                if !obj_eq(obj, objective) {
+                    report.violate(
+                        Oracle::ProgressMonotone,
+                        format!(
+                            "threads={threads}: solve_done objective {objective} != \
+                             result objective {obj}"
+                        ),
+                    );
+                }
+            }
+            if nodes != out.mip.nodes {
+                report.violate(
+                    Oracle::ProgressMonotone,
+                    format!(
+                        "threads={threads}: solve_done nodes {nodes} != result nodes {}",
+                        out.mip.nodes
+                    ),
+                );
+            }
+        }
+    }
 }
 
 #[cfg(test)]

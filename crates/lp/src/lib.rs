@@ -26,6 +26,8 @@
 pub mod problem;
 pub mod simplex;
 pub mod sparse;
+pub mod watchdog;
 
 pub use problem::{LpProblem, RowId, VarId, INF};
 pub use simplex::{solve, Basis, LpSolution, LpStatus, Params, Simplex, SolveStats, VarStatus};
+pub use watchdog::{Health, WatchdogReport, DRIFT_TOL};

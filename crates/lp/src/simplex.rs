@@ -38,7 +38,8 @@ use std::time::{Duration, Instant};
 
 use crate::problem::{LpProblem, INF};
 use crate::sparse::CscMatrix;
-use tvnep_telemetry::{Event, Telemetry};
+use crate::watchdog::{basis_fingerprint, Health, Watchdog, WatchdogReport};
+use tvnep_telemetry::{Event, SolveEvent, Telemetry};
 
 /// Outcome of a simplex run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,6 +114,11 @@ pub struct Params {
     /// Dantzig scan only when the window prices out. Optimality is still
     /// only ever declared after a full scan finds no eligible column.
     pub partial_pricing: bool,
+    /// Numerical-health watchdog: residual checks at every periodic
+    /// refactorization, pivot-magnitude tracking, degenerate-streak and
+    /// basis-recurrence monitoring (see [`crate::watchdog`]). Off by
+    /// default; the disabled path is one cached-bool branch per hot site.
+    pub watchdog: bool,
 }
 
 impl Default for Params {
@@ -126,6 +132,7 @@ impl Default for Params {
             max_iters: 500_000,
             deadline: None,
             partial_pricing: true,
+            watchdog: false,
         }
     }
 }
@@ -216,6 +223,14 @@ pub struct Simplex {
     /// entry; the per-kernel clocks below only tick when it is true, so the
     /// profiler costs one branch per kernel call when off.
     spans_on: bool,
+    /// Cached `params.watchdog`, refreshed at every public solve entry (same
+    /// discipline as `spans_on`: one branch per hot site when off).
+    watchdog_on: bool,
+    /// Cached `telemetry.progress_enabled()`, refreshed at every public
+    /// solve entry; gates the simplex-level progress events.
+    progress_on: bool,
+    /// Numerical-health accumulator (observes only when `watchdog_on`).
+    watchdog: Watchdog,
     /// Wall-time accumulators for the hot kernels of the *current* solve.
     /// One span per kernel call would swamp the buffers (simplex runs up to
     /// `max_iters` iterations); the totals are emitted as one aggregate child
@@ -368,6 +383,9 @@ impl Simplex {
             stats: SolveStats::default(),
             telemetry: Telemetry::disabled(),
             spans_on: false,
+            watchdog_on: false,
+            progress_on: false,
+            watchdog: Watchdog::default(),
             kernels: KernelClocks::default(),
         };
         s.reset_basis();
@@ -714,6 +732,9 @@ impl Simplex {
     /// Product-form update of the column-major inverse after a pivot at row
     /// `r` with direction `w = B⁻¹ A_q` (in `scratch_w`).
     fn update_binv(&mut self, r: usize) {
+        if self.watchdog_on {
+            self.watchdog.observe_pivot(self.scratch_w[r].abs());
+        }
         let m = self.m;
         let inv_piv = 1.0 / self.scratch_w[r];
         for k in 0..m {
@@ -727,6 +748,142 @@ impl Simplex {
             col[r] = t;
         }
         self.pivots_since_refactor += 1;
+    }
+
+    /// `‖Σ_j A_j x_j‖∞` of the *current* iterate: basics from the pivoted
+    /// `xb`, nonbasics at their resting values. The augmented system is
+    /// `[A | −I] x = 0`, so a drift-free product form keeps this at machine
+    /// scale; evaluated immediately before a refactorization it measures the
+    /// error the product-form updates accumulated. Clobbers `scratch_rhs`.
+    fn primal_residual(&mut self) -> f64 {
+        self.scratch_rhs.iter_mut().for_each(|v| *v = 0.0);
+        for j in 0..self.n_total {
+            if self.status[j] != VarStatus::Basic {
+                let v = self.nonbasic_value(j);
+                if v != 0.0 {
+                    self.cols.axpy_column(j, v, &mut self.scratch_rhs);
+                }
+            }
+        }
+        for (i, &j) in self.basis.iter().enumerate() {
+            let v = self.xb[i];
+            if v != 0.0 {
+                self.cols.axpy_column(j, v, &mut self.scratch_rhs);
+            }
+        }
+        self.scratch_rhs.iter().fold(0.0f64, |w, &r| w.max(r.abs()))
+    }
+
+    /// Reduced-cost consistency of the *fresh* factorization: with
+    /// `y = c_B'B⁻¹` just rebuilt, `c_j − y'A_j` must vanish for every basic
+    /// `j`; the worst magnitude is the factorization's self-consistency
+    /// error. Clobbers `scratch_cb`/`scratch_y` (callers refill them).
+    fn dual_residual_fresh(&mut self) -> f64 {
+        self.fill_basic_costs(false, false);
+        self.btran_costs();
+        let mut worst = 0.0f64;
+        for &j in &self.basis {
+            let d = (self.obj[j] - self.cols.column_dot(j, &self.scratch_y)).abs();
+            if d > worst {
+                worst = d;
+            }
+        }
+        worst
+    }
+
+    /// One watchdog measurement at a periodic refactorization: `primal` was
+    /// evaluated just before the rebuild, the dual side is evaluated against
+    /// the fresh factorization here. Emits the (power-of-two scheduled)
+    /// `refactorize` progress event and a `health` event on escalation.
+    fn watchdog_check(&mut self, primal: f64, degen_streak: usize) {
+        let dual = self.dual_residual_fresh();
+        self.watchdog.observe_residuals(primal, dual);
+        self.watchdog.observe_streak(degen_streak);
+        let hash = basis_fingerprint(
+            &self.basis,
+            self.status.iter().map(|s| *s == VarStatus::AtUpper),
+        );
+        self.watchdog.observe_basis(hash);
+        let before = self.watchdog.health();
+        let after = self.watchdog.classify(self.params.degen_switch);
+        if self.progress_on {
+            // Refactorize events on a power-of-two schedule over the
+            // instance lifetime: deterministic, O(log #refactors) many.
+            if (self.stats.refactorizations as u64).is_power_of_two() {
+                let rep = self.watchdog.report();
+                self.telemetry.progress(SolveEvent::Refactorize {
+                    iter: self.iterations as u64,
+                    primal_resid: primal,
+                    dual_resid: dual,
+                    pivot_min: rep.pivot_min,
+                    pivot_max: rep.pivot_max,
+                    degen_streak: degen_streak as u64,
+                });
+            }
+            if after > before {
+                self.telemetry.progress(SolveEvent::Health {
+                    verdict: after.as_str().to_string(),
+                    iter: self.iterations as u64,
+                    detail: self.watchdog.detail(),
+                });
+            }
+        }
+    }
+
+    /// Records a degenerate pivot's running streak length: feeds the
+    /// watchdog and emits `degenerate_streak` events on a power-of-two
+    /// schedule from 64 up (deterministic, O(log streak) many).
+    #[inline]
+    fn note_degenerate(&mut self, streak: usize) {
+        if self.watchdog_on {
+            self.watchdog.observe_streak(streak);
+        }
+        if self.progress_on && streak >= 64 && (streak as u64).is_power_of_two() {
+            self.telemetry.progress(SolveEvent::DegenerateStreak {
+                iter: self.iterations as u64,
+                len: streak as u64,
+            });
+        }
+    }
+
+    /// Current numerical-health verdict: [`Health::Ok`] when the watchdog
+    /// was off or observed nothing suspicious.
+    pub fn health(&self) -> Health {
+        let mut wd = self.watchdog.clone();
+        wd.classify(self.params.degen_switch)
+    }
+
+    /// Full watchdog digest (all observations so far, reclassified).
+    pub fn watchdog_report(&self) -> WatchdogReport {
+        let mut wd = self.watchdog.clone();
+        wd.classify(self.params.degen_switch);
+        wd.report()
+    }
+
+    /// On-demand health check, independent of [`Params::watchdog`]: measures
+    /// the current iterate's primal residual, rebuilds the factorization,
+    /// measures its reduced-cost consistency, and returns the reclassified
+    /// digest. Intended between solves (it refreshes `binv`/`xb` in place).
+    pub fn check_health_now(&mut self) -> WatchdogReport {
+        let primal = self.primal_residual();
+        if self.refactorize() {
+            self.recompute_xb();
+            let dual = self.dual_residual_fresh();
+            self.watchdog.observe_residuals(primal, dual);
+        } else {
+            self.watchdog.observe_residuals(primal, f64::INFINITY);
+        }
+        self.watchdog.classify(self.params.degen_switch);
+        self.watchdog.report()
+    }
+
+    /// Test hook: perturbs every basic value by `eps` to fake product-form
+    /// drift (the watchdog must classify it). Not part of the public API.
+    #[doc(hidden)]
+    pub fn debug_perturb_basics(&mut self, eps: f64) {
+        for v in &mut self.xb {
+            *v += eps;
+        }
     }
 
     /// Total bound violation of the basic variables.
@@ -755,10 +912,18 @@ impl Simplex {
         status
     }
 
-    /// Refreshes the cached span toggle and, when profiling, resets the
-    /// kernel clocks and returns the span start offset.
+    /// Refreshes the cached observability toggles (spans, watchdog,
+    /// progress) and, when profiling, resets the kernel clocks and returns
+    /// the span start offset.
     fn begin_profile(&mut self) -> Option<Duration> {
         self.spans_on = self.telemetry.spans_enabled();
+        self.watchdog_on = self.params.watchdog;
+        self.progress_on = self.telemetry.progress_enabled();
+        if self.watchdog_on {
+            // Bases legitimately recur across warm solves; the cycling ring
+            // only spans one public solve.
+            self.watchdog.reset_ring();
+        }
         if self.spans_on {
             self.kernels = KernelClocks::default();
             Some(self.telemetry.elapsed())
@@ -1142,14 +1307,21 @@ impl Simplex {
             if theta.abs() <= 1e-10 {
                 degen_run += 1;
                 self.stats.degenerate_pivots += 1;
+                self.note_degenerate(degen_run);
             } else {
                 degen_run = 0;
             }
             if self.pivots_since_refactor >= self.params.refactor_every {
+                let primal = self.watchdog_on.then(|| self.primal_residual());
                 if !self.refactorize() {
                     return LpStatus::Numerical;
                 }
                 self.recompute_xb();
+                if let Some(p) = primal {
+                    // Clobbers `scratch_cb`/`scratch_y`; the refresh below
+                    // refills both before they are read again.
+                    self.watchdog_check(p, degen_run);
+                }
                 // Refresh reduced costs from scratch to bound drift.
                 self.fill_basic_costs(false, true);
                 self.btran_costs();
@@ -1169,6 +1341,7 @@ impl Simplex {
     /// cleanup pass always runs with `pert = false`.
     fn run_phase(&mut self, phase1: bool, pert: bool) -> LpStatus {
         let mut degen_run = 0usize;
+        let mut bland_reported = false;
         loop {
             if self.iterations - self.iter_base >= self.params.max_iters {
                 return LpStatus::IterationLimit;
@@ -1189,6 +1362,13 @@ impl Simplex {
             self.btran_costs();
             let price_t0 = self.spans_on.then(Instant::now);
             let pricing = if degen_run > self.params.degen_switch {
+                if self.progress_on && !bland_reported {
+                    bland_reported = true;
+                    self.telemetry.progress(SolveEvent::BlandSwitch {
+                        iter: self.iterations as u64,
+                        degen_streak: degen_run as u64,
+                    });
+                }
                 Pricing::Bland
             } else {
                 Pricing::Dantzig
@@ -1243,6 +1423,13 @@ impl Simplex {
                     self.stats.pricing_window_hits += 1;
                 } else {
                     self.stats.pricing_full_scans += 1;
+                    if self.progress_on && (self.stats.pricing_full_scans as u64).is_power_of_two()
+                    {
+                        self.telemetry.progress(SolveEvent::PricingWindowExhausted {
+                            iter: self.iterations as u64,
+                            full_scans: self.stats.pricing_full_scans as u64,
+                        });
+                    }
                 }
             }
             if let Some(t0) = price_t0 {
@@ -1331,6 +1518,7 @@ impl Simplex {
                 if t <= 1e-10 {
                     degen_run += 1;
                     self.stats.degenerate_pivots += 1;
+                    self.note_degenerate(degen_run);
                 } else {
                     degen_run = 0;
                 }
@@ -1370,14 +1558,21 @@ impl Simplex {
             if t <= 1e-10 {
                 degen_run += 1;
                 self.stats.degenerate_pivots += 1;
+                self.note_degenerate(degen_run);
             } else {
                 degen_run = 0;
             }
             if self.pivots_since_refactor >= self.params.refactor_every {
+                let primal = self.watchdog_on.then(|| self.primal_residual());
                 if !self.refactorize() {
                     return LpStatus::Numerical;
                 }
                 self.recompute_xb();
+                if let Some(p) = primal {
+                    // Clobbers `scratch_cb`/`scratch_y`; the pricing step at
+                    // the top of the loop refills both.
+                    self.watchdog_check(p, degen_run);
+                }
             }
         }
     }

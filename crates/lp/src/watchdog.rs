@@ -1,0 +1,318 @@
+//! Numerical-health watchdog for the simplex engine.
+//!
+//! The dense product-form inverse drifts: every [`update_binv`] pivot adds
+//! rounding error that the periodic refactorization resets. The watchdog
+//! turns that reset point into a *measurement* point — immediately before a
+//! periodic refactorization it evaluates the primal residual of the pivoted
+//! iterate (`‖Σ_j A_j x_j‖∞`, which a drift-free product form keeps at
+//! machine scale), and immediately after it evaluates the reduced-cost
+//! consistency of the fresh factorization (`max_{j basic} |c_j − y'A_j|`
+//! with `y = c_B'B⁻¹`). Together with pivot-magnitude extremes, the longest
+//! degenerate-pivot streak, and a short ring of basis fingerprints, those
+//! observations classify a solve's numerical health:
+//!
+//! * [`Health::Ok`] — nothing suspicious observed;
+//! * [`Health::DegenerateStall`] — the solver is grinding without progress:
+//!   a degenerate streak reached the Bland switchover threshold, or (at the
+//!   branch-and-bound layer) the whole search budget was exhausted without
+//!   a single incumbent despite substantial pivot work;
+//! * [`Health::Drift`] — a residual exceeded [`DRIFT_TOL`] (the product
+//!   form and the fresh factorization disagree materially);
+//! * [`Health::CyclingSuspected`] — an identical basis fingerprint recurred
+//!   across refactorizations within one solve (≥ `refactor_every` pivots
+//!   apart, so the basis genuinely came back).
+//!
+//! Classification is monotone (a solve never gets healthier) and checks run
+//! only when [`Params::watchdog`](crate::Params::watchdog) is on — the
+//! disabled path is a single cached-bool branch, budgeted alongside the span
+//! profiler in the introspection bench.
+//!
+//! [`update_binv`]: crate::Simplex
+
+/// Residual magnitude above which the product form is declared drifting.
+/// Two decades looser than the feasibility tolerance: refactorization-scale
+/// noise sits near machine epsilon, genuine drift arrives orders above it.
+pub const DRIFT_TOL: f64 = 1e-5;
+
+/// Ring capacity for basis fingerprints (per public solve).
+const RING: usize = 32;
+
+/// Numerical-health verdict, ordered by severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Health {
+    /// No anomaly observed (also the verdict when the watchdog is off).
+    Ok,
+    /// Grinding without progress: a degenerate-pivot streak reached the
+    /// Bland switchover threshold, or the MIP driver exhausted its entire
+    /// budget without an incumbent after substantial LP work.
+    DegenerateStall,
+    /// A primal or dual residual exceeded [`DRIFT_TOL`].
+    Drift,
+    /// A basis fingerprint recurred across refactorizations in one solve.
+    CyclingSuspected,
+}
+
+impl Health {
+    /// Stable name used in events, CLI output, and the campaign journal.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Health::Ok => "ok",
+            Health::DegenerateStall => "degenerate-stall",
+            Health::Drift => "drift",
+            Health::CyclingSuspected => "cycling-suspected",
+        }
+    }
+
+    /// Parses [`as_str`](Self::as_str) output.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "ok" => Some(Health::Ok),
+            "degenerate-stall" => Some(Health::DegenerateStall),
+            "drift" => Some(Health::Drift),
+            "cycling-suspected" => Some(Health::CyclingSuspected),
+            _ => None,
+        }
+    }
+}
+
+/// Point-in-time digest of everything the watchdog has seen.
+#[derive(Debug, Clone, Copy)]
+pub struct WatchdogReport {
+    /// Current (worst-so-far) classification.
+    pub health: Health,
+    /// Worst primal residual `‖Σ_j A_j x_j‖∞` observed pre-refactorization.
+    pub worst_primal_resid: f64,
+    /// Worst basic reduced-cost inconsistency observed post-refactorization.
+    pub worst_dual_resid: f64,
+    /// Smallest / largest pivot magnitude admitted by the ratio tests.
+    pub pivot_min: f64,
+    pub pivot_max: f64,
+    /// Longest degenerate-pivot streak observed.
+    pub max_degen_streak: usize,
+    /// Residual checks performed.
+    pub checks: usize,
+    /// Basis fingerprints that recurred within the ring.
+    pub basis_repeats: usize,
+}
+
+/// The accumulator embedded in [`Simplex`](crate::Simplex). All observation
+/// methods are called only behind the solver's cached `watchdog_on` bool.
+#[derive(Debug, Clone)]
+pub(crate) struct Watchdog {
+    pivot_min: f64,
+    pivot_max: f64,
+    max_degen_streak: usize,
+    worst_primal: f64,
+    worst_dual: f64,
+    checks: usize,
+    ring: [u64; RING],
+    ring_len: usize,
+    ring_pos: usize,
+    basis_repeats: usize,
+    health: Health,
+}
+
+impl Default for Watchdog {
+    fn default() -> Self {
+        Self {
+            pivot_min: f64::INFINITY,
+            pivot_max: 0.0,
+            max_degen_streak: 0,
+            worst_primal: 0.0,
+            worst_dual: 0.0,
+            checks: 0,
+            ring: [0; RING],
+            ring_len: 0,
+            ring_pos: 0,
+            basis_repeats: 0,
+            health: Health::Ok,
+        }
+    }
+}
+
+impl Watchdog {
+    /// Records a pivot magnitude (the ratio-test winner's `|w_r|`).
+    pub(crate) fn observe_pivot(&mut self, mag: f64) {
+        if mag < self.pivot_min {
+            self.pivot_min = mag;
+        }
+        if mag > self.pivot_max {
+            self.pivot_max = mag;
+        }
+    }
+
+    /// Records the current degenerate-pivot streak length.
+    pub(crate) fn observe_streak(&mut self, len: usize) {
+        if len > self.max_degen_streak {
+            self.max_degen_streak = len;
+        }
+    }
+
+    /// Records the residual pair of one refactorization check.
+    pub(crate) fn observe_residuals(&mut self, primal: f64, dual: f64) {
+        self.checks += 1;
+        if primal > self.worst_primal {
+            self.worst_primal = primal;
+        }
+        if dual > self.worst_dual {
+            self.worst_dual = dual;
+        }
+    }
+
+    /// Pushes a basis fingerprint; returns `true` when it recurred (the same
+    /// basis came back ≥ one refactorization interval later).
+    pub(crate) fn observe_basis(&mut self, hash: u64) -> bool {
+        let seen = self.ring[..self.ring_len].contains(&hash);
+        if seen {
+            self.basis_repeats += 1;
+        }
+        self.ring[self.ring_pos] = hash;
+        self.ring_pos = (self.ring_pos + 1) % RING;
+        if self.ring_len < RING {
+            self.ring_len += 1;
+        }
+        seen
+    }
+
+    /// Clears the per-solve basis ring (bases legitimately recur *across*
+    /// warm solves; only recurrence within one solve suggests cycling).
+    pub(crate) fn reset_ring(&mut self) {
+        self.ring_len = 0;
+        self.ring_pos = 0;
+    }
+
+    /// Re-derives the (monotone) classification; returns the new verdict.
+    pub(crate) fn classify(&mut self, degen_switch: usize) -> Health {
+        let mut h = Health::Ok;
+        if self.max_degen_streak >= degen_switch {
+            h = Health::DegenerateStall;
+        }
+        if self.worst_primal > DRIFT_TOL || self.worst_dual > DRIFT_TOL {
+            h = h.max(Health::Drift);
+        }
+        if self.basis_repeats > 0 {
+            h = h.max(Health::CyclingSuspected);
+        }
+        self.health = self.health.max(h);
+        self.health
+    }
+
+    pub(crate) fn health(&self) -> Health {
+        self.health
+    }
+
+    /// One-line evidence string for the escalation event.
+    pub(crate) fn detail(&self) -> String {
+        format!(
+            "primal_resid={:.3e} dual_resid={:.3e} max_degen_streak={} basis_repeats={} checks={}",
+            self.worst_primal,
+            self.worst_dual,
+            self.max_degen_streak,
+            self.basis_repeats,
+            self.checks
+        )
+    }
+
+    pub(crate) fn report(&self) -> WatchdogReport {
+        WatchdogReport {
+            health: self.health,
+            worst_primal_resid: self.worst_primal,
+            worst_dual_resid: self.worst_dual,
+            pivot_min: if self.pivot_min.is_finite() {
+                self.pivot_min
+            } else {
+                f64::NAN
+            },
+            pivot_max: self.pivot_max,
+            max_degen_streak: self.max_degen_streak,
+            checks: self.checks,
+            basis_repeats: self.basis_repeats,
+        }
+    }
+}
+
+/// Order-sensitive splitmix64 fingerprint of a basis (column indices in row
+/// order plus a status summary bit stream).
+pub(crate) fn basis_fingerprint(basis: &[usize], upper_mask: impl Iterator<Item = bool>) -> u64 {
+    let mut h: u64 = 0x243F_6A88_85A3_08D3;
+    let mix = |v: u64, h: &mut u64| {
+        let mut z = (*h ^ v).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        *h = z ^ (z >> 31);
+    };
+    for &j in basis {
+        mix(j as u64, &mut h);
+    }
+    let mut acc: u64 = 0;
+    let mut bits = 0u32;
+    for up in upper_mask {
+        acc = (acc << 1) | (up as u64);
+        bits += 1;
+        if bits == 64 {
+            mix(acc, &mut h);
+            acc = 0;
+            bits = 0;
+        }
+    }
+    if bits > 0 {
+        mix(acc, &mut h);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_order_and_names_round_trip() {
+        let all = [
+            Health::Ok,
+            Health::DegenerateStall,
+            Health::Drift,
+            Health::CyclingSuspected,
+        ];
+        for w in all.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for h in all {
+            assert_eq!(Health::parse(h.as_str()), Some(h));
+        }
+        assert_eq!(Health::parse("fine"), None);
+    }
+
+    #[test]
+    fn classification_is_monotone() {
+        let mut wd = Watchdog::default();
+        assert_eq!(wd.classify(300), Health::Ok);
+        wd.observe_streak(301);
+        assert_eq!(wd.classify(300), Health::DegenerateStall);
+        wd.observe_residuals(1e-3, 0.0);
+        assert_eq!(wd.classify(300), Health::Drift);
+        // A later clean window does not un-ring the alarm.
+        wd.observe_residuals(1e-14, 1e-14);
+        assert_eq!(wd.classify(300), Health::Drift);
+        assert!(!wd.observe_basis(42));
+        assert!(wd.observe_basis(42));
+        assert_eq!(wd.classify(300), Health::CyclingSuspected);
+    }
+
+    #[test]
+    fn ring_reset_clears_recurrence_window() {
+        let mut wd = Watchdog::default();
+        assert!(!wd.observe_basis(7));
+        wd.reset_ring();
+        assert!(!wd.observe_basis(7)); // same basis, new solve: not a repeat
+        assert_eq!(wd.report().basis_repeats, 0);
+    }
+
+    #[test]
+    fn fingerprint_sensitive_to_order_and_status() {
+        let a = basis_fingerprint(&[1, 2, 3], [false, false].into_iter());
+        let b = basis_fingerprint(&[3, 2, 1], [false, false].into_iter());
+        let c = basis_fingerprint(&[1, 2, 3], [true, false].into_iter());
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

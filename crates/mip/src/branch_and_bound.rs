@@ -14,8 +14,8 @@ use std::time::{Duration, Instant};
 
 use crate::model::{MipModel, Sense, VarKind};
 use crate::tree::{NodeOutcome, SearchTree, TreeNode};
-use tvnep_lp::{LpStatus, Params, Simplex, SolveStats};
-use tvnep_telemetry::{Event, Telemetry};
+use tvnep_lp::{Health, LpStatus, Params, Simplex, SolveStats};
+use tvnep_telemetry::{Event, SolveEvent, Telemetry};
 
 /// Termination status of a MIP solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,6 +129,12 @@ pub struct MipOptions {
     /// (both drivers; the record count always equals the `mip.nodes`
     /// metric). Export via [`SearchTree::to_dot`]/[`SearchTree::to_json`].
     pub tree: Option<Arc<SearchTree>>,
+    /// Minimum total LP iterations before a budget-exhausted run with *no*
+    /// incumbent ([`MipStatus::NoSolution`]) is escalated to a
+    /// `degenerate-stall` health verdict by the watchdog. Below this much
+    /// pivot work the run was simply under-budgeted, not stalling. Only
+    /// consulted when [`Params::watchdog`] is on.
+    pub stall_min_lp_iters: usize,
 }
 
 impl std::fmt::Debug for MipOptions {
@@ -146,6 +152,7 @@ impl std::fmt::Debug for MipOptions {
             .field("cutoff", &self.cutoff)
             .field("threads", &self.threads)
             .field("tree", &self.tree.as_ref().map(|t| t.len()))
+            .field("stall_min_lp_iters", &self.stall_min_lp_iters)
             .finish()
     }
 }
@@ -165,6 +172,7 @@ impl Default for MipOptions {
             cutoff: None,
             threads: 1,
             tree: None,
+            stall_min_lp_iters: 10_000,
         }
     }
 }
@@ -211,6 +219,14 @@ pub struct MipResult {
     pub lp_iterations: usize,
     /// Wall-clock time spent.
     pub runtime: Duration,
+    /// Numerical-health verdict from the LP watchdog (`"ok"` /
+    /// `"degenerate-stall"` / `"drift"` / `"cycling-suspected"`); `None`
+    /// when the watchdog was off ([`tvnep_lp::Params::watchdog`]). With
+    /// `threads > 1` this is the worst verdict across workers. The driver
+    /// itself escalates to `degenerate-stall` when the search budget runs
+    /// out with no incumbent after substantial LP work (see
+    /// [`MipOptions::stall_min_lp_iters`]).
+    pub health: Option<String>,
 }
 
 impl MipResult {
@@ -229,6 +245,42 @@ impl MipResult {
 /// Solves with default options.
 pub fn solve(model: &MipModel) -> MipResult {
     solve_with(model, &MipOptions::default())
+}
+
+/// Escalates the watchdog verdict for a search that exhausted its entire
+/// budget without producing *any* incumbent despite substantial LP work
+/// ([`MipOptions::stall_min_lp_iters`] pivots or more): the branch-and-bound
+/// layer's contribution to the health classification. Pivot-level numerics
+/// may be clean — residuals at machine scale, no basis recurrence — yet the
+/// solver is still grinding without progress, which is exactly what
+/// `degenerate-stall` names. An already-worse LP verdict (`drift`,
+/// `cycling-suspected`) is kept; on escalation a `health` event with the
+/// evidence (nodes, degenerate-pivot share) is emitted to the progress
+/// stream before `solve_done`.
+pub(crate) fn escalate_search_stall(
+    lp_health: Health,
+    status: MipStatus,
+    lp_iters: usize,
+    degenerate_pivots: usize,
+    nodes: u64,
+    opts: &MipOptions,
+    telemetry: &Telemetry,
+) -> Health {
+    if status != MipStatus::NoSolution || lp_iters < opts.stall_min_lp_iters {
+        return lp_health;
+    }
+    let escalated = lp_health.max(Health::DegenerateStall);
+    if escalated > lp_health {
+        telemetry.progress_with(|| SolveEvent::Health {
+            verdict: escalated.as_str().to_string(),
+            iter: lp_iters as u64,
+            detail: format!(
+                "budget exhausted with no incumbent: nodes={nodes} \
+                 degenerate_pivots={degenerate_pivots}/{lp_iters}"
+            ),
+        });
+    }
+    escalated
 }
 
 pub(crate) struct Node {
@@ -376,7 +428,12 @@ fn solve_sequential(model: &MipModel, opts: &MipOptions) -> MipResult {
     let telemetry = opts.telemetry.clone();
     simplex.set_telemetry(telemetry.clone());
     telemetry.event_with(|| Event::SolveStart { what: "mip".into() });
+    telemetry.progress_with(|| SolveEvent::SolveBegin {
+        what: "mip".into(),
+        threads: 1,
+    });
     let _solve_span = telemetry.span("mip.solve");
+    let watchdog_on = opts.lp_params.as_ref().is_some_and(|p| p.watchdog);
     if let Some(p) = &opts.lp_params {
         simplex.set_params(p.clone());
     }
@@ -457,6 +514,19 @@ fn solve_sequential(model: &MipModel, opts: &MipOptions) -> MipResult {
             let b = sign * bound_min;
             ((o - b).abs() / o.abs().max(1e-10)).max(0.0)
         });
+        let health = watchdog_on.then(|| {
+            escalate_search_stall(
+                simplex.health(),
+                status,
+                simplex.iterations(),
+                simplex.stats.degenerate_pivots,
+                nodes,
+                opts,
+                &telemetry,
+            )
+            .as_str()
+            .to_string()
+        });
         let result = MipResult {
             status,
             objective,
@@ -466,7 +536,16 @@ fn solve_sequential(model: &MipModel, opts: &MipOptions) -> MipResult {
             nodes,
             lp_iterations: simplex.iterations(),
             runtime: start.elapsed(),
+            health,
         };
+        telemetry.progress_with(|| SolveEvent::SolveDone {
+            what: "mip".into(),
+            status: status.as_str().to_string(),
+            objective: result.objective.unwrap_or(f64::NAN),
+            bound: result.best_bound,
+            nodes: result.nodes,
+            lp_iters: result.lp_iterations as u64,
+        });
         if telemetry.is_enabled() {
             telemetry.counter_add("mip.nodes", result.nodes);
             telemetry.counter_add("lp.iterations", result.lp_iterations as u64);
@@ -533,7 +612,7 @@ fn solve_sequential(model: &MipModel, opts: &MipOptions) -> MipResult {
             frac_count,
         });
     };
-    let emit_incumbent = |obj_min: f64, bound_min: f64| {
+    let emit_incumbent = |node: u64, obj_min: f64, bound_min: f64| {
         telemetry.counter_add("mip.incumbents", 1);
         telemetry.event_with(|| {
             let obj = sign * obj_min;
@@ -543,8 +622,20 @@ fn solve_sequential(model: &MipModel, opts: &MipOptions) -> MipResult {
                 gap: (obj - b).abs() / obj.abs().max(1e-10),
             }
         });
+        telemetry.progress_with(|| {
+            let obj = sign * obj_min;
+            let b = sign * bound_min;
+            SolveEvent::IncumbentFound {
+                node,
+                obj,
+                bound: b,
+                gap: (obj - b).abs() / obj.abs().max(1e-10),
+            }
+        });
     };
 
+    // Last bound emitted on the progress stream (minimize sense).
+    let mut last_bound_emitted = f64::NEG_INFINITY;
     'outer: while let Some(node) = heap.pop() {
         // Prune against incumbent/cutoff.
         if let Some(beat) = must_beat(&incumbent) {
@@ -586,6 +677,37 @@ fn solve_sequential(model: &MipModel, opts: &MipOptions) -> MipResult {
                 .span("mip.node")
                 .arg("node", node_id as f64)
                 .arg("depth", current.depth as f64);
+            // Progress stream: node milestones (and piggybacked bound/gap
+            // snapshots) on a deterministic power-of-two-then-every-1024
+            // schedule, so the stream stays O(log) early and sparse late.
+            if telemetry.progress_enabled()
+                && (node_id.is_power_of_two() || node_id.is_multiple_of(1024))
+            {
+                let b = global_bound(&heap, Some(current.bound), &incumbent);
+                if b > last_bound_emitted && b.is_finite() {
+                    last_bound_emitted = b;
+                    telemetry.progress(SolveEvent::BoundImproved {
+                        node: node_id,
+                        bound: sign * b,
+                    });
+                }
+                telemetry.progress(SolveEvent::NodeMilestone {
+                    node: node_id,
+                    open: (heap.len() + 1) as u64,
+                    bound: sign * b,
+                    lp_iters: simplex.iterations() as u64,
+                });
+                if let Some((o, _)) = &incumbent {
+                    let obj = sign * o;
+                    let bb = sign * b;
+                    telemetry.progress(SolveEvent::GapUpdate {
+                        node: node_id,
+                        obj,
+                        bound: bb,
+                        gap: (obj - bb).abs() / obj.abs().max(1e-10),
+                    });
+                }
+            }
             if let Some(every) = opts.log_every {
                 if nodes.is_multiple_of(every) {
                     let b = global_bound(&heap, Some(current.bound), &incumbent);
@@ -728,7 +850,7 @@ fn solve_sequential(model: &MipModel, opts: &MipOptions) -> MipResult {
                     incumbent = Some((lp_obj, sol.x.clone()));
                     // Gap-based early stop.
                     let b = global_bound(&heap, None, &incumbent);
-                    emit_incumbent(lp_obj, b);
+                    emit_incumbent(nodes, lp_obj, b);
                     let gap = (lp_obj - b).abs() / lp_obj.abs().max(1e-10);
                     if gap <= opts.rel_gap {
                         return finish(MipStatus::Optimal, incumbent, b, nodes, &simplex);
@@ -750,7 +872,11 @@ fn solve_sequential(model: &MipModel, opts: &MipOptions) -> MipResult {
                     let obj = lp_min.eval_objective(&rounded);
                     if must_beat(&incumbent).is_none_or(|b| obj < b - prune_eps(b)) {
                         incumbent = Some((obj, rounded));
-                        emit_incumbent(obj, global_bound(&heap, Some(current.bound), &incumbent));
+                        emit_incumbent(
+                            nodes,
+                            obj,
+                            global_bound(&heap, Some(current.bound), &incumbent),
+                        );
                     }
                 }
             }
@@ -764,7 +890,7 @@ fn solve_sequential(model: &MipModel, opts: &MipOptions) -> MipResult {
                     if better && model.max_integrality_violation(&x) <= opts.int_tol * 10.0 {
                         incumbent = Some((obj, x));
                         let b = global_bound(&heap, Some(current.bound), &incumbent);
-                        emit_incumbent(obj, b);
+                        emit_incumbent(nodes, obj, b);
                         let io = incumbent.as_ref().map(|(o, _)| *o).expect("just set");
                         let gap = (io - b).abs() / io.abs().max(1e-10);
                         if gap <= opts.rel_gap {

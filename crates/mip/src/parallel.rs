@@ -36,8 +36,8 @@ use crate::branch_and_bound::{
 };
 use crate::model::{MipModel, Sense, VarKind};
 use crate::tree::{NodeOutcome, TreeNode};
-use tvnep_lp::{LpProblem, LpStatus, Simplex, SolveStats};
-use tvnep_telemetry::{Event, Telemetry};
+use tvnep_lp::{Health, LpProblem, LpStatus, Simplex, SolveStats};
+use tvnep_telemetry::{Event, SolveEvent, Telemetry};
 
 /// Monotone bit-packing of `f64` into `u64`: `pack(a) < pack(b)` iff
 /// `a < b` (for non-NaN values), so `AtomicU64::fetch_min` implements an
@@ -79,6 +79,10 @@ struct Pool {
     /// Peak open-node count (heap + in-flight dives), maintained under the
     /// lock; feeds the `mem.mip.node_pool_peak_bytes` gauge.
     peak: usize,
+    /// Highest minimize-sense global bound already announced as a
+    /// `BoundImproved` progress event. Guarded by this lock so the merged
+    /// event stream, sorted by timestamp, keeps the bound monotone.
+    bound_emitted: f64,
 }
 
 impl Pool {
@@ -176,8 +180,18 @@ impl Shared {
     }
 
     /// Installs a new incumbent if it still beats the global cutoff.
-    /// Returns `true` when accepted.
-    fn offer_incumbent(&self, obj_min: f64, x: Vec<f64>) -> bool {
+    /// Returns `true` when accepted. The `IncumbentFound` progress event is
+    /// emitted *while the incumbent lock is held*, so the merged event
+    /// stream, sorted by timestamp, always shows monotonically improving
+    /// objectives regardless of thread count.
+    fn offer_incumbent(
+        &self,
+        obj_min: f64,
+        x: Vec<f64>,
+        node: u64,
+        sign: f64,
+        tel: &Telemetry,
+    ) -> bool {
         let mut guard = self.incumbent.lock().unwrap();
         let beat = unpack(self.cutoff.load(Ordering::Relaxed));
         if beat.is_finite() && obj_min >= beat - prune_eps(beat) {
@@ -186,6 +200,27 @@ impl Shared {
         *guard = Some((obj_min, x));
         self.cutoff.fetch_min(pack(obj_min), Ordering::Relaxed);
         self.has_incumbent.store(true, Ordering::Relaxed);
+        if tel.progress_enabled() {
+            // Best-effort bound from the in-flight dive atomics only: taking
+            // the pool lock here would nest incumbent→pool against the
+            // milestone path, which emits while holding the pool lock.
+            let mut b = f64::INFINITY;
+            for wb in &self.worker_bounds {
+                b = b.min(unpack(wb.load(Ordering::Relaxed)));
+            }
+            if b == f64::INFINITY {
+                b = obj_min;
+            }
+            let obj = sign * obj_min;
+            let bu = sign * b;
+            tel.progress(SolveEvent::IncumbentFound {
+                node,
+                obj,
+                bound: bu,
+                gap: (obj - bu).abs() / obj.abs().max(1e-10),
+            });
+        }
+        drop(guard);
         true
     }
 
@@ -201,6 +236,47 @@ impl Shared {
         }
         (b, open)
     }
+
+    /// Emits `BoundImproved` / `NodeMilestone` / `GapUpdate` progress events
+    /// for one milestone node. The global bound is read *and* announced under
+    /// the pool lock, so bound events stay monotone in the merged stream.
+    fn emit_milestone(&self, tel: &Telemetry, node: u64, lp_iters: u64, sign: f64) {
+        if !tel.progress_enabled() {
+            return;
+        }
+        let mut pool = self.pool.lock().unwrap();
+        let mut b = pool.heap.peek().map_or(f64::INFINITY, |n| n.bound);
+        for wb in &self.worker_bounds {
+            b = b.min(unpack(wb.load(Ordering::Relaxed)));
+        }
+        let open = (pool.heap.len() + pool.active) as u64;
+        if b.is_finite() && b > pool.bound_emitted {
+            pool.bound_emitted = b;
+            tel.progress(SolveEvent::BoundImproved {
+                node,
+                bound: sign * b,
+            });
+        }
+        tel.progress(SolveEvent::NodeMilestone {
+            node,
+            open,
+            bound: sign * b,
+            lp_iters,
+        });
+        // When an incumbent exists the packed cutoff equals its objective
+        // (any accepted incumbent strictly beats the user cutoff).
+        if self.has_incumbent.load(Ordering::Relaxed) {
+            let inc = unpack(self.cutoff.load(Ordering::Relaxed));
+            let obj = sign * inc;
+            let bu = sign * b;
+            tel.progress(SolveEvent::GapUpdate {
+                node,
+                obj,
+                bound: bu,
+                gap: (obj - bu).abs() / obj.abs().max(1e-10),
+            });
+        }
+    }
 }
 
 /// What each worker hands back for the end-of-solve merge.
@@ -211,6 +287,8 @@ struct WorkerOut {
     simplex_bytes: usize,
     stats: SolveStats,
     telemetry: Telemetry,
+    /// Final watchdog verdict of this worker's private simplex.
+    health: Health,
 }
 
 pub(crate) fn solve_parallel(model: &MipModel, opts: &MipOptions, threads: usize) -> MipResult {
@@ -222,6 +300,11 @@ pub(crate) fn solve_parallel(model: &MipModel, opts: &MipOptions, threads: usize
     let lp_min = model.relaxation_min();
     let telemetry = opts.telemetry.clone();
     telemetry.event_with(|| Event::SolveStart { what: "mip".into() });
+    telemetry.progress_with(|| SolveEvent::SolveBegin {
+        what: "mip".into(),
+        threads: threads as u64,
+    });
+    let watchdog_on = opts.lp_params.as_ref().is_some_and(|p| p.watchdog);
     let _solve_span = telemetry.span("mip.solve");
     let int_vars: Vec<usize> = model
         .kinds()
@@ -243,6 +326,7 @@ pub(crate) fn solve_parallel(model: &MipModel, opts: &MipOptions, threads: usize
             seq: 1,
             done: false,
             peak: 1,
+            bound_emitted: f64::NEG_INFINITY,
         }),
         work_ready: Condvar::new(),
         cutoff: AtomicU64::new(pack(cutoff_min.unwrap_or(f64::INFINITY))),
@@ -291,10 +375,12 @@ pub(crate) fn solve_parallel(model: &MipModel, opts: &MipOptions, threads: usize
     let mut stats = SolveStats::default();
     let mut lp_iterations = 0usize;
     let mut simplex_bytes = 0usize;
+    let mut health = Health::Ok;
     for out in &outs {
         stats.merge_from(&out.stats);
         lp_iterations += out.lp_iterations;
         simplex_bytes += out.simplex_bytes;
+        health = health.max(out.health);
         telemetry.absorb_metrics(&out.telemetry);
     }
 
@@ -334,6 +420,20 @@ pub(crate) fn solve_parallel(model: &MipModel, opts: &MipOptions, threads: usize
         },
     };
 
+    // Search-level stall escalation, mirroring the sequential driver: the
+    // merged per-worker verdict only sees pivot numerics.
+    if watchdog_on {
+        health = crate::branch_and_bound::escalate_search_stall(
+            health,
+            status,
+            lp_iterations,
+            stats.degenerate_pivots,
+            nodes,
+            opts,
+            &telemetry,
+        );
+    }
+
     let (objective, x) = match (status, incumbent) {
         (MipStatus::Unbounded, _) => (None, None),
         (_, Some((obj, x))) => (Some(sign * obj), Some(x)),
@@ -352,7 +452,16 @@ pub(crate) fn solve_parallel(model: &MipModel, opts: &MipOptions, threads: usize
         nodes,
         lp_iterations,
         runtime: start.elapsed(),
+        health: watchdog_on.then(|| health.as_str().to_string()),
     };
+    telemetry.progress_with(|| SolveEvent::SolveDone {
+        what: "mip".into(),
+        status: status.as_str().to_string(),
+        objective: result.objective.unwrap_or(f64::NAN),
+        bound: result.best_bound,
+        nodes: result.nodes,
+        lp_iters: result.lp_iterations as u64,
+    });
     if telemetry.is_enabled() {
         telemetry.counter_add("mip.nodes", result.nodes);
         telemetry.counter_add("lp.iterations", result.lp_iterations as u64);
@@ -479,6 +588,9 @@ fn worker(
                 .span("mip.node")
                 .arg("node", node_id as f64)
                 .arg("depth", current.depth as f64);
+            if node_id.is_power_of_two() || node_id.is_multiple_of(1024) {
+                shared.emit_milestone(main_tel, node_id, simplex.iterations() as u64, sign);
+            }
             if let Some(every) = opts.log_every {
                 if node_id.is_multiple_of(every) {
                     let (mut b, open) = shared.global_bound();
@@ -605,7 +717,7 @@ fn worker(
                 // either way, so clear this worker's published bound before
                 // the gap check (mirrors the sequential driver, which
                 // excludes the current dive from the bound at a leaf).
-                if shared.offer_incumbent(lp_obj, sol.x.clone()) {
+                if shared.offer_incumbent(lp_obj, sol.x.clone(), node_id, sign, main_tel) {
                     shared.worker_bounds[wid].store(pack(f64::INFINITY), Ordering::Relaxed);
                     let (mut b, _) = shared.global_bound();
                     if b == f64::INFINITY {
@@ -628,7 +740,7 @@ fn worker(
                 }
                 if lp_min.max_violation(&rounded) < 1e-7 {
                     let obj = lp_min.eval_objective(&rounded);
-                    if shared.offer_incumbent(obj, rounded) {
+                    if shared.offer_incumbent(obj, rounded, node_id, sign, main_tel) {
                         let (mut b, _) = shared.global_bound();
                         if b == f64::INFINITY {
                             b = current.bound;
@@ -647,7 +759,7 @@ fn worker(
                 if let Some((obj, x)) = dive_heuristic(&mut simplex, int_vars, opts.int_tol, budget)
                 {
                     if model.max_integrality_violation(&x) <= opts.int_tol * 10.0
-                        && shared.offer_incumbent(obj, x)
+                        && shared.offer_incumbent(obj, x, node_id, sign, main_tel)
                     {
                         let (mut b, _) = shared.global_bound();
                         if b == f64::INFINITY {
@@ -757,6 +869,7 @@ fn worker(
         lp_iterations: simplex.iterations(),
         simplex_bytes: simplex.memory_bytes(),
         stats: simplex.stats,
+        health: simplex.health(),
         telemetry: worker_tel,
     }
 }

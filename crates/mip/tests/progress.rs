@@ -1,0 +1,196 @@
+//! Anytime progress streaming: event-stream determinism at `threads = 1`,
+//! agreement between the final `solve_done` event and the returned
+//! [`MipResult`], and monotone incumbents under worker parallelism.
+
+use tvnep_lp::Params;
+use tvnep_mip::{solve_with, MipModel, MipOptions, MipStatus};
+use tvnep_telemetry::{parse_ndjson, ProgressRecord, SolveEvent, Telemetry};
+
+/// A small knapsack-style maximization with enough branching to produce
+/// incumbent and milestone events.
+fn knapsack() -> MipModel {
+    let values = [9.0, 7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0];
+    let weights = [7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 2.0, 1.0];
+    let mut m = MipModel::maximize();
+    let vars: Vec<_> = values.iter().map(|&v| m.add_binary(v)).collect();
+    let terms: Vec<_> = vars.iter().zip(weights).map(|(&v, w)| (v, w)).collect();
+    m.add_le(&terms, 14.0);
+    m
+}
+
+fn opts(threads: usize) -> MipOptions {
+    MipOptions {
+        telemetry: Telemetry::with_progress(),
+        lp_params: Some(Params {
+            watchdog: true,
+            ..Params::default()
+        }),
+        threads,
+        ..MipOptions::default()
+    }
+}
+
+/// Replays a stream with every timestamp zeroed: `threads = 1` runs must be
+/// byte-identical modulo the wall clock.
+fn normalized(records: &[ProgressRecord]) -> String {
+    records
+        .iter()
+        .map(|r| {
+            let z = ProgressRecord {
+                t: std::time::Duration::ZERO,
+                tid: r.tid,
+                event: r.event.clone(),
+            };
+            z.ndjson_line()
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn threads1_event_stream_is_byte_deterministic() {
+    let m = knapsack();
+    let run = || {
+        let o = opts(1);
+        let tel = o.telemetry.clone();
+        let res = solve_with(&m, &o);
+        assert_eq!(res.status, MipStatus::Optimal);
+        (normalized(&tel.progress_records()), res)
+    };
+    let (a, ra) = run();
+    let (b, rb) = run();
+    assert!(!a.is_empty(), "progress stream must not be empty");
+    assert_eq!(a, b, "threads=1 event streams must be byte-identical");
+    assert_eq!(ra.objective, rb.objective);
+    assert_eq!(ra.nodes, rb.nodes);
+}
+
+#[test]
+fn final_event_agrees_with_result() {
+    for threads in [1usize, 2] {
+        let m = knapsack();
+        let o = opts(threads);
+        let tel = o.telemetry.clone();
+        let res = solve_with(&m, &o);
+        let records = tel.progress_records();
+        let done = records
+            .iter()
+            .rev()
+            .find_map(|r| match &r.event {
+                SolveEvent::SolveDone {
+                    status,
+                    objective,
+                    nodes,
+                    ..
+                } => Some((status.clone(), *objective, *nodes)),
+                _ => None,
+            })
+            .expect("stream ends with solve_done");
+        assert_eq!(done.0, res.status.as_str());
+        assert_eq!(done.1, res.objective.expect("optimal"));
+        assert_eq!(done.2, res.nodes);
+        assert_eq!(
+            res.health.as_deref(),
+            Some("ok"),
+            "clean knapsack must classify ok at threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn incumbents_are_monotone_in_merged_stream() {
+    // Maximization: sorted by time, incumbent objectives never decrease.
+    for threads in [1usize, 2, 4] {
+        let m = knapsack();
+        let o = opts(threads);
+        let tel = o.telemetry.clone();
+        let res = solve_with(&m, &o);
+        let mut records = tel.progress_records();
+        records.sort_by_key(|r| r.t);
+        let mut last = f64::NEG_INFINITY;
+        let mut count = 0usize;
+        for r in &records {
+            if let SolveEvent::IncumbentFound { obj, .. } = r.event {
+                assert!(
+                    obj >= last - 1e-9,
+                    "incumbent regressed at threads={threads}: {obj} < {last}"
+                );
+                last = obj;
+                count += 1;
+            }
+        }
+        assert!(count >= 1, "expected at least one incumbent event");
+        assert!((last - res.objective.unwrap()).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn budget_exhaustion_without_incumbent_escalates_to_stall() {
+    // An LP-feasible but integer-infeasible model (x + y = 1/2 over
+    // binaries) guarantees the root dive cannot produce an incumbent; a
+    // node limit of 1 then stops the search before infeasibility is
+    // proven. With the stall threshold lowered to a single pivot, both
+    // drivers must classify the run `degenerate-stall` and put the
+    // escalation on the progress stream ahead of `solve_done`.
+    for threads in [1usize, 2] {
+        let mut m = MipModel::maximize();
+        let x = m.add_binary(1.0);
+        let y = m.add_binary(1.0);
+        m.add_eq(&[(x, 1.0), (y, 1.0)], 0.5);
+        let mut o = opts(threads);
+        o.node_limit = Some(1);
+        o.stall_min_lp_iters = 1;
+        let tel = o.telemetry.clone();
+        let res = solve_with(&m, &o);
+        assert_eq!(res.status, MipStatus::NoSolution);
+        assert_eq!(
+            res.health.as_deref(),
+            Some("degenerate-stall"),
+            "budget-exhausted no-incumbent run must escalate at threads={threads}"
+        );
+        let records = tel.progress_records();
+        let health_pos = records
+            .iter()
+            .position(|r| {
+                matches!(&r.event, SolveEvent::Health { verdict, detail, .. }
+                    if verdict == "degenerate-stall" && detail.contains("no incumbent"))
+            })
+            .expect("stall escalation event on the stream");
+        let done_pos = records
+            .iter()
+            .position(|r| matches!(&r.event, SolveEvent::SolveDone { .. }))
+            .expect("solve_done event");
+        assert!(
+            health_pos < done_pos,
+            "health event must precede solve_done"
+        );
+    }
+}
+
+#[test]
+fn under_budgeted_runs_stay_ok() {
+    // Same truncated search, but with the default stall threshold the tiny
+    // amount of LP work reads as "under-budgeted", not "stalling".
+    let mut m = MipModel::maximize();
+    let x = m.add_binary(1.0);
+    let y = m.add_binary(1.0);
+    m.add_eq(&[(x, 1.0), (y, 1.0)], 0.5);
+    let mut o = opts(1);
+    o.node_limit = Some(1);
+    let res = solve_with(&m, &o);
+    assert_eq!(res.status, MipStatus::NoSolution);
+    assert_eq!(res.health.as_deref(), Some("ok"));
+}
+
+#[test]
+fn stream_round_trips_through_ndjson() {
+    let m = knapsack();
+    let o = opts(1);
+    let tel = o.telemetry.clone();
+    solve_with(&m, &o);
+    let text = tel.export_progress_ndjson();
+    let parsed = parse_ndjson(&text);
+    assert_eq!(parsed.len(), tel.progress_records().len());
+    let again: String = parsed.iter().map(ProgressRecord::ndjson_line).collect();
+    assert_eq!(text, again, "NDJSON round-trip must be byte-stable");
+}

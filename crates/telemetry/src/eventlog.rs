@@ -1,0 +1,958 @@
+//! The anytime progress stream: typed solve events serialized as NDJSON.
+//!
+//! Where [`SolveTimeline`](crate::SolveTimeline) is a post-mortem in-memory
+//! record, the event log is the *live* channel: every record can be teed to
+//! an attached writer (`tvnep-cli solve --progress -`) the moment it is
+//! stamped, and parsed back later by `tvnep-cli report` or the
+//! `progress_monotone` harness oracle. Three properties are load-bearing:
+//!
+//! * **Shared epoch.** Records are stamped with the elapsed time since the
+//!   owning [`Telemetry`](crate::Telemetry) handle's epoch — the same clock
+//!   as profiler spans — so a progress stream and a Chrome trace of one
+//!   solve line up microsecond for microsecond.
+//! * **Deterministic content.** Event payloads carry only solver state
+//!   (objectives, bounds, iteration counts), never wall-clock durations;
+//!   the timestamp lives outside the event. At `threads = 1` the sequence
+//!   of events is therefore byte-identical across runs once timestamps are
+//!   normalized (asserted by `crates/mip/tests/progress.rs`).
+//! * **Parse-back.** Every event round-trips through
+//!   [`ProgressRecord::to_json`] / [`ProgressRecord::from_json`]; unknown
+//!   event names are preserved as [`SolveEvent::Other`] so old binaries can
+//!   replay logs written by newer ones.
+
+use std::io::Write;
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// One typed progress event. Variants mirror the anytime quantities of the
+/// paper's experiment section (incumbent/bound trajectories — the gap curve)
+/// plus the numerical-health signals of the simplex watchdog.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveEvent {
+    /// A top-level solve began (`what` ∈ {"mip", "greedy"}).
+    SolveBegin { what: String, threads: u64 },
+    /// The matching end. Carries final solver state (no wall-clock fields:
+    /// content stays deterministic; the runtime is the record timestamp).
+    SolveDone {
+        what: String,
+        status: String,
+        objective: f64,
+        bound: f64,
+        nodes: u64,
+        lp_iters: u64,
+    },
+    /// A new incumbent was accepted (B&B).
+    IncumbentFound {
+        node: u64,
+        obj: f64,
+        bound: f64,
+        gap: f64,
+    },
+    /// The global best bound tightened (B&B).
+    BoundImproved { node: u64, bound: f64 },
+    /// Periodic gap snapshot (B&B, on the progress-log cadence).
+    GapUpdate {
+        node: u64,
+        obj: f64,
+        bound: f64,
+        gap: f64,
+    },
+    /// Node-count milestone (powers of two, then every 1024 nodes).
+    NodeMilestone {
+        node: u64,
+        open: u64,
+        bound: f64,
+        lp_iters: u64,
+    },
+    /// The simplex refreshed its basis inverse; watchdog residuals attached
+    /// when the watchdog is on (NaN otherwise).
+    Refactorize {
+        iter: u64,
+        primal_resid: f64,
+        dual_resid: f64,
+        pivot_min: f64,
+        pivot_max: f64,
+        degen_streak: u64,
+    },
+    /// The pricing rule fell back to Bland's anti-cycling rule.
+    BlandSwitch { iter: u64, degen_streak: u64 },
+    /// A degenerate-pivot streak crossed an escalation threshold.
+    DegenerateStreak { iter: u64, len: u64 },
+    /// Partial pricing exhausted its window and fell back to a full scan.
+    PricingWindowExhausted { iter: u64, full_scans: u64 },
+    /// The watchdog's health classification changed (escalation only).
+    Health {
+        verdict: String,
+        iter: u64,
+        detail: String,
+    },
+    /// Greedy admitted a request at `start`.
+    RequestAdmitted { request: u64, start: f64 },
+    /// Greedy rejected a request (no feasible embedding at any start).
+    RequestRejected { request: u64 },
+    /// Aggregate span sink emitted at solve end (top wall-clock consumers),
+    /// so `report` can show where time went without the Chrome trace.
+    SpanSink {
+        name: String,
+        total_s: f64,
+        calls: u64,
+    },
+    /// An event name this binary does not know; payload preserved verbatim.
+    Other {
+        name: String,
+        fields: Vec<(String, Json)>,
+    },
+}
+
+impl SolveEvent {
+    /// Stable lower-snake-case event name used on the wire.
+    pub fn name(&self) -> &str {
+        match self {
+            SolveEvent::SolveBegin { .. } => "solve_begin",
+            SolveEvent::SolveDone { .. } => "solve_done",
+            SolveEvent::IncumbentFound { .. } => "incumbent_found",
+            SolveEvent::BoundImproved { .. } => "bound_improved",
+            SolveEvent::GapUpdate { .. } => "gap_update",
+            SolveEvent::NodeMilestone { .. } => "node_milestone",
+            SolveEvent::Refactorize { .. } => "refactorize",
+            SolveEvent::BlandSwitch { .. } => "bland_switch",
+            SolveEvent::DegenerateStreak { .. } => "degenerate_streak",
+            SolveEvent::PricingWindowExhausted { .. } => "pricing_window_exhausted",
+            SolveEvent::Health { .. } => "health",
+            SolveEvent::RequestAdmitted { .. } => "request_admitted",
+            SolveEvent::RequestRejected { .. } => "request_rejected",
+            SolveEvent::SpanSink { .. } => "span_sink",
+            SolveEvent::Other { name, .. } => name,
+        }
+    }
+
+    fn fields(&self) -> Vec<(String, Json)> {
+        match self {
+            SolveEvent::SolveBegin { what, threads } => vec![
+                ("what".into(), Json::from(what.as_str())),
+                ("threads".into(), Json::from(*threads)),
+            ],
+            SolveEvent::SolveDone {
+                what,
+                status,
+                objective,
+                bound,
+                nodes,
+                lp_iters,
+            } => vec![
+                ("what".into(), Json::from(what.as_str())),
+                ("status".into(), Json::from(status.as_str())),
+                ("objective".into(), Json::from(*objective)),
+                ("bound".into(), Json::from(*bound)),
+                ("nodes".into(), Json::from(*nodes)),
+                ("lp_iters".into(), Json::from(*lp_iters)),
+            ],
+            SolveEvent::IncumbentFound {
+                node,
+                obj,
+                bound,
+                gap,
+            } => vec![
+                ("node".into(), Json::from(*node)),
+                ("obj".into(), Json::from(*obj)),
+                ("bound".into(), Json::from(*bound)),
+                ("gap".into(), Json::from(*gap)),
+            ],
+            SolveEvent::BoundImproved { node, bound } => vec![
+                ("node".into(), Json::from(*node)),
+                ("bound".into(), Json::from(*bound)),
+            ],
+            SolveEvent::GapUpdate {
+                node,
+                obj,
+                bound,
+                gap,
+            } => vec![
+                ("node".into(), Json::from(*node)),
+                ("obj".into(), Json::from(*obj)),
+                ("bound".into(), Json::from(*bound)),
+                ("gap".into(), Json::from(*gap)),
+            ],
+            SolveEvent::NodeMilestone {
+                node,
+                open,
+                bound,
+                lp_iters,
+            } => vec![
+                ("node".into(), Json::from(*node)),
+                ("open".into(), Json::from(*open)),
+                ("bound".into(), Json::from(*bound)),
+                ("lp_iters".into(), Json::from(*lp_iters)),
+            ],
+            SolveEvent::Refactorize {
+                iter,
+                primal_resid,
+                dual_resid,
+                pivot_min,
+                pivot_max,
+                degen_streak,
+            } => vec![
+                ("iter".into(), Json::from(*iter)),
+                ("primal_resid".into(), Json::from(*primal_resid)),
+                ("dual_resid".into(), Json::from(*dual_resid)),
+                ("pivot_min".into(), Json::from(*pivot_min)),
+                ("pivot_max".into(), Json::from(*pivot_max)),
+                ("degen_streak".into(), Json::from(*degen_streak)),
+            ],
+            SolveEvent::BlandSwitch { iter, degen_streak } => vec![
+                ("iter".into(), Json::from(*iter)),
+                ("degen_streak".into(), Json::from(*degen_streak)),
+            ],
+            SolveEvent::DegenerateStreak { iter, len } => vec![
+                ("iter".into(), Json::from(*iter)),
+                ("len".into(), Json::from(*len)),
+            ],
+            SolveEvent::PricingWindowExhausted { iter, full_scans } => vec![
+                ("iter".into(), Json::from(*iter)),
+                ("full_scans".into(), Json::from(*full_scans)),
+            ],
+            SolveEvent::Health {
+                verdict,
+                iter,
+                detail,
+            } => vec![
+                ("verdict".into(), Json::from(verdict.as_str())),
+                ("iter".into(), Json::from(*iter)),
+                ("detail".into(), Json::from(detail.as_str())),
+            ],
+            SolveEvent::RequestAdmitted { request, start } => vec![
+                ("request".into(), Json::from(*request)),
+                ("start".into(), Json::from(*start)),
+            ],
+            SolveEvent::RequestRejected { request } => {
+                vec![("request".into(), Json::from(*request))]
+            }
+            SolveEvent::SpanSink {
+                name,
+                total_s,
+                calls,
+            } => vec![
+                ("name".into(), Json::from(name.as_str())),
+                ("total_s".into(), Json::from(*total_s)),
+                ("calls".into(), Json::from(*calls)),
+            ],
+            SolveEvent::Other { fields, .. } => fields.clone(),
+        }
+    }
+}
+
+/// Reads a numeric field; absent or `null` (the encoding of non-finite
+/// numbers) parses back as NaN, matching the serializer's lossy direction.
+fn num(obj: &Json, key: &str) -> f64 {
+    obj.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN)
+}
+
+fn uint(obj: &Json, key: &str) -> u64 {
+    obj.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+fn text(obj: &Json, key: &str) -> String {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .unwrap_or_default()
+        .to_string()
+}
+
+/// A [`SolveEvent`] plus its timestamp (offset from the telemetry epoch) and
+/// the logical thread id that emitted it (0 = driver, `w + 1` = worker `w`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressRecord {
+    pub t: Duration,
+    pub tid: u32,
+    pub event: SolveEvent,
+}
+
+impl ProgressRecord {
+    /// `{ "t_us": .., "tid": .., "event": "..", ..fields }` — flat, one
+    /// object per record, one record per NDJSON line.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("t_us".to_string(), Json::from(self.t.as_micros() as u64)),
+            ("tid".to_string(), Json::from(self.tid as u64)),
+            ("event".to_string(), Json::from(self.event.name())),
+        ];
+        fields.extend(self.event.fields());
+        Json::Obj(fields)
+    }
+
+    /// Parses one record back; unknown event names land in
+    /// [`SolveEvent::Other`]. Returns `None` when `v` has no `event` field.
+    pub fn from_json(v: &Json) -> Option<ProgressRecord> {
+        let name = v.get("event")?.as_str()?.to_string();
+        let event = match name.as_str() {
+            "solve_begin" => SolveEvent::SolveBegin {
+                what: text(v, "what"),
+                threads: uint(v, "threads"),
+            },
+            "solve_done" => SolveEvent::SolveDone {
+                what: text(v, "what"),
+                status: text(v, "status"),
+                objective: num(v, "objective"),
+                bound: num(v, "bound"),
+                nodes: uint(v, "nodes"),
+                lp_iters: uint(v, "lp_iters"),
+            },
+            "incumbent_found" => SolveEvent::IncumbentFound {
+                node: uint(v, "node"),
+                obj: num(v, "obj"),
+                bound: num(v, "bound"),
+                gap: num(v, "gap"),
+            },
+            "bound_improved" => SolveEvent::BoundImproved {
+                node: uint(v, "node"),
+                bound: num(v, "bound"),
+            },
+            "gap_update" => SolveEvent::GapUpdate {
+                node: uint(v, "node"),
+                obj: num(v, "obj"),
+                bound: num(v, "bound"),
+                gap: num(v, "gap"),
+            },
+            "node_milestone" => SolveEvent::NodeMilestone {
+                node: uint(v, "node"),
+                open: uint(v, "open"),
+                bound: num(v, "bound"),
+                lp_iters: uint(v, "lp_iters"),
+            },
+            "refactorize" => SolveEvent::Refactorize {
+                iter: uint(v, "iter"),
+                primal_resid: num(v, "primal_resid"),
+                dual_resid: num(v, "dual_resid"),
+                pivot_min: num(v, "pivot_min"),
+                pivot_max: num(v, "pivot_max"),
+                degen_streak: uint(v, "degen_streak"),
+            },
+            "bland_switch" => SolveEvent::BlandSwitch {
+                iter: uint(v, "iter"),
+                degen_streak: uint(v, "degen_streak"),
+            },
+            "degenerate_streak" => SolveEvent::DegenerateStreak {
+                iter: uint(v, "iter"),
+                len: uint(v, "len"),
+            },
+            "pricing_window_exhausted" => SolveEvent::PricingWindowExhausted {
+                iter: uint(v, "iter"),
+                full_scans: uint(v, "full_scans"),
+            },
+            "health" => SolveEvent::Health {
+                verdict: text(v, "verdict"),
+                iter: uint(v, "iter"),
+                detail: text(v, "detail"),
+            },
+            "request_admitted" => SolveEvent::RequestAdmitted {
+                request: uint(v, "request"),
+                start: num(v, "start"),
+            },
+            "request_rejected" => SolveEvent::RequestRejected {
+                request: uint(v, "request"),
+            },
+            "span_sink" => SolveEvent::SpanSink {
+                name: text(v, "name"),
+                total_s: num(v, "total_s"),
+                calls: uint(v, "calls"),
+            },
+            _ => SolveEvent::Other {
+                name,
+                fields: v
+                    .as_object()
+                    .map(|fs| {
+                        fs.iter()
+                            .filter(|(k, _)| k != "t_us" && k != "tid" && k != "event")
+                            .cloned()
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+            },
+        };
+        Some(ProgressRecord {
+            t: Duration::from_micros(uint(v, "t_us")),
+            tid: uint(v, "tid") as u32,
+            event,
+        })
+    }
+
+    /// One NDJSON line, newline included.
+    pub fn ndjson_line(&self) -> String {
+        let mut line = self.to_json().to_string();
+        line.push('\n');
+        line
+    }
+}
+
+/// Parses an NDJSON progress stream. Lines that are not valid JSON objects
+/// with an `event` field are skipped (a live stream may end mid-line).
+pub fn parse_ndjson(text: &str) -> Vec<ProgressRecord> {
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            if line.is_empty() {
+                return None;
+            }
+            Json::parse(line)
+                .ok()
+                .and_then(|v| ProgressRecord::from_json(&v))
+        })
+        .collect()
+}
+
+/// The append-only event log held inside a [`Telemetry`](crate::Telemetry)
+/// handle: an in-memory record buffer plus an optional live sink each record
+/// is teed to as it is stamped. Worker handles get a buffer but never a sink
+/// (their records are drained into the driver's log at join, keeping the
+/// live stream single-writer).
+pub struct EventLog {
+    records: Vec<ProgressRecord>,
+    sink: Option<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLog")
+            .field("records", &self.records.len())
+            .field("sink", &self.sink.is_some())
+            .finish()
+    }
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventLog {
+    pub fn new() -> Self {
+        EventLog {
+            records: Vec::new(),
+            sink: None,
+        }
+    }
+
+    /// Attaches (or replaces) the live sink. Records already buffered are
+    /// not replayed; attach before the solve starts.
+    pub fn set_sink(&mut self, sink: Box<dyn Write + Send>) {
+        self.sink = Some(sink);
+    }
+
+    /// Appends one record and tees it to the live sink, flushing per line so
+    /// `--progress -` is watchable in real time. Sink errors are swallowed:
+    /// a broken pipe must not kill the solve.
+    pub fn append(&mut self, rec: ProgressRecord) {
+        if let Some(sink) = &mut self.sink {
+            let _ = sink.write_all(rec.ndjson_line().as_bytes());
+            let _ = sink.flush();
+        }
+        self.records.push(rec);
+    }
+
+    /// Moves `other`'s records onto the end of this log (worker-join merge;
+    /// not timestamp-sorted — readers sort, writers append).
+    pub fn absorb(&mut self, other: &mut EventLog) {
+        self.records.append(&mut other.records);
+    }
+
+    pub fn records(&self) -> &[ProgressRecord] {
+        &self.records
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The whole buffer as NDJSON text (records in append order).
+    pub fn to_ndjson(&self) -> String {
+        self.records
+            .iter()
+            .map(ProgressRecord::ndjson_line)
+            .collect()
+    }
+}
+
+/// Per-solve digest computed from a replayed event stream — the quantities
+/// `tvnep-cli report` prints and the campaign journal records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveSummary {
+    /// What was solved (`"mip"`, `"greedy"`, or `""` for a headless stream).
+    pub what: String,
+    /// Terminal status from the `solve_done` event (`""` if truncated).
+    pub status: String,
+    /// Final objective / bound / counters from `solve_done` (NaN/0 if absent).
+    pub objective: f64,
+    pub bound: f64,
+    pub nodes: u64,
+    pub lp_iters: u64,
+    /// Seconds from `solve_begin` to the first `incumbent_found`.
+    pub time_to_first_incumbent_s: Option<f64>,
+    /// Seconds from `solve_begin` until the observed gap first reached ≤1%.
+    pub time_to_gap1_s: Option<f64>,
+    /// Final relative gap observed on the stream (NaN when no incumbent).
+    pub final_gap: f64,
+    /// Worst health verdict seen (`"ok"` when the watchdog stayed quiet or
+    /// was off — indistinguishable by design; `report` prints what it saw).
+    pub health: String,
+    /// Top span sinks by total wall time: `(name, total_s, calls)`.
+    pub span_sinks: Vec<(String, f64, u64)>,
+    /// Stream timestamp of `solve_begin` (offset into the log).
+    pub began_s: f64,
+    /// Stream timestamp of the last event of this solve.
+    pub ended_s: f64,
+}
+
+/// Severity order for health verdicts; unknown strings rank highest so a
+/// newer binary's verdict is never silently downgraded by an older reader.
+pub fn health_rank(verdict: &str) -> u32 {
+    match verdict {
+        "ok" => 0,
+        "degenerate-stall" => 1,
+        "drift" => 2,
+        "cycling-suspected" => 3,
+        _ => 4,
+    }
+}
+
+/// Splits a (sorted-by-time) record stream at `solve_begin` markers and
+/// digests each segment. Records before the first `solve_begin` form their
+/// own headless segment so partial streams still summarize.
+pub fn summarize_solves(records: &[ProgressRecord]) -> Vec<SolveSummary> {
+    let mut out: Vec<SolveSummary> = Vec::new();
+    let mut current: Option<SolveSummary> = None;
+
+    fn fresh(what: &str, began_s: f64) -> SolveSummary {
+        SolveSummary {
+            what: what.to_string(),
+            status: String::new(),
+            objective: f64::NAN,
+            bound: f64::NAN,
+            nodes: 0,
+            lp_iters: 0,
+            time_to_first_incumbent_s: None,
+            time_to_gap1_s: None,
+            final_gap: f64::NAN,
+            health: "ok".to_string(),
+            span_sinks: Vec::new(),
+            began_s,
+            ended_s: began_s,
+        }
+    }
+
+    for rec in records {
+        let t = rec.t.as_secs_f64();
+        if let SolveEvent::SolveBegin { what, .. } = &rec.event {
+            if let Some(done) = current.take() {
+                out.push(done);
+            }
+            current = Some(fresh(what, t));
+            continue;
+        }
+        let cur = current.get_or_insert_with(|| fresh("", t));
+        cur.ended_s = t;
+        match &rec.event {
+            SolveEvent::SolveDone {
+                status,
+                objective,
+                bound,
+                nodes,
+                lp_iters,
+                ..
+            } => {
+                cur.status = status.clone();
+                cur.objective = *objective;
+                cur.bound = *bound;
+                cur.nodes = *nodes;
+                cur.lp_iters = *lp_iters;
+                // The terminal objective/bound supersede the last in-flight
+                // gap event (e.g. an optimal finish closes the gap to 0).
+                let denom = objective.abs().max(1e-9);
+                let g = (bound - objective).abs() / denom;
+                if g.is_finite() {
+                    cur.final_gap = g;
+                    if g <= 0.01 && cur.time_to_gap1_s.is_none() {
+                        cur.time_to_gap1_s = Some(t - cur.began_s);
+                    }
+                }
+            }
+            SolveEvent::IncumbentFound { gap, .. } => {
+                let dt = t - cur.began_s;
+                cur.time_to_first_incumbent_s.get_or_insert(dt);
+                cur.final_gap = *gap;
+                if *gap <= 0.01 && cur.time_to_gap1_s.is_none() {
+                    cur.time_to_gap1_s = Some(dt);
+                }
+            }
+            SolveEvent::GapUpdate { gap, .. } => {
+                cur.final_gap = *gap;
+                if *gap <= 0.01 && cur.time_to_gap1_s.is_none() {
+                    cur.time_to_gap1_s = Some(t - cur.began_s);
+                }
+            }
+            SolveEvent::Health { verdict, .. }
+                if health_rank(verdict) > health_rank(&cur.health) =>
+            {
+                cur.health = verdict.clone();
+            }
+            SolveEvent::SpanSink {
+                name,
+                total_s,
+                calls,
+            } => {
+                cur.span_sinks.push((name.clone(), *total_s, *calls));
+            }
+            _ => {}
+        }
+    }
+    if let Some(done) = current.take() {
+        out.push(done);
+    }
+    for s in &mut out {
+        s.span_sinks
+            .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        s.span_sinks.truncate(3);
+    }
+    out
+}
+
+/// Renders the anytime gap curve as CSV: one row per incumbent/bound/gap
+/// event, `t_s` relative to the stream epoch. NaN/∞ render as empty cells.
+pub fn gap_curve_csv(records: &[ProgressRecord]) -> String {
+    fn cell(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            String::new()
+        }
+    }
+    let mut out = String::from("t_s,event,node,incumbent,bound,gap\n");
+    for rec in records {
+        let t = rec.t.as_secs_f64();
+        let row = match &rec.event {
+            SolveEvent::IncumbentFound {
+                node,
+                obj,
+                bound,
+                gap,
+            } => Some((*node, cell(*obj), cell(*bound), cell(*gap))),
+            SolveEvent::BoundImproved { node, bound } => {
+                Some((*node, String::new(), cell(*bound), String::new()))
+            }
+            SolveEvent::GapUpdate {
+                node,
+                obj,
+                bound,
+                gap,
+            } => Some((*node, cell(*obj), cell(*bound), cell(*gap))),
+            _ => None,
+        };
+        if let Some((node, inc, bound, gap)) = row {
+            out.push_str(&format!(
+                "{t},{event},{node},{inc},{bound},{gap}\n",
+                event = rec.event.name()
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t_us: u64, tid: u32, event: SolveEvent) -> ProgressRecord {
+        ProgressRecord {
+            t: Duration::from_micros(t_us),
+            tid,
+            event,
+        }
+    }
+
+    #[test]
+    fn ndjson_round_trip_preserves_every_variant() {
+        let records = vec![
+            rec(
+                0,
+                0,
+                SolveEvent::SolveBegin {
+                    what: "mip".into(),
+                    threads: 2,
+                },
+            ),
+            rec(
+                10,
+                0,
+                SolveEvent::IncumbentFound {
+                    node: 3,
+                    obj: 5.5,
+                    bound: 7.25,
+                    gap: 0.3181818181818182,
+                },
+            ),
+            rec(
+                12,
+                1,
+                SolveEvent::BoundImproved {
+                    node: 4,
+                    bound: 7.0,
+                },
+            ),
+            rec(
+                14,
+                0,
+                SolveEvent::GapUpdate {
+                    node: 5,
+                    obj: 5.5,
+                    bound: 7.0,
+                    gap: 0.2727272727272727,
+                },
+            ),
+            rec(
+                16,
+                2,
+                SolveEvent::NodeMilestone {
+                    node: 8,
+                    open: 3,
+                    bound: 7.0,
+                    lp_iters: 420,
+                },
+            ),
+            rec(
+                18,
+                0,
+                SolveEvent::Refactorize {
+                    iter: 150,
+                    primal_resid: 1e-12,
+                    dual_resid: 2e-13,
+                    pivot_min: 0.125,
+                    pivot_max: 8.0,
+                    degen_streak: 4,
+                },
+            ),
+            rec(
+                20,
+                0,
+                SolveEvent::BlandSwitch {
+                    iter: 300,
+                    degen_streak: 301,
+                },
+            ),
+            rec(22, 0, SolveEvent::DegenerateStreak { iter: 350, len: 64 }),
+            rec(
+                24,
+                0,
+                SolveEvent::PricingWindowExhausted {
+                    iter: 360,
+                    full_scans: 2,
+                },
+            ),
+            rec(
+                26,
+                0,
+                SolveEvent::Health {
+                    verdict: "degenerate-stall".into(),
+                    iter: 400,
+                    detail: "streak 301 >= 300".into(),
+                },
+            ),
+            rec(
+                28,
+                0,
+                SolveEvent::RequestAdmitted {
+                    request: 2,
+                    start: 1.5,
+                },
+            ),
+            rec(30, 0, SolveEvent::RequestRejected { request: 3 }),
+            rec(
+                32,
+                0,
+                SolveEvent::SpanSink {
+                    name: "lp.solve".into(),
+                    total_s: 0.25,
+                    calls: 17,
+                },
+            ),
+            rec(
+                34,
+                0,
+                SolveEvent::SolveDone {
+                    what: "mip".into(),
+                    status: "optimal".into(),
+                    objective: 5.5,
+                    bound: 5.5,
+                    nodes: 9,
+                    lp_iters: 431,
+                },
+            ),
+        ];
+        let text: String = records.iter().map(ProgressRecord::ndjson_line).collect();
+        let back = parse_ndjson(&text);
+        assert_eq!(back, records);
+        // Serializing the parse-back reproduces the exact bytes.
+        let text2: String = back.iter().map(ProgressRecord::ndjson_line).collect();
+        assert_eq!(text2, text);
+    }
+
+    #[test]
+    fn unknown_event_survives_as_other() {
+        let line = r#"{"t_us":5,"tid":0,"event":"from_the_future","shiny":true}"#;
+        let recs = parse_ndjson(line);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].event.name(), "from_the_future");
+        let reserialized = recs[0].ndjson_line();
+        assert!(reserialized.contains("\"shiny\":true"));
+    }
+
+    #[test]
+    fn non_finite_payloads_parse_back_as_nan() {
+        let r = rec(
+            1,
+            0,
+            SolveEvent::IncumbentFound {
+                node: 1,
+                obj: 4.0,
+                bound: f64::INFINITY,
+                gap: f64::INFINITY,
+            },
+        );
+        let back = &parse_ndjson(&r.ndjson_line())[0];
+        match &back.event {
+            SolveEvent::IncumbentFound {
+                obj, bound, gap, ..
+            } => {
+                assert_eq!(*obj, 4.0);
+                assert!(bound.is_nan() && gap.is_nan());
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn summary_digests_tti_gap_and_health() {
+        let records = vec![
+            rec(
+                1_000_000,
+                0,
+                SolveEvent::SolveBegin {
+                    what: "mip".into(),
+                    threads: 1,
+                },
+            ),
+            rec(
+                1_500_000,
+                0,
+                SolveEvent::IncumbentFound {
+                    node: 2,
+                    obj: 9.0,
+                    bound: 10.0,
+                    gap: 0.1111,
+                },
+            ),
+            rec(
+                2_000_000,
+                0,
+                SolveEvent::Health {
+                    verdict: "drift".into(),
+                    iter: 600,
+                    detail: "resid".into(),
+                },
+            ),
+            rec(
+                2_500_000,
+                0,
+                SolveEvent::GapUpdate {
+                    node: 7,
+                    obj: 9.0,
+                    bound: 9.05,
+                    gap: 0.005555,
+                },
+            ),
+            rec(
+                3_000_000,
+                0,
+                SolveEvent::SpanSink {
+                    name: "lp.solve".into(),
+                    total_s: 1.5,
+                    calls: 10,
+                },
+            ),
+            rec(
+                3_000_000,
+                0,
+                SolveEvent::SpanSink {
+                    name: "mip.node".into(),
+                    total_s: 2.5,
+                    calls: 9,
+                },
+            ),
+            rec(
+                3_100_000,
+                0,
+                SolveEvent::SolveDone {
+                    what: "mip".into(),
+                    status: "optimal".into(),
+                    objective: 9.0,
+                    bound: 9.0,
+                    nodes: 11,
+                    lp_iters: 700,
+                },
+            ),
+        ];
+        let sums = summarize_solves(&records);
+        assert_eq!(sums.len(), 1);
+        let s = &sums[0];
+        assert_eq!(s.what, "mip");
+        assert_eq!(s.status, "optimal");
+        assert_eq!(s.nodes, 11);
+        assert!((s.time_to_first_incumbent_s.unwrap() - 0.5).abs() < 1e-9);
+        assert!((s.time_to_gap1_s.unwrap() - 1.5).abs() < 1e-9);
+        assert_eq!(s.health, "drift");
+        assert_eq!(s.span_sinks[0].0, "mip.node"); // sorted by total_s
+        assert!((s.ended_s - s.began_s - 2.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gap_curve_lists_incumbent_and_bound_rows() {
+        let records = vec![
+            rec(
+                100,
+                0,
+                SolveEvent::IncumbentFound {
+                    node: 1,
+                    obj: 5.0,
+                    bound: f64::INFINITY,
+                    gap: f64::INFINITY,
+                },
+            ),
+            rec(
+                200,
+                0,
+                SolveEvent::BoundImproved {
+                    node: 2,
+                    bound: 6.0,
+                },
+            ),
+        ];
+        let csv = gap_curve_csv(&records);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "t_s,event,node,incumbent,bound,gap");
+        assert!(lines[1].starts_with("0.0001,incumbent_found,1,5,,"));
+        assert!(lines[2].contains("bound_improved,2,,6,"));
+    }
+
+    #[test]
+    fn health_rank_orders_severity() {
+        assert!(health_rank("ok") < health_rank("degenerate-stall"));
+        assert!(health_rank("degenerate-stall") < health_rank("drift"));
+        assert!(health_rank("drift") < health_rank("cycling-suspected"));
+        assert!(health_rank("cycling-suspected") < health_rank("martian"));
+    }
+}

@@ -19,12 +19,17 @@
 //! export snapshots (and reused by the CLI for instance/solution I/O).
 
 pub mod alloc;
+pub mod eventlog;
 pub mod json;
 mod metrics;
 pub mod span;
 mod timeline;
 
 pub use alloc::{AllocStats, CountingAlloc, MemProbe};
+pub use eventlog::{
+    gap_curve_csv, health_rank, parse_ndjson, summarize_solves, EventLog, ProgressRecord,
+    SolveEvent, SolveSummary,
+};
 pub use json::{Json, JsonError};
 pub use metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use span::{chrome_trace, SpanGuard, SpanRecord};
@@ -40,6 +45,8 @@ pub(crate) struct Inner {
     timeline: Option<Mutex<SolveTimeline>>,
     /// Completed profiler spans; `None` when span recording is off.
     pub(crate) spans: Option<Mutex<Vec<SpanRecord>>>,
+    /// Anytime progress event log; `None` when progress streaming is off.
+    pub(crate) progress: Option<Mutex<EventLog>>,
     /// Logical thread id stamped onto spans (0 = driver, `w + 1` = worker).
     pub(crate) tid: u32,
 }
@@ -60,6 +67,9 @@ impl std::fmt::Debug for Telemetry {
                 }
                 if inner.spans.is_some() {
                     parts.push("spans");
+                }
+                if inner.progress.is_some() {
+                    parts.push("progress");
                 }
                 write!(f, "Telemetry({})", parts.join("+"))
             }
@@ -88,13 +98,25 @@ impl Telemetry {
         Self::configure(false, true)
     }
 
+    /// Metrics registry plus the anytime progress event log.
+    pub fn with_progress() -> Self {
+        Self::configure_all(false, false, true)
+    }
+
     /// Metrics always on; timeline and span recording individually togglable.
     pub fn configure(timeline: bool, spans: bool) -> Self {
+        Self::configure_all(timeline, spans, false)
+    }
+
+    /// Metrics always on; timeline, span recording, and the progress event
+    /// log individually togglable.
+    pub fn configure_all(timeline: bool, spans: bool, progress: bool) -> Self {
         Telemetry(Some(Arc::new(Inner {
             epoch: Instant::now(),
             metrics: Mutex::new(MetricsRegistry::new()),
             timeline: timeline.then(|| Mutex::new(SolveTimeline::new())),
             spans: spans.then(|| Mutex::new(Vec::new())),
+            progress: progress.then(|| Mutex::new(EventLog::new())),
             tid: 0,
         })))
     }
@@ -113,6 +135,12 @@ impl Telemetry {
                 metrics: Mutex::new(MetricsRegistry::new()),
                 timeline: None,
                 spans: inner.spans.is_some().then(|| Mutex::new(Vec::new())),
+                // Workers buffer progress records (no sink); the driver
+                // drains them at join via `absorb_metrics`.
+                progress: inner
+                    .progress
+                    .is_some()
+                    .then(|| Mutex::new(EventLog::new())),
                 tid,
             }))),
         }
@@ -129,6 +157,11 @@ impl Telemetry {
     /// True when this handle records profiler spans.
     pub fn spans_enabled(&self) -> bool {
         matches!(&self.0, Some(inner) if inner.spans.is_some())
+    }
+
+    /// True when this handle records progress events.
+    pub fn progress_enabled(&self) -> bool {
+        matches!(&self.0, Some(inner) if inner.progress.is_some())
     }
 
     /// Elapsed time since the handle was created (zero when disabled).
@@ -173,6 +206,64 @@ impl Telemetry {
     pub fn event_with(&self, make: impl FnOnce() -> Event) {
         if self.timeline_enabled() {
             self.event(make());
+        }
+    }
+
+    /// Appends a progress event, stamped with the elapsed epoch time and
+    /// this handle's thread id. Dropped unless progress recording is on.
+    pub fn progress(&self, event: SolveEvent) {
+        if let Some(inner) = &self.0 {
+            if let Some(log) = &inner.progress {
+                let rec = ProgressRecord {
+                    t: inner.epoch.elapsed(),
+                    tid: inner.tid,
+                    event,
+                };
+                log.lock().unwrap().append(rec);
+            }
+        }
+    }
+
+    /// Like [`Telemetry::progress`] but defers constructing the event, for
+    /// call sites where building the payload itself has a cost.
+    pub fn progress_with(&self, make: impl FnOnce() -> SolveEvent) {
+        if self.progress_enabled() {
+            self.progress(make());
+        }
+    }
+
+    /// Attaches a live NDJSON sink to the progress log: every subsequent
+    /// record is written (and flushed) as one line the moment it is stamped.
+    /// No-op unless progress recording is on.
+    pub fn attach_progress_sink(&self, sink: Box<dyn std::io::Write + Send>) {
+        if let Some(inner) = &self.0 {
+            if let Some(log) = &inner.progress {
+                log.lock().unwrap().set_sink(sink);
+            }
+        }
+    }
+
+    /// A copy of all progress records so far (empty when disabled). Records
+    /// are in append order; merged multi-thread logs sort by timestamp on
+    /// the reader side.
+    pub fn progress_records(&self) -> Vec<ProgressRecord> {
+        match &self.0 {
+            Some(inner) => match &inner.progress {
+                Some(log) => log.lock().unwrap().records().to_vec(),
+                None => Vec::new(),
+            },
+            None => Vec::new(),
+        }
+    }
+
+    /// The whole progress buffer as NDJSON text (append order).
+    pub fn export_progress_ndjson(&self) -> String {
+        match &self.0 {
+            Some(inner) => match &inner.progress {
+                Some(log) => log.lock().unwrap().to_ndjson(),
+                None => String::new(),
+            },
+            None => String::new(),
         }
     }
 
@@ -259,6 +350,10 @@ impl Telemetry {
         if let (Some(ours), Some(their_spans)) = (&inner.spans, &other_inner.spans) {
             let mut moved = their_spans.lock().unwrap();
             ours.lock().unwrap().append(&mut moved);
+        }
+        if let (Some(ours), Some(theirs)) = (&inner.progress, &other_inner.progress) {
+            let mut moved = theirs.lock().unwrap();
+            ours.lock().unwrap().absorb(&mut moved);
         }
     }
 
